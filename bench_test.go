@@ -1,0 +1,336 @@
+// Benchmark harness: one benchmark per table and figure of the paper's
+// evaluation, each regenerating the artefact at Quick scale and reporting
+// its headline metric, plus micro-benchmarks for the pipeline's hot paths.
+//
+//	go test -bench=. -benchmem
+//
+// The full, paper-sized artefacts are produced by `go run ./cmd/lteexperiments
+// -scale full`; see EXPERIMENTS.md for the recorded comparison.
+package ltefp_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp"
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/experiments"
+	"ltefp/internal/lte/crc"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/ml/dtw"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/sim"
+)
+
+// BenchmarkTableIII regenerates Table III (lab fingerprinting, three
+// sniffer-coverage variants) and reports the Down+Up weighted F1.
+func BenchmarkTableIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIII(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Confusions[experiments.DownUp].WeightedF1(), "weighted-f1")
+	}
+}
+
+// BenchmarkTableIV regenerates Table IV (real-world, downlink-only, three
+// carriers) and reports the mean per-carrier weighted F1.
+func BenchmarkTableIV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableIV(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sum := 0.0
+		for _, c := range res.Carriers {
+			sum += res.Confusions[c].WeightedF1()
+		}
+		b.ReportMetric(sum/float64(len(res.Carriers)), "weighted-f1")
+	}
+}
+
+// BenchmarkTableV regenerates Table V (history attack) and reports the
+// success rate (paper: 0.83).
+func BenchmarkTableV(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableV(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Attack.SuccessRate(), "success-rate")
+	}
+}
+
+// BenchmarkTableVIandVII regenerates Tables VI and VII (correlation
+// attack) and reports the lab-setting mean similarity and the mean
+// real-world contact precision.
+func BenchmarkTableVIandVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		vi, vii, err := experiments.TableVIandVII(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var simSum float64
+		for _, app := range vi.Apps {
+			simSum += vi.Cells["Lab"][app].Mean
+		}
+		b.ReportMetric(simSum/float64(len(vi.Apps)), "lab-similarity")
+		var prec, n float64
+		for _, setting := range vii.Settings {
+			if setting == "Lab" {
+				continue
+			}
+			for _, app := range vii.Apps {
+				c := vii.Cells[setting][app]
+				prec += c.Precision()
+				n++
+			}
+		}
+		b.ReportMetric(prec/n, "real-world-precision")
+	}
+}
+
+// BenchmarkTableVIII regenerates Table VIII (algorithm comparison) and
+// reports Random Forest's lead over the CNN (paper: RF first, CNN last).
+func BenchmarkTableVIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TableVIII(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Average[experiments.AlgRF], "rf-accuracy")
+		b.ReportMetric(res.Average[experiments.AlgRF]-res.Average[experiments.AlgCNN], "rf-minus-cnn")
+	}
+}
+
+// BenchmarkFigure8 regenerates Fig. 8 (drift decay) and reports the day
+// the F-score crossed the 70% usability threshold (paper: ≈ day 7).
+func BenchmarkFigure8(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure8(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.CrossedBelow(0.70)), "crossing-day")
+		b.ReportMetric(res.Points[0].F1, "day1-f1")
+	}
+}
+
+// BenchmarkFigure9 regenerates Fig. 9 (noise impact) and reports the
+// F-score drop from the clean baseline to ten background apps.
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Figure9(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := res.Points[0].F1
+		last := res.Points[len(res.Points)-1].F1
+		b.ReportMetric(first-last, "f1-drop")
+	}
+}
+
+// BenchmarkCostModel evaluates the §VII-D analytical cost model.
+func BenchmarkCostModel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := experiments.CostModel()
+		total := 0.0
+		for _, s := range res.Scenarios {
+			total += s.Params.TotalCost(s.HorizonDays)
+		}
+		b.ReportMetric(total, "work-units")
+	}
+}
+
+// --- ablation and extension benchmarks ---
+
+// BenchmarkDefenses runs the §VIII-B countermeasure ablation and reports
+// how much F1 the combined defenses cost the attacker.
+func BenchmarkDefenses(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Defenses(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].WeightedF1-res.Rows[len(res.Rows)-1].WeightedF1, "f1-cost-to-attacker")
+	}
+}
+
+// BenchmarkWindowSweep runs the §VI window-size study and reports the best
+// width in milliseconds (the paper picks 100 ms).
+func BenchmarkWindowSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.WindowSweep(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Best().Window.Milliseconds()), "best-window-ms")
+	}
+}
+
+// BenchmarkTwSweep runs the §VII-C similarity-window study and reports the
+// best T_w in milliseconds.
+func BenchmarkTwSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.TwSweep(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.BestTw().Milliseconds()), "best-tw-ms")
+	}
+}
+
+// BenchmarkRetraining runs the §VI adaptive-maintenance study and reports
+// the maintained attacker's advantage at the end of the horizon.
+func BenchmarkRetraining(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Retraining(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Points[len(res.Points)-1]
+		b.ReportMetric(last.Maintained-last.Static, "maintained-advantage")
+		b.ReportMetric(float64(res.Retrainings), "retrainings")
+	}
+}
+
+// BenchmarkConcealment runs the §VIII-C identity-concealment study and
+// reports how much attribution 5G-style identifiers deny the attacker.
+func BenchmarkConcealment(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Concealment(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].AttributedFraction-res.Rows[1].AttributedFraction, "attribution-denied")
+	}
+}
+
+// --- pipeline micro-benchmarks ---
+
+// BenchmarkBlindDecode measures the sniffer's per-message work: CRC
+// re-computation, RNTI unmasking, and DCI parsing.
+func BenchmarkBlindDecode(b *testing.B) {
+	msg := dci.Message{Format: dci.Format1A, RBStart: 10, NPRB: 25, MCS: 17}
+	payload, err := msg.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	masked := crc.Attach(payload, 0x4321)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := crc.RecoverRNTI(payload, masked)
+		m, err := dci.Parse(payload)
+		if err != nil || r != 0x4321 {
+			b.Fatal("decode failed")
+		}
+		_ = m
+	}
+}
+
+// BenchmarkCapture60s measures simulating and capturing one 60-second
+// victim session on a loaded commercial cell.
+func BenchmarkCapture60s(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := ltefp.Capture(ltefp.CaptureOptions{
+			Network:  "T-Mobile",
+			App:      "YouTube",
+			Duration: time.Minute,
+			Seed:     uint64(i + 1),
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkForestPredict measures one window classification by a 100-tree
+// forest — the attacker's per-window inference cost.
+func BenchmarkForestPredict(b *testing.B) {
+	g := sim.NewRNG(1)
+	ds := benchDataset(g)
+	f, err := forest.Train(ds, forest.Config{Trees: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := ds.X[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = f.Predict(x)
+	}
+}
+
+// BenchmarkForestTrain measures fitting the paper's forest configuration.
+func BenchmarkForestTrain(b *testing.B) {
+	g := sim.NewRNG(2)
+	ds := benchDataset(g)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := forest.Train(ds, forest.Config{Trees: 100, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDTW measures one pairwise similarity over two 10-minute
+// rate series (600 one-second bins), the correlation attack's inner loop.
+func BenchmarkDTW(b *testing.B) {
+	g := sim.NewRNG(3)
+	x := make([]float64, 600)
+	y := make([]float64, 600)
+	for i := range x {
+		x[i] = g.Uniform(0, 50)
+		y[i] = g.Uniform(0, 50)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = dtw.Similarity(x, y)
+	}
+}
+
+// BenchmarkWindowExtraction measures trace windowing plus feature
+// extraction for one 60-second capture.
+func BenchmarkWindowExtraction(b *testing.B) {
+	app, err := appmodel.ByName("YouTube")
+	if err != nil {
+		b.Fatal(err)
+	}
+	traces, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
+		Profile:    operator.Lab(),
+		App:        app,
+		Sessions:   1,
+		SessionDur: time.Minute,
+		Seed:       4,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr := traces[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = fingerprint.WindowVectors(tr, fingerprint.DefaultWindow, fingerprint.DefaultWindow)
+	}
+}
+
+// benchDataset builds a training matrix shaped like the real pipeline's
+// (25 features, 9 classes, a few thousand rows).
+func benchDataset(g *sim.RNG) *dataset.Dataset {
+	names := make([]string, 9)
+	for i := range names {
+		names[i] = string(rune('a' + i))
+	}
+	ds := dataset.New(names, nil)
+	for i := 0; i < 4000; i++ {
+		y := i % 9
+		x := make([]float64, 25)
+		for j := range x {
+			x[j] = g.Normal(float64(y*(j%3)), 2)
+		}
+		ds.Add(x, y)
+	}
+	return ds
+}

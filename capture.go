@@ -1,0 +1,166 @@
+package ltefp
+
+import (
+	"fmt"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sim"
+	"ltefp/internal/sniffer"
+)
+
+// baselineCorruption is the decode-corruption rate every capture applies:
+// blind PDCCH decoding always produces a trickle of bogus candidates.
+const baselineCorruption = 0.002
+
+// CaptureOptions configures a single-victim capture: the victim runs one
+// app for the duration in one cell of the chosen network, observed by a
+// passive sniffer, while the network's ambient background users come and
+// go around it.
+type CaptureOptions struct {
+	// Network is a name from Networks() (default "Lab").
+	Network string
+	// App is a name from Apps().
+	App string
+	// Duration is the session length (default one minute).
+	Duration time.Duration
+	// Day selects the app-drift day; 0 and 1 both mean the training day.
+	Day int
+	// Seed makes the capture reproducible.
+	Seed uint64
+	// DownlinkOnly restricts the sniffer to the downlink channel, as one
+	// SDR covering a single direction would be.
+	DownlinkOnly bool
+	// BackgroundApps runs this many noise apps on the victim's own UE
+	// alongside the foreground app (the paper's Fig. 9 setting).
+	BackgroundApps int
+	// Defenses applies the paper's countermeasures to the network.
+	Defenses DefenseOptions
+}
+
+// DefenseOptions enables the countermeasures of §VIII-B/§VIII-C on a
+// simulated network, to measure how much of the attack survives them.
+type DefenseOptions struct {
+	// RNTIRefresh, when positive, reassigns every connected UE's C-RNTI
+	// at this period via encrypted signalling.
+	RNTIRefresh time.Duration
+	// TrafficMorphing pads every grant to power-of-two size buckets.
+	TrafficMorphing bool
+	// ConcealIdentities replaces TMSIs with 5G-style one-time pseudonyms
+	// in connection establishment and paging.
+	ConcealIdentities bool
+}
+
+// apply copies the options onto a profile.
+func (d DefenseOptions) apply(p *operator.Profile) {
+	if d.RNTIRefresh > 0 {
+		p.RNTIRefreshEvery = d.RNTIRefresh
+	}
+	if d.TrafficMorphing {
+		p.PadBuckets = true
+	}
+	if d.ConcealIdentities {
+		p.OneTimeIdentifiers = true
+	}
+}
+
+// CaptureResult is what the attacker's sniffer recorded.
+type CaptureResult struct {
+	// Victim holds the records attributed to the victim via identity
+	// mapping — the input to Fingerprinter.Identify.
+	Victim []Record
+	// All holds every validated record in the cell, victim and ambient
+	// users alike.
+	All []Record
+	// Bindings are the plaintext RNTI↔TMSI mappings observed.
+	Bindings []IdentityBinding
+}
+
+// Capture simulates and records one victim session.
+func Capture(opts CaptureOptions) (*CaptureResult, error) {
+	prof, app, err := resolve(opts.Network, opts.App)
+	if err != nil {
+		return nil, err
+	}
+	opts.Defenses.apply(&prof)
+	if opts.Duration <= 0 {
+		opts.Duration = time.Minute
+	}
+	sess := capture.Session{
+		UE:       "victim",
+		CellID:   1,
+		App:      app,
+		Start:    500 * time.Millisecond,
+		Duration: opts.Duration,
+		Day:      opts.Day,
+	}
+	if opts.BackgroundApps > 0 {
+		sess.Arrivals = noisyArrivals(prof, app, opts)
+	}
+	res, err := capture.Run(capture.Scenario{
+		Seed:             opts.Seed,
+		Cells:            []capture.Cell{{ID: 1, Profile: prof}},
+		Sessions:         []capture.Session{sess},
+		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption, DownlinkOnly: opts.DownlinkOnly},
+		ApplyProfileLoss: true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ltefp: %w", err)
+	}
+	out := &CaptureResult{
+		Victim: fromTrace(res.UserTrace("victim")),
+		All:    fromTrace(res.Records),
+	}
+	for _, e := range res.Events {
+		if e.HasTMSI {
+			out.Bindings = append(out.Bindings, IdentityBinding{
+				At: e.At, CellID: e.CellID, RNTI: uint16(e.RNTI), TMSI: e.TMSI,
+			})
+		}
+	}
+	return out, nil
+}
+
+// noisyArrivals overlays the foreground app with background noise apps.
+func noisyArrivals(prof operator.Profile, app appmodel.App, opts CaptureOptions) []appmodel.Arrival {
+	g := sim.NewRNG(opts.Seed ^ 0xB0B0B0B0)
+	day := opts.Day
+	if day < 1 {
+		day = 1
+	}
+	env := appmodel.Env{Quality: (prof.CQIMean - 1) / 14}
+	streams := [][]appmodel.Arrival{app.SessionEnv(g, opts.Duration, day, env)}
+	pool := append(appmodel.BackgroundPool(), appmodel.Apps()...)
+	delay := time.Duration(0)
+	for i := 0; i < opts.BackgroundApps; i++ {
+		bg := pool[g.IntN(len(pool))]
+		delay += time.Duration(g.Uniform(3, 4) * float64(time.Second))
+		if delay >= opts.Duration {
+			break
+		}
+		arr := bg.SessionEnv(g, opts.Duration-delay, day, env)
+		for j := range arr {
+			arr[j].At += delay
+		}
+		streams = append(streams, arr)
+	}
+	return appmodel.MergeSessions(streams...)
+}
+
+// resolve maps public names to internal configuration.
+func resolve(network, app string) (operator.Profile, appmodel.App, error) {
+	if network == "" {
+		network = "Lab"
+	}
+	prof, err := operator.ByName(network)
+	if err != nil {
+		return operator.Profile{}, appmodel.App{}, fmt.Errorf("ltefp: %w", err)
+	}
+	a, err := appmodel.ByName(app)
+	if err != nil {
+		return operator.Profile{}, appmodel.App{}, fmt.Errorf("ltefp: %w", err)
+	}
+	return prof, a, nil
+}

@@ -1,0 +1,191 @@
+// Command lteattack runs the paper's attacks with a trained model.
+//
+// Fingerprinting (Attack I): identify the app in a captured trace —
+//
+//	lteattack fingerprint -model model.gob -trace trace.csv
+//	lteattack fingerprint -model model.gob -network T-Mobile -app Netflix -seed 9
+//
+// History attack (Attack II): reconstruct a victim's per-zone app usage —
+//
+//	lteattack history -model model.gob -network T-Mobile -seed 9
+//
+// Correlation attack (Attack III): detect whether two users communicate —
+//
+//	lteattack correlate -network T-Mobile -app "WhatsApp Call" -pairs 6 -seed 9
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ltefp"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate [flags]")
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "fingerprint":
+		err = fingerprintCmd(os.Args[2:])
+	case "history":
+		err = historyCmd(os.Args[2:])
+	case "correlate":
+		err = correlateCmd(os.Args[2:])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "lteattack:", err)
+		os.Exit(1)
+	}
+}
+
+func loadModel(path string) (*ltefp.Fingerprinter, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer func() {
+		if cerr := f.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "lteattack: closing model:", cerr)
+		}
+	}()
+	return ltefp.LoadFingerprinter(f)
+}
+
+func fingerprintCmd(args []string) error {
+	fs := flag.NewFlagSet("fingerprint", flag.ContinueOnError)
+	model := fs.String("model", "model.gob", "trained model path (from ltetrain)")
+	tracePath := fs.String("trace", "", "captured trace CSV (from ltesniff); empty = capture live")
+	network := fs.String("network", "Lab", "network for live capture")
+	app := fs.String("app", "YouTube", "app for live capture (ground truth)")
+	duration := fs.Duration("duration", time.Minute, "live capture duration")
+	seed := fs.Uint64("seed", 99, "live capture seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fp, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	var records []ltefp.Record
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			return err
+		}
+		records, err = ltefp.ReadCSV(f)
+		_ = f.Close()
+		if err != nil {
+			return err
+		}
+	} else {
+		res, err := ltefp.Capture(ltefp.CaptureOptions{
+			Network: *network, App: *app, Duration: *duration, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		records = res.Victim
+		fmt.Printf("captured %d victim records (ground truth: %s)\n", len(records), *app)
+	}
+	id := fp.Identify(records)
+	fmt.Printf("prediction: %-14s category: %-10s confidence: %.1f%% windows: %d\n",
+		id.App, id.Category, 100*id.Confidence, id.Windows)
+	if id.Confidence < 0.70 {
+		fmt.Println("note: confidence below the 70% stability threshold — treat as unstable")
+	}
+	return nil
+}
+
+func historyCmd(args []string) error {
+	fs := flag.NewFlagSet("history", flag.ContinueOnError)
+	model := fs.String("model", "model.gob", "trained model path")
+	network := fs.String("network", "T-Mobile", "network environment")
+	seed := fs.Uint64("seed", 99, "scenario seed")
+	minutes := fs.Float64("minutes", 3, "minutes per zone visit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	fp, err := loadModel(*model)
+	if err != nil {
+		return err
+	}
+	d := time.Duration(*minutes * float64(time.Minute))
+	gap := d + 45*time.Second
+	report, err := fp.HistoryAttack(ltefp.HistoryOptions{
+		Network: *network,
+		Zones:   []int{1, 2, 3},
+		Seed:    *seed,
+		Itinerary: []ltefp.Visit{
+			{Zone: 1, Day: 2, Start: 2 * time.Second, Duration: d, App: "Netflix"},
+			{Zone: 2, Day: 2, Start: 2*time.Second + gap, Duration: d, App: "Telegram"},
+			{Zone: 3, Day: 2, Start: 2*time.Second + 2*gap, Duration: d, App: "WhatsApp Call"},
+			{Zone: 1, Day: 3, Start: 2 * time.Second, Duration: d, App: "YouTube"},
+			{Zone: 2, Day: 3, Start: 2*time.Second + gap, Duration: d, App: "Facebook"},
+			{Zone: 3, Day: 3, Start: 2*time.Second + 2*gap, Duration: d, App: "Skype"},
+		},
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-6s %-4s %-14s %-14s %-8s %s\n", "zone", "day", "truth", "predicted", "conf", "result")
+	for _, f := range report.Findings {
+		result := "TRUE"
+		if !f.Correct {
+			result = "FALSE"
+		}
+		fmt.Printf("%-6d %-4d %-14s %-14s %6.1f%% %s\n",
+			f.Zone, f.Day, f.TrueApp, f.Predicted, 100*f.Confidence, result)
+	}
+	fmt.Printf("success rate: %.0f%%\n", 100*report.SuccessRate())
+	return nil
+}
+
+func correlateCmd(args []string) error {
+	fs := flag.NewFlagSet("correlate", flag.ContinueOnError)
+	network := fs.String("network", "Lab", "network environment")
+	app := fs.String("app", "WhatsApp Call", "messaging or VoIP app")
+	pairs := fs.Int("pairs", 6, "pairs per label to simulate")
+	duration := fs.Duration("duration", 75*time.Second, "conversation duration")
+	seed := fs.Uint64("seed", 99, "scenario seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	ev, err := ltefp.CollectContactPairs(*network, *app, *pairs, *duration, *seed)
+	if err != nil {
+		return err
+	}
+	// First half: train the detector; second half of each label: test.
+	train := make([]ltefp.ContactEvidence, 0, len(ev))
+	var test []ltefp.ContactEvidence
+	half := *pairs / 2
+	for i, e := range ev {
+		if i%*pairs < half {
+			train = append(train, e)
+		} else {
+			test = append(test, e)
+		}
+	}
+	det, err := ltefp.TrainContactDetector(train, *seed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-14s %-10s %-8s %-8s %s\n", "similarity", "crossUD", "truth", "detect", "score")
+	correct := 0
+	for _, e := range test {
+		got := det.Detect(e)
+		if got == e.Communicating {
+			correct++
+		}
+		fmt.Printf("%-14.3f %-10.3f %-8v %-8v %.3f\n",
+			e.Similarity, e.CrossUD, e.Communicating, got, det.Score(e))
+	}
+	fmt.Printf("accuracy: %d/%d\n", correct, len(test))
+	return nil
+}

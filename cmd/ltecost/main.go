@@ -1,0 +1,53 @@
+// Command ltecost evaluates the paper's analytical attacker cost model
+// (§VII-D, Fig. 7, Eqs. 2–3) for a configurable attacker.
+//
+// Usage:
+//
+//	ltecost -victims 5 -apps-per-victim 4 -horizon 30 -sniffers 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"ltefp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ltecost:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ltecost", flag.ContinueOnError)
+	p := ltefp.DefaultCostParams()
+	fs.IntVar(&p.TrainApps, "apps", p.TrainApps, "A_t: apps to fingerprint")
+	fs.IntVar(&p.VersionsPerApp, "versions", p.VersionsPerApp, "A_v: app versions to cover")
+	fs.IntVar(&p.InstancesPerApp, "instances", p.InstancesPerApp, "A_i: traces per app version")
+	fs.IntVar(&p.Victims, "victims", p.Victims, "V_n: targeted victims")
+	fs.IntVar(&p.AppsPerVictim, "apps-per-victim", p.AppsPerVictim, "A_a: average apps per victim")
+	fs.IntVar(&p.RetrainPeriodDays, "retrain-days", p.RetrainPeriodDays, "D: days until drift forces retraining")
+	fs.IntVar(&p.Sniffers, "sniffers", p.Sniffers, "sniffer fleet size")
+	fs.Float64Var(&p.SnifferUnitUSD, "sniffer-usd", p.SnifferUnitUSD, "cost per SDR sniffer in USD")
+	horizon := fs.Int("horizon", 30, "monitoring horizon in days")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	b, err := ltefp.AttackCost(p, *horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("attacker cost model (Eqs. 2-3), horizon %d days\n", *horizon)
+	fmt.Printf("  A_n recorded instances     %10d\n", b.RecordedInstances)
+	fmt.Printf("  collecting                 %10.1f\n", b.Collecting)
+	fmt.Printf("  training                   %10.1f\n", b.Training)
+	fmt.Printf("  identification             %10.1f\n", b.Identification)
+	fmt.Printf("  Perf() one-off (Eq. 2)     %10.1f\n", b.OneOff)
+	fmt.Printf("  retraining per day         %10.1f\n", b.RetrainPerDay)
+	fmt.Printf("  Cost() total (Eq. 3)       %10.1f\n", b.Total)
+	fmt.Printf("  hardware                   %9.0f USD (%d sniffers)\n", b.HardwareUSD, p.Sniffers)
+	return nil
+}

@@ -1,0 +1,107 @@
+// Command lteexperiments regenerates the paper's tables and figures from
+// the simulated LTE substrate. Each experiment prints a text rendering
+// mirroring the paper's layout; see EXPERIMENTS.md for the side-by-side
+// comparison with the published numbers.
+//
+// Usage:
+//
+//	lteexperiments [-scale quick|full] [-seed N] [-only list]
+//
+// where -only is a comma-separated subset of
+// table3,table4,table5,table6,table7,table8,fig8,fig9,cost plus the
+// ablation/extension studies defenses,windowsweep,twsweep,retraining,
+// concealment.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ltefp/internal/experiments"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "lteexperiments:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("lteexperiments", flag.ContinueOnError)
+	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
+	seed := fs.Uint64("seed", 1, "master random seed")
+	only := fs.String("only", "", "comma-separated experiment subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "quick":
+		scale = experiments.Quick()
+	case "full":
+		scale = experiments.Full()
+	default:
+		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, name := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(strings.ToLower(name))] = true
+		}
+	}
+	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	type experiment struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	var table6 fmt.Stringer
+	var table7 fmt.Stringer
+	runs := []experiment{
+		{"table3", func() (fmt.Stringer, error) { return experiments.TableIII(scale, *seed) }},
+		{"table4", func() (fmt.Stringer, error) { return experiments.TableIV(scale, *seed) }},
+		{"table5", func() (fmt.Stringer, error) { return experiments.TableV(scale, *seed) }},
+		{"table6", func() (fmt.Stringer, error) {
+			var err error
+			table6, table7, err = experiments.TableVIandVII(scale, *seed)
+			return table6, err
+		}},
+		{"table7", func() (fmt.Stringer, error) {
+			if table7 == nil {
+				var err error
+				table6, table7, err = experiments.TableVIandVII(scale, *seed)
+				if err != nil {
+					return nil, err
+				}
+			}
+			return table7, nil
+		}},
+		{"table8", func() (fmt.Stringer, error) { return experiments.TableVIII(scale, *seed) }},
+		{"fig8", func() (fmt.Stringer, error) { return experiments.Figure8(scale, *seed) }},
+		{"fig9", func() (fmt.Stringer, error) { return experiments.Figure9(scale, *seed) }},
+		{"cost", func() (fmt.Stringer, error) { return experiments.CostModel(), nil }},
+		{"defenses", func() (fmt.Stringer, error) { return experiments.Defenses(scale, *seed) }},
+		{"windowsweep", func() (fmt.Stringer, error) { return experiments.WindowSweep(scale, *seed) }},
+		{"twsweep", func() (fmt.Stringer, error) { return experiments.TwSweep(scale, *seed) }},
+		{"retraining", func() (fmt.Stringer, error) { return experiments.Retraining(scale, *seed) }},
+		{"concealment", func() (fmt.Stringer, error) { return experiments.Concealment(scale, *seed) }},
+	}
+	for _, e := range runs {
+		if !selected(e.name) {
+			continue
+		}
+		start := time.Now()
+		res, err := e.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", e.name, err)
+		}
+		fmt.Printf("### %s (scale=%s, seed=%d, elapsed %v)\n%s\n",
+			e.name, scale.Name, *seed, time.Since(start).Round(time.Second), res)
+	}
+	return nil
+}

@@ -1,0 +1,69 @@
+// Command ltetrain runs the paper's training phase: it collects a labelled
+// nine-app corpus on one network environment, trains the hierarchical
+// Random Forest fingerprinter, and saves the model for lteattack.
+//
+// Usage:
+//
+//	ltetrain -network T-Mobile -sessions 8 -duration 90s -out model.gob
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ltefp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "ltetrain:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("ltetrain", flag.ContinueOnError)
+	network := fs.String("network", "Lab", "network environment to train for")
+	sessions := fs.Int("sessions", 6, "traces per app (messengers get 3x)")
+	duration := fs.Duration("duration", time.Minute, "trace duration")
+	seed := fs.Uint64("seed", 1, "random seed")
+	dlOnly := fs.Bool("downlink-only", false, "train on downlink-only captures")
+	out := fs.String("out", "model.gob", "output model path")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	start := time.Now()
+	fmt.Fprintf(os.Stderr, "ltetrain: collecting %d sessions/app on %s...\n", *sessions, *network)
+	td, err := ltefp.CollectTraining(ltefp.TrainingOptions{
+		Network:         *network,
+		SessionsPerApp:  *sessions,
+		SessionDuration: *duration,
+		Seed:            *seed,
+		DownlinkOnly:    *dlOnly,
+	})
+	if err != nil {
+		return err
+	}
+	for _, a := range ltefp.Apps() {
+		fmt.Fprintf(os.Stderr, "  %-14s %6d windows\n", a.Name, td.Count(a.Name))
+	}
+	fp, err := ltefp.TrainFingerprinter(td, *seed)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	if err := fp.Save(f); err != nil {
+		_ = f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ltetrain: model written to %s (%v)\n", *out, time.Since(start).Round(time.Second))
+	return nil
+}

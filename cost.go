@@ -1,0 +1,107 @@
+package ltefp
+
+import (
+	"fmt"
+
+	"ltefp/internal/attack/cost"
+)
+
+// CostParams are the inputs of the paper's analytical attacker cost model
+// (§VII-D, Eqs. 2–3), named after its symbols.
+type CostParams struct {
+	TrainApps       int // A_t
+	VersionsPerApp  int // A_v
+	InstancesPerApp int // A_i
+
+	CollectUnit  float64 // cost of recording one instance
+	FeatureUnit  float64 // F_m
+	TrainUnit    float64 // T_s
+	ClassifyUnit float64 // per-instance classification cost
+
+	Victims       int // V_n
+	AppsPerVictim int // A_a
+
+	RetrainPeriodDays    int     // D
+	PerformanceThreshold float64 // X
+
+	Sniffers       int
+	SnifferUnitUSD float64
+}
+
+// DefaultCostParams returns the running example: nine apps, the 70%
+// threshold, and the ~7-day drift horizon of Fig. 8.
+func DefaultCostParams() CostParams {
+	return fromCost(cost.Defaults())
+}
+
+// CostBreakdown is the evaluated model for one monitoring horizon.
+type CostBreakdown struct {
+	// RecordedInstances is A_n = A_t × A_v × A_i.
+	RecordedInstances int
+	// Collecting, Training, Identification are the Eq. 2 terms.
+	Collecting     float64
+	Training       float64
+	Identification float64
+	// OneOff is Perf(), Eq. 2.
+	OneOff float64
+	// RetrainPerDay is the amortised Eq. 3 retraining term.
+	RetrainPerDay float64
+	// Total is Cost() over the horizon, Eq. 3.
+	Total float64
+	// HardwareUSD prices the sniffer fleet.
+	HardwareUSD float64
+}
+
+// AttackCost evaluates the model over a monitoring horizon in days.
+func AttackCost(p CostParams, horizonDays int) (CostBreakdown, error) {
+	cp := toCost(p)
+	if err := cp.Validate(); err != nil {
+		return CostBreakdown{}, fmt.Errorf("ltefp: %w", err)
+	}
+	return CostBreakdown{
+		RecordedInstances: cp.RecordedInstances(),
+		Collecting:        cp.CollectingCost(),
+		Training:          cp.TrainingCost(),
+		Identification:    cp.IdentificationCost(),
+		OneOff:            cp.PerformanceCost(),
+		RetrainPerDay:     cp.DailyRetrainCost(),
+		Total:             cp.TotalCost(horizonDays),
+		HardwareUSD:       cp.HardwareUSD(),
+	}, nil
+}
+
+func toCost(p CostParams) cost.Params {
+	return cost.Params{
+		TrainApps:            p.TrainApps,
+		VersionsPerApp:       p.VersionsPerApp,
+		InstancesPerApp:      p.InstancesPerApp,
+		CollectUnit:          p.CollectUnit,
+		FeatureUnit:          p.FeatureUnit,
+		TrainUnit:            p.TrainUnit,
+		ClassifyUnit:         p.ClassifyUnit,
+		Victims:              p.Victims,
+		AppsPerVictim:        p.AppsPerVictim,
+		RetrainPeriodDays:    p.RetrainPeriodDays,
+		PerformanceThreshold: p.PerformanceThreshold,
+		Sniffers:             p.Sniffers,
+		SnifferUnitUSD:       p.SnifferUnitUSD,
+	}
+}
+
+func fromCost(p cost.Params) CostParams {
+	return CostParams{
+		TrainApps:            p.TrainApps,
+		VersionsPerApp:       p.VersionsPerApp,
+		InstancesPerApp:      p.InstancesPerApp,
+		CollectUnit:          p.CollectUnit,
+		FeatureUnit:          p.FeatureUnit,
+		TrainUnit:            p.TrainUnit,
+		ClassifyUnit:         p.ClassifyUnit,
+		Victims:              p.Victims,
+		AppsPerVictim:        p.AppsPerVictim,
+		RetrainPeriodDays:    p.RetrainPeriodDays,
+		PerformanceThreshold: p.PerformanceThreshold,
+		Sniffers:             p.Sniffers,
+		SnifferUnitUSD:       p.SnifferUnitUSD,
+	}
+}

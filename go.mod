@@ -1,0 +1,3 @@
+module ltefp
+
+go 1.23

@@ -1,0 +1,135 @@
+// Package appmodel generates application-layer traffic for the nine mobile
+// apps the paper fingerprints, plus a pool of background-noise apps. Each
+// generator is a stochastic stand-in for the real app (see DESIGN.md §2),
+// parameterised from the paper's own pilot-study observations: Netflix
+// frames distribute "almost uniformly between 0 and 4000 bytes" with long
+// burst gaps, YouTube and Prime Video transmit near-continuously, instant
+// messengers are sporadic with idle lulls long enough to drop the RRC
+// connection (forcing RNTI refreshes), and VoIP apps transmit constant
+// small frames symmetrically in both directions.
+//
+// Generators emit application-layer Arrivals; the eNodeB scheduler then
+// segments them into transport blocks, so the radio-layer trace a sniffer
+// records reflects both the app behaviour and the operator's scheduling —
+// exactly the composition the classifier must see through.
+package appmodel
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+// Category is a class of mobile app, the first level of the paper's
+// hierarchical classifier.
+type Category int
+
+// The paper's three app categories.
+const (
+	Streaming Category = iota + 1
+	Messaging
+	VoIP
+)
+
+// String names the category as the paper's tables do.
+func (c Category) String() string {
+	switch c {
+	case Streaming:
+		return "Streaming"
+	case Messaging:
+		return "Messenger"
+	case VoIP:
+		return "VoIP call"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Categories lists all app categories in table order.
+func Categories() []Category { return []Category{Streaming, Messaging, VoIP} }
+
+// Arrival is one application-layer data unit handed to the radio stack.
+type Arrival struct {
+	// At is the offset from session start.
+	At time.Duration
+	// Bytes is the application payload size.
+	Bytes int
+	// Dir is the transfer direction.
+	Dir dci.Direction
+}
+
+// App is one fingerprintable application.
+type App struct {
+	// Name is the display name used in the paper's tables.
+	Name string
+	// Category is the app's class.
+	Category Category
+
+	gen generator
+}
+
+// Env captures the network conditions an adaptive application reacts to.
+type Env struct {
+	// Quality is the session's network quality in [0, 1] (1 = pristine lab
+	// channel). Adaptive codecs step rates more and jitter sizes harder on
+	// poor networks, which is a large part of why real-world traces are
+	// harder to fingerprint than lab ones.
+	Quality float64
+}
+
+// Poor returns the clamped badness 1 - Quality.
+func (e Env) Poor() float64 {
+	p := 1 - e.Quality
+	if p < 0 {
+		return 0
+	}
+	if p > 1 {
+		return 1
+	}
+	return p
+}
+
+// pristine is the lab-channel environment assumed when none is given.
+var pristine = Env{Quality: 0.95}
+
+// generator produces one session's arrivals. Implementations must be
+// deterministic given the RNG and inputs.
+type generator interface {
+	session(g *sim.RNG, dur time.Duration, d Drift, env Env) []Arrival
+}
+
+// Session generates one application session of the given duration as it
+// behaves on the given simulated day (day 1 is the day the training data
+// was recorded; later days apply the app-update drift model) under a
+// pristine channel.
+func (a App) Session(g *sim.RNG, dur time.Duration, day int) []Arrival {
+	return a.SessionEnv(g, dur, day, pristine)
+}
+
+// SessionEnv is Session under explicit network conditions.
+func (a App) SessionEnv(g *sim.RNG, dur time.Duration, day int, env Env) []Arrival {
+	arr := a.gen.session(g, dur, DriftForDay(a.Name, day), env)
+	sort.SliceStable(arr, func(i, j int) bool { return arr[i].At < arr[j].At })
+	return arr
+}
+
+// String formats the app as "Category/Name".
+func (a App) String() string { return a.Category.String() + "/" + a.Name }
+
+// clampBytes bounds a sampled size to a sane payload range.
+func clampBytes(v float64, lo, hi int) int {
+	n := int(v)
+	if n < lo {
+		return lo
+	}
+	if n > hi {
+		return hi
+	}
+	return n
+}
+
+// secs converts float seconds to a Duration.
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }

@@ -1,0 +1,277 @@
+package appmodel_test
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+func TestCatalog(t *testing.T) {
+	apps := appmodel.Apps()
+	if len(apps) != 9 {
+		t.Fatalf("catalog has %d apps, want 9", len(apps))
+	}
+	perCat := make(map[appmodel.Category]int)
+	for _, a := range apps {
+		perCat[a.Category]++
+	}
+	for _, c := range appmodel.Categories() {
+		if perCat[c] != 3 {
+			t.Errorf("%v has %d apps, want 3", c, perCat[c])
+		}
+	}
+	for _, name := range appmodel.Names() {
+		a, err := appmodel.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, a.Name)
+		}
+	}
+	if _, err := appmodel.ByName("TikTok"); err == nil {
+		t.Fatal("unknown app resolved")
+	}
+}
+
+// TestSessionsWellFormed: every app's arrivals are in-range, sorted, and
+// positive-sized.
+func TestSessionsWellFormed(t *testing.T) {
+	const dur = 30 * time.Second
+	g := sim.NewRNG(1)
+	for _, a := range append(appmodel.Apps(), appmodel.BackgroundPool()...) {
+		arr := a.Session(g, dur, 1)
+		if len(arr) == 0 {
+			// Sparse background apps (e.g. a weather widget) may sit out a
+			// short window; the nine fingerprinted apps may not.
+			if a.Category != appmodel.BackgroundCategory {
+				t.Errorf("%s: empty session", a.Name)
+			}
+			continue
+		}
+		prev := time.Duration(-1)
+		for _, x := range arr {
+			if x.At < 0 || x.At >= dur {
+				t.Fatalf("%s: arrival at %v outside [0, %v)", a.Name, x.At, dur)
+			}
+			if x.At < prev {
+				t.Fatalf("%s: arrivals not sorted", a.Name)
+			}
+			prev = x.At
+			if x.Bytes <= 0 {
+				t.Fatalf("%s: non-positive arrival size %d", a.Name, x.Bytes)
+			}
+			if x.Dir != dci.Uplink && x.Dir != dci.Downlink {
+				t.Fatalf("%s: bad direction %v", a.Name, x.Dir)
+			}
+		}
+	}
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	for _, a := range appmodel.Apps() {
+		x := a.Session(sim.NewRNG(5), 20*time.Second, 3)
+		y := a.Session(sim.NewRNG(5), 20*time.Second, 3)
+		if len(x) != len(y) {
+			t.Fatalf("%s: lengths differ for identical seeds", a.Name)
+		}
+		for i := range x {
+			if x[i] != y[i] {
+				t.Fatalf("%s: arrival %d differs for identical seeds", a.Name, i)
+			}
+		}
+	}
+}
+
+// TestCategoryShapes checks the pilot-study signatures the paper reports:
+// streaming is downlink-dominated, VoIP is bidirectionally balanced, and
+// messengers have long idle lulls.
+func TestCategoryShapes(t *testing.T) {
+	g := sim.NewRNG(2)
+	const dur = 60 * time.Second
+	for _, a := range appmodel.Apps() {
+		arr := a.Session(g, dur, 1)
+		var dl, ul float64
+		maxGap := time.Duration(0)
+		for i, x := range arr {
+			if x.Dir == dci.Downlink {
+				dl += float64(x.Bytes)
+			} else {
+				ul += float64(x.Bytes)
+			}
+			if i > 0 {
+				if gap := x.At - arr[i-1].At; gap > maxGap {
+					maxGap = gap
+				}
+			}
+		}
+		switch a.Category {
+		case appmodel.Streaming:
+			if dl < 20*ul {
+				t.Errorf("%s: DL/UL byte ratio %.1f, want heavily downlink", a.Name, dl/ul)
+			}
+		case appmodel.VoIP:
+			if r := dl / ul; r < 0.5 || r > 2 {
+				t.Errorf("%s: DL/UL byte ratio %.2f, want balanced", a.Name, r)
+			}
+		case appmodel.Messaging:
+			if maxGap < 8*time.Second {
+				t.Errorf("%s: longest lull %v, want idle periods that trigger RRC release", a.Name, maxGap)
+			}
+		}
+	}
+}
+
+func TestDriftReference(t *testing.T) {
+	for _, day := range []int{0, 1} {
+		d := appmodel.DriftForDay("Netflix", day)
+		if d.SizeScale != 1 || d.IntervalScale != 1 || d.ShapeShift != 0 {
+			t.Fatalf("day %d drift = %+v, want the reference", day, d)
+		}
+	}
+}
+
+func TestDriftDeterministicAndGrowing(t *testing.T) {
+	a := appmodel.DriftForDay("YouTube", 10)
+	b := appmodel.DriftForDay("YouTube", 10)
+	if a != b {
+		t.Fatal("drift not deterministic")
+	}
+	near := appmodel.DriftForDay("YouTube", 3)
+	far := appmodel.DriftForDay("YouTube", 20)
+	if dev(far.SizeScale) <= dev(near.SizeScale) {
+		t.Fatalf("size drift did not grow: day3 %v, day20 %v", near.SizeScale, far.SizeScale)
+	}
+}
+
+func dev(scale float64) float64 {
+	if scale < 1 {
+		return 1/scale - 1
+	}
+	return scale - 1
+}
+
+func TestDriftVariesByApp(t *testing.T) {
+	if appmodel.DriftForDay("Netflix", 10) == appmodel.DriftForDay("Skype", 10) {
+		t.Fatal("two apps share the same drift history")
+	}
+}
+
+func TestPairedMirrorsTraffic(t *testing.T) {
+	app, err := appmodel.ByName("WhatsApp Call")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := sim.NewRNG(3)
+	env := appmodel.Env{Quality: 0.9}
+	caller, callee := appmodel.Paired(app, g, 30*time.Second, 1, env)
+	if len(caller) == 0 || len(callee) == 0 {
+		t.Fatal("empty conversation side")
+	}
+	var callerUL, calleeDL int
+	for _, a := range caller {
+		if a.Dir == dci.Uplink {
+			callerUL += a.Bytes
+		}
+	}
+	for _, a := range callee {
+		if a.Dir == dci.Downlink {
+			calleeDL += a.Bytes
+		}
+	}
+	// What the caller sends, the callee receives (within relay perturbation).
+	r := float64(calleeDL) / float64(callerUL)
+	if r < 0.85 || r > 1.15 {
+		t.Fatalf("callee received %.2fx what the caller sent", r)
+	}
+	for i := 1; i < len(callee); i++ {
+		if callee[i].At < callee[i-1].At {
+			t.Fatal("callee arrivals not sorted")
+		}
+	}
+}
+
+func TestPairedRejectsStreaming(t *testing.T) {
+	app, err := appmodel.ByName("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Paired accepted a streaming app")
+		}
+	}()
+	appmodel.Paired(app, sim.NewRNG(1), time.Second, 1, appmodel.Env{Quality: 1})
+}
+
+// TestMergeSessionsSorted: merging any sessions yields a time-sorted
+// stream containing every arrival.
+func TestMergeSessionsSorted(t *testing.T) {
+	f := func(seedA, seedB uint64) bool {
+		a, err := appmodel.ByName("WhatsApp")
+		if err != nil {
+			return false
+		}
+		b, err := appmodel.ByName("Telegram")
+		if err != nil {
+			return false
+		}
+		sa := a.Session(sim.NewRNG(seedA), 10*time.Second, 1)
+		sb := b.Session(sim.NewRNG(seedB), 10*time.Second, 1)
+		m := appmodel.MergeSessions(sa, sb)
+		if len(m) != len(sa)+len(sb) {
+			return false
+		}
+		for i := 1; i < len(m); i++ {
+			if m[i].At < m[i-1].At {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVoIPQualityAdaptation(t *testing.T) {
+	app, err := appmodel.ByName("Skype")
+	if err != nil {
+		t.Fatal(err)
+	}
+	spread := func(quality float64) float64 {
+		arr := app.SessionEnv(sim.NewRNG(4), 60*time.Second, 1, appmodel.Env{Quality: quality})
+		var sum, sq, n float64
+		for _, a := range arr {
+			if a.Bytes > 300 || a.Bytes < 60 {
+				continue // control/setup frames
+			}
+			sum += float64(a.Bytes)
+			sq += float64(a.Bytes) * float64(a.Bytes)
+			n++
+		}
+		mean := sum / n
+		return (sq/n - mean*mean) / (mean * mean)
+	}
+	clean := spread(0.95)
+	poor := spread(0.3)
+	if poor <= clean {
+		t.Fatalf("codec size spread on a poor channel (%.4f) not above clean (%.4f)", poor, clean)
+	}
+}
+
+func TestBackgroundPool(t *testing.T) {
+	pool := appmodel.BackgroundPool()
+	if len(pool) < 8 {
+		t.Fatalf("background pool has %d apps", len(pool))
+	}
+	for _, a := range pool {
+		if a.Category != appmodel.BackgroundCategory {
+			t.Errorf("%s: category %v, want background", a.Name, a.Category)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package appmodel
+
+import (
+	"sort"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+// BackgroundCategory marks apps that are noise rather than fingerprinting
+// targets: the "5 to 10 apps in the background ... chosen randomly from the
+// Google store's top 10 free apps" of the paper's Fig. 9 experiment.
+const BackgroundCategory Category = 4
+
+// genericParams is a lightweight request/response generator for
+// background-noise apps: sporadic uplink requests answered by downlink
+// payload bursts, with optional periodic sync beacons.
+type genericParams struct {
+	// reqGap is the mean gap between requests, seconds.
+	reqGap float64
+	// reqLo and reqHi bound the uplink request size.
+	reqLo, reqHi int
+	// respMu and respSigma parameterise the lognormal response size.
+	respMu, respSigma float64
+	// respFrames is the mean number of downlink frames per response.
+	respFrames float64
+	// beaconEvery emits fixed-size sync beacons at this period (0 = none).
+	beaconEvery float64
+	beaconSize  int
+}
+
+func (p genericParams) session(g *sim.RNG, dur time.Duration, d Drift, _ Env) []Arrival {
+	var out []Arrival
+	for t := secs(g.Exponential(p.reqGap)); t < dur; t += secs(g.Exponential(d.scaleIvl(p.reqGap))) {
+		out = append(out, Arrival{At: t, Bytes: g.UniformInt(p.reqLo, p.reqHi), Dir: dci.Uplink})
+		frames := 1 + g.Poisson(p.respFrames-1)
+		rt := t + secs(g.Uniform(0.02, 0.15))
+		for i := 0; i < frames && rt < dur; i++ {
+			size := d.scaleSize(g.LogNormal(p.respMu, p.respSigma))
+			out = append(out, Arrival{At: rt, Bytes: clampBytes(size, 60, 64*1024), Dir: dci.Downlink})
+			rt += secs(g.Uniform(0.002, 0.02))
+		}
+	}
+	if p.beaconEvery > 0 {
+		for t := secs(p.beaconEvery * g.Uniform(0.2, 1.0)); t < dur; t += secs(p.beaconEvery * g.Uniform(0.9, 1.1)) {
+			out = append(out, Arrival{At: t, Bytes: p.beaconSize + g.IntN(20), Dir: dci.Uplink})
+		}
+	}
+	return out
+}
+
+var _ generator = genericParams{}
+
+// BackgroundPool returns the pool of generic top-chart apps used as noise
+// traffic. Fig. 9's experiment draws 5–10 of these (the nine fingerprinted
+// apps may be added by the caller, as the paper does).
+func BackgroundPool() []App {
+	return []App{
+		{Name: "WebBrowsing", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 9, reqLo: 300, reqHi: 900, respMu: 8.6, respSigma: 1.1, respFrames: 9, beaconEvery: 0}},
+		{Name: "EmailSync", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 45, reqLo: 200, reqHi: 500, respMu: 7.8, respSigma: 1.3, respFrames: 4, beaconEvery: 60, beaconSize: 90}},
+		{Name: "PushNotifications", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 30, reqLo: 60, reqHi: 140, respMu: 5.5, respSigma: 0.6, respFrames: 1, beaconEvery: 28, beaconSize: 64}},
+		{Name: "MusicStreaming", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 6, reqLo: 100, reqHi: 260, respMu: 9.3, respSigma: 0.5, respFrames: 6, beaconEvery: 0}},
+		{Name: "SocialFeed", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 7, reqLo: 250, reqHi: 700, respMu: 8.9, respSigma: 0.9, respFrames: 7, beaconEvery: 35, beaconSize: 110}},
+		{Name: "Maps", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 12, reqLo: 200, reqHi: 450, respMu: 8.2, respSigma: 0.8, respFrames: 5, beaconEvery: 20, beaconSize: 130}},
+		{Name: "AppUpdates", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 90, reqLo: 300, reqHi: 600, respMu: 10.5, respSigma: 0.8, respFrames: 20, beaconEvery: 0}},
+		{Name: "Weather", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 70, reqLo: 150, reqHi: 320, respMu: 7.2, respSigma: 0.7, respFrames: 2, beaconEvery: 0}},
+		{Name: "MobileGame", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 2.5, reqLo: 80, reqHi: 220, respMu: 6.3, respSigma: 0.7, respFrames: 2, beaconEvery: 15, beaconSize: 95}},
+		{Name: "CloudSync", Category: BackgroundCategory, gen: genericParams{
+			reqGap: 40, reqLo: 240, reqHi: 520, respMu: 9.8, respSigma: 1.0, respFrames: 12, beaconEvery: 50, beaconSize: 84}},
+	}
+}
+
+// MergeSessions overlays several apps' sessions into one arrival stream
+// (one UE running a foreground app plus background noise), sorted by time.
+func MergeSessions(sessions ...[]Arrival) []Arrival {
+	var total int
+	for _, s := range sessions {
+		total += len(s)
+	}
+	out := make([]Arrival, 0, total)
+	for _, s := range sessions {
+		out = append(out, s...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}

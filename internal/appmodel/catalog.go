@@ -1,0 +1,54 @@
+package appmodel
+
+import "fmt"
+
+// The nine fingerprinted apps, in the order the paper's tables list them.
+// Names match the table rows; the two Facebook entries and two WhatsApp
+// entries are distinct apps (messenger versus call).
+func appCatalog() []App {
+	return []App{
+		{Name: "Netflix", Category: Streaming, gen: netflixParams()},
+		{Name: "YouTube", Category: Streaming, gen: youtubeParams()},
+		{Name: "Amazon Prime", Category: Streaming, gen: primeVideoParams()},
+		{Name: "Facebook", Category: Messaging, gen: facebookMessengerParams()},
+		{Name: "WhatsApp", Category: Messaging, gen: whatsAppParams()},
+		{Name: "Telegram", Category: Messaging, gen: telegramParams()},
+		{Name: "Facebook Call", Category: VoIP, gen: facebookCallParams()},
+		{Name: "WhatsApp Call", Category: VoIP, gen: whatsAppCallParams()},
+		{Name: "Skype", Category: VoIP, gen: skypeCallParams()},
+	}
+}
+
+// Apps returns the nine fingerprinted apps in table order.
+func Apps() []App { return appCatalog() }
+
+// ByCategory returns the three apps of one category in table order.
+func ByCategory(c Category) []App {
+	var out []App
+	for _, a := range appCatalog() {
+		if a.Category == c {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// ByName resolves an app by its table name.
+func ByName(name string) (App, error) {
+	for _, a := range appCatalog() {
+		if a.Name == name {
+			return a, nil
+		}
+	}
+	return App{}, fmt.Errorf("appmodel: unknown app %q", name)
+}
+
+// Names returns the nine app names in table order.
+func Names() []string {
+	apps := appCatalog()
+	out := make([]string, len(apps))
+	for i, a := range apps {
+		out[i] = a.Name
+	}
+	return out
+}

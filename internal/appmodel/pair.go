@@ -1,0 +1,60 @@
+package appmodel
+
+import (
+	"sort"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+// Paired generates the two sides of one conversation over the given app:
+// the caller's session plus the callee's session derived from it. What the
+// caller uplinks, the callee downlinks a network-transit delay later (and
+// vice versa), with per-frame jitter and relay-induced size perturbation —
+// the coupling the correlation attack (§III-D) detects with DTW. Both
+// returned slices are sorted by time.
+//
+// Paired panics if the app is a streaming app: streamed video has no second
+// participant, and the paper's correlation attack covers messaging and VoIP
+// only.
+func Paired(a App, g *sim.RNG, dur time.Duration, day int, env Env) (caller, callee []Arrival) {
+	if a.Category == Streaming {
+		panic("appmodel: Paired called with a streaming app")
+	}
+	caller = a.SessionEnv(g, dur, day, env)
+	callee = make([]Arrival, 0, len(caller))
+	// One-way transit through the relay/server path.
+	transit := g.Uniform(0.04, 0.12)
+	for _, ar := range caller {
+		mirrored := Arrival{Bytes: perturbSize(g, ar.Bytes)}
+		switch ar.Dir {
+		case dci.Uplink:
+			// Caller sent it; callee receives it a transit later.
+			mirrored.At = ar.At + secs(transit+g.Uniform(0, 0.03))
+			mirrored.Dir = dci.Downlink
+		case dci.Downlink:
+			// Caller received it, so the callee must have sent it earlier.
+			mirrored.At = ar.At - secs(transit+g.Uniform(0, 0.03))
+			mirrored.Dir = dci.Uplink
+		}
+		if mirrored.At < 0 || mirrored.At >= dur {
+			continue
+		}
+		callee = append(callee, mirrored)
+	}
+	// The callee's own client-side chatter (keepalives, UI sync) is
+	// independent of the caller's.
+	for t := secs(g.Uniform(1, 5)); t < dur; t += secs(g.Exponential(12)) {
+		callee = append(callee, Arrival{At: t, Bytes: 60 + g.IntN(60), Dir: dci.Uplink})
+	}
+	sort.SliceStable(callee, func(i, j int) bool { return callee[i].At < callee[j].At })
+	return caller, callee
+}
+
+// perturbSize models relay re-framing: sizes survive transit to within a
+// few percent plus a small header delta.
+func perturbSize(g *sim.RNG, b int) int {
+	v := float64(b)*g.Uniform(0.96, 1.04) + g.Uniform(-8, 8)
+	return clampBytes(v, 32, 16*1024)
+}

@@ -1,0 +1,156 @@
+package appmodel
+
+import (
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+// streamingParams model adaptive-bitrate video delivery: a large startup
+// buffer fill followed by periodic segment refills, with sparse uplink
+// acknowledgement and telemetry traffic. The three streaming apps differ in
+// refill cadence, chunk sizing, and segment-size distribution, matching the
+// paper's pilot observations (§IV-B).
+type streamingParams struct {
+	// startupBytes is the mean size of the initial buffer fill.
+	startupBytes float64
+	// startupSpread is the relative spread of the startup fill.
+	startupSpread float64
+	// startupPace is the mean gap between segments during startup, seconds.
+	startupPace float64
+
+	// refillPeriod is the mean gap between steady-state refill bursts.
+	refillPeriod float64
+	// refillJitter is the relative jitter of the refill period.
+	refillJitter float64
+	// chunkBytes is the mean bytes delivered per refill burst.
+	chunkBytes float64
+	// chunkSpread is the relative spread of the chunk size.
+	chunkSpread float64
+	// pace is the mean gap between segments inside a burst, seconds.
+	pace float64
+
+	// segUniform selects a uniform segment-size distribution (Netflix's
+	// "almost uniform between 0 and 4000 bytes"); otherwise lognormal.
+	segUniform   bool
+	segLo, segHi int     // uniform bounds
+	segMu        float64 // lognormal location (of bytes)
+	segSigma     float64 // lognormal scale
+
+	// ulPerSeg is the probability a segment triggers an uplink ACK/report.
+	ulPerSeg   float64
+	ulLo, ulHi int
+	// telemetryEvery is the period of uplink quality reports, seconds.
+	telemetryEvery float64
+	telemetryBytes int
+}
+
+func (p streamingParams) session(g *sim.RNG, dur time.Duration, d Drift, _ Env) []Arrival {
+	var out []Arrival
+	emitSeg := func(t time.Duration, remaining float64) (time.Duration, float64) {
+		size := p.sampleSeg(g, d)
+		if float64(size) > remaining {
+			size = int(remaining)
+		}
+		if size < 64 {
+			size = 64
+		}
+		out = append(out, Arrival{At: t, Bytes: size, Dir: dci.Downlink})
+		if g.Bool(p.ulPerSeg) {
+			lag := secs(g.Uniform(0.002, 0.03))
+			out = append(out, Arrival{
+				At:    t + lag,
+				Bytes: g.UniformInt(p.ulLo, p.ulHi),
+				Dir:   dci.Uplink,
+			})
+		}
+		return t + secs(g.Exponential(d.scaleIvl(p.pace))), remaining - float64(size)
+	}
+
+	// Startup buffer fill: heavy, fast-paced delivery right after open.
+	t := secs(g.Uniform(0.05, 0.4)) // app open / manifest fetch delay
+	out = append(out, Arrival{At: t, Bytes: g.UniformInt(300, 900), Dir: dci.Uplink})
+	budget := d.scaleSize(g.Normal(p.startupBytes, p.startupBytes*p.startupSpread))
+	for budget > 0 && t < dur {
+		t, budget = emitSeg(t, budget)
+		// Startup pacing is tighter than steady-state pacing.
+		t += secs(g.Exponential(p.startupPace))
+	}
+
+	// Steady state: periodic refill bursts.
+	nextTelemetry := t + secs(p.telemetryEvery)
+	for t < dur {
+		gap := d.scaleIvl(p.refillPeriod) * g.Uniform(1-p.refillJitter, 1+p.refillJitter)
+		t += secs(gap)
+		if t >= dur {
+			break
+		}
+		chunk := d.scaleSize(g.Normal(p.chunkBytes, p.chunkBytes*p.chunkSpread))
+		bt := t
+		for chunk > 0 && bt < dur {
+			bt, chunk = emitSeg(bt, chunk)
+		}
+		for nextTelemetry < bt && nextTelemetry < dur {
+			out = append(out, Arrival{
+				At:    nextTelemetry,
+				Bytes: p.telemetryBytes + g.IntN(40),
+				Dir:   dci.Uplink,
+			})
+			nextTelemetry += secs(p.telemetryEvery * g.Uniform(0.9, 1.1))
+		}
+	}
+	return out
+}
+
+func (p streamingParams) sampleSeg(g *sim.RNG, d Drift) int {
+	if p.segUniform {
+		lo := float64(p.segLo)
+		hi := d.scaleSize(float64(p.segHi))
+		return clampBytes(g.Uniform(lo, hi), p.segLo, 16*1024)
+	}
+	return clampBytes(d.scaleSize(g.LogNormal(p.segMu, p.segSigma)), 80, 16*1024)
+}
+
+var _ generator = streamingParams{}
+
+// netflixParams: uniform 0–4000 B segments, long gaps between large refill
+// bursts, big startup buffer (§IV-B: "frame sizes distribute almost
+// uniformly between 0 and 4000 bytes, and the intervals between traffic
+// bursts are relatively long").
+func netflixParams() streamingParams {
+	return streamingParams{
+		startupBytes: 7.5e6, startupSpread: 0.25, startupPace: 0.004,
+		refillPeriod: 4.2, refillJitter: 0.3,
+		chunkBytes: 1.6e6, chunkSpread: 0.3, pace: 0.0015,
+		segUniform: true, segLo: 120, segHi: 4000,
+		ulPerSeg: 0.035, ulLo: 52, ulHi: 120,
+		telemetryEvery: 10, telemetryBytes: 260,
+	}
+}
+
+// youtubeParams: near-continuous delivery with short, frequent bursts and
+// lognormal segment sizes.
+func youtubeParams() streamingParams {
+	return streamingParams{
+		startupBytes: 4.0e6, startupSpread: 0.3, startupPace: 0.0025,
+		refillPeriod: 1.1, refillJitter: 0.45,
+		chunkBytes: 2.6e5, chunkSpread: 0.4, pace: 0.004,
+		segUniform: false, segMu: 7.05, segSigma: 0.55, // median ≈ 1150 B
+		ulPerSeg: 0.05, ulLo: 60, ulHi: 140,
+		telemetryEvery: 5, telemetryBytes: 320,
+	}
+}
+
+// primeVideoParams: between the other two — medium cadence, mid-size
+// uniform-ish segments.
+func primeVideoParams() streamingParams {
+	return streamingParams{
+		startupBytes: 5.5e6, startupSpread: 0.25, startupPace: 0.006,
+		refillPeriod: 2.2, refillJitter: 0.35,
+		chunkBytes: 1.15e6, chunkSpread: 0.3, pace: 0.0017,
+		segUniform: true, segLo: 500, segHi: 2800,
+		ulPerSeg: 0.04, ulLo: 56, ulHi: 128,
+		telemetryEvery: 8, telemetryBytes: 240,
+	}
+}

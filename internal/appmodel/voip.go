@@ -1,0 +1,147 @@
+package appmodel
+
+import (
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+// voipParams model packet voice: fixed-cadence codec frames flowing in both
+// directions for the whole call, shaped by a talk-spurt/silence alternation
+// with comfort-noise frames during silence, plus periodic RTCP-style
+// control. VoIP is "the only class of mobile apps with a significant and
+// similar amount of data transmitted in both directions" (§IV-B), and that
+// symmetry — visible as matched DCI format 0/1A streams — is what the
+// correlation attack ultimately keys on.
+type voipParams struct {
+	// frameEvery is the codec packetisation interval, seconds (0.02 = 20 ms).
+	frameEvery float64
+	// frameMean and frameSigma describe the voice frame payload size.
+	frameMean  float64
+	frameSigma float64
+
+	// talkMean and silenceMean are the mean talk-spurt and silence-gap
+	// lengths in seconds for each direction's on/off voice-activity model.
+	talkMean    float64
+	silenceMean float64
+	// sidEvery is the comfort-noise frame period during silence, seconds
+	// (0 disables silence suppression: frames flow continuously).
+	sidEvery float64
+	sidSize  int
+
+	// controlEvery is the RTCP-style report period, seconds.
+	controlEvery float64
+	controlSize  int
+
+	// stepProb is the per-spurt probability the adaptive codec switches
+	// bitrate step, scaling the frame size (Skype behaviour).
+	stepProb  float64
+	stepScale float64
+}
+
+func (p voipParams) session(g *sim.RNG, dur time.Duration, d Drift, env Env) []Arrival {
+	// Adaptive voice codecs react to network conditions: on a poor channel
+	// they switch bitrate steps often and their frame sizes spread out; on
+	// a pristine lab channel they sit near their nominal rate.
+	poor := env.Poor()
+	p.stepProb *= 0.2 + 6*poor
+	p.frameSigma *= 0.8 + 1.8*poor
+	var out []Arrival
+	// Call setup handshake.
+	setup := secs(g.Uniform(0.2, 1.2))
+	out = append(out,
+		Arrival{At: setup / 2, Bytes: g.UniformInt(300, 700), Dir: dci.Uplink},
+		Arrival{At: setup, Bytes: g.UniformInt(300, 700), Dir: dci.Downlink},
+	)
+
+	for _, dir := range []dci.Direction{dci.Uplink, dci.Downlink} {
+		p.voiceStream(g, dur, d, dir, setup, &out)
+	}
+
+	// Bidirectional control reports.
+	for t := setup + secs(p.controlEvery); t < dur; t += secs(p.controlEvery * g.Uniform(0.9, 1.1)) {
+		out = append(out,
+			Arrival{At: t, Bytes: p.controlSize + g.IntN(24), Dir: dci.Uplink},
+			Arrival{At: t + secs(g.Uniform(0.01, 0.06)), Bytes: p.controlSize + g.IntN(24), Dir: dci.Downlink},
+		)
+	}
+	return out
+}
+
+// voiceStream emits one direction's voice frames using an on/off
+// voice-activity model.
+func (p voipParams) voiceStream(g *sim.RNG, dur time.Duration, d Drift, dir dci.Direction, start time.Duration, out *[]Arrival) {
+	t := start
+	scale := 1.0
+	talking := g.Bool(0.6)
+	for t < dur {
+		if talking {
+			spurt := secs(g.Exponential(p.talkMean))
+			if g.Bool(p.stepProb) {
+				scale *= p.stepScale
+				if scale > 1.8 || scale < 0.55 {
+					scale = 1.0
+				}
+			}
+			end := t + spurt
+			for t < end && t < dur {
+				size := d.scaleSize(g.Normal(p.frameMean*scale, p.frameSigma))
+				*out = append(*out, Arrival{At: t, Bytes: clampBytes(size, 32, 512), Dir: dir})
+				t += secs(p.frameEvery * g.Uniform(0.97, 1.03))
+			}
+		} else {
+			gap := secs(g.Exponential(p.silenceMean))
+			end := t + gap
+			if p.sidEvery > 0 {
+				for t < end && t < dur {
+					*out = append(*out, Arrival{At: t, Bytes: p.sidSize + g.IntN(8), Dir: dir})
+					t += secs(p.sidEvery)
+				}
+			} else {
+				// No silence suppression: keep sending voice frames.
+				for t < end && t < dur {
+					size := d.scaleSize(g.Normal(p.frameMean, p.frameSigma))
+					*out = append(*out, Arrival{At: t, Bytes: clampBytes(size, 32, 512), Dir: dir})
+					t += secs(p.frameEvery * g.Uniform(0.97, 1.03))
+				}
+			}
+			t = end
+		}
+		talking = !talking
+	}
+}
+
+var _ generator = voipParams{}
+
+// facebookCallParams: mid-size frames, mild silence suppression, frequent
+// control traffic.
+func facebookCallParams() voipParams {
+	return voipParams{
+		frameEvery: 0.02, frameMean: 118, frameSigma: 16,
+		talkMean: 3.2, silenceMean: 1.4, sidEvery: 0.16, sidSize: 44,
+		controlEvery: 2.5, controlSize: 128,
+		stepProb: 0.04, stepScale: 1.2,
+	}
+}
+
+// whatsAppCallParams: small Opus frames, aggressive silence suppression.
+func whatsAppCallParams() voipParams {
+	return voipParams{
+		frameEvery: 0.02, frameMean: 92, frameSigma: 13,
+		talkMean: 2.8, silenceMean: 1.8, sidEvery: 0.2, sidSize: 36,
+		controlEvery: 4, controlSize: 96,
+		stepProb: 0.03, stepScale: 1.25,
+	}
+}
+
+// skypeCallParams: larger SILK frames, no silence suppression (continuous
+// flow), adaptive bitrate stepping.
+func skypeCallParams() voipParams {
+	return voipParams{
+		frameEvery: 0.02, frameMean: 150, frameSigma: 24,
+		talkMean: 3.5, silenceMean: 1.2, sidEvery: 0, sidSize: 0,
+		controlEvery: 2, controlSize: 160,
+		stepProb: 0.12, stepScale: 1.25,
+	}
+}

@@ -1,0 +1,201 @@
+// Package correlation implements Attack III of the paper: deciding whether
+// two users are talking to each other from nothing but their radio-layer
+// traffic patterns. Each user's trace is reduced to a per-second
+// traffic-rate series (the paper's T_w = 1 s windows of T_a frames), pairs
+// of series are compared with dynamic time warping (Eq. 1, Table VI), and a
+// logistic regression over the similarity evidence decides contact versus
+// coincidence (Table VII).
+package correlation
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/ml/dtw"
+	"ltefp/internal/ml/logreg"
+	"ltefp/internal/trace"
+)
+
+// DefaultBin is the paper's default similarity window T_w.
+const DefaultBin = time.Second
+
+// RateSeries reduces a trace to per-bin frame counts over [start, end).
+func RateSeries(t trace.Trace, bin, start, end time.Duration) []float64 {
+	if bin <= 0 {
+		panic("correlation: non-positive bin")
+	}
+	n := int((end - start + bin - 1) / bin) // ceil: a partial last bin counts
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, r := range t {
+		if r.At < start || r.At >= end {
+			continue
+		}
+		out[int((r.At-start)/bin)]++
+	}
+	return out
+}
+
+// ByteRateSeries reduces a trace to per-bin byte volumes over [start, end).
+func ByteRateSeries(t trace.Trace, bin, start, end time.Duration) []float64 {
+	if bin <= 0 {
+		panic("correlation: non-positive bin")
+	}
+	n := int((end - start + bin - 1) / bin)
+	if n <= 0 {
+		return nil
+	}
+	out := make([]float64, n)
+	for _, r := range t {
+		if r.At < start || r.At >= end {
+			continue
+		}
+		out[int((r.At-start)/bin)] += float64(r.Bytes)
+	}
+	return out
+}
+
+// Evidence is the per-pair feature vector the contact classifier consumes,
+// plus the ground-truth label used in training and evaluation.
+type Evidence struct {
+	// Similarity is D(T_w, T_a): the DTW similarity of the two users'
+	// frame-rate series — the quantity Table VI reports.
+	Similarity float64
+	// ByteSimilarity is the DTW similarity of the byte-rate series.
+	ByteSimilarity float64
+	// CrossUD is the peak normalised cross-correlation between one side's
+	// uplink byte rate and the other side's downlink byte rate (what A
+	// sends, B receives).
+	CrossUD float64
+	// VolumeRatio is min/max of the two users' total traffic volumes.
+	VolumeRatio float64
+
+	// Communicating is the ground truth.
+	Communicating bool
+}
+
+// vector flattens the evidence for the logistic regression.
+func (e Evidence) vector() []float64 {
+	return []float64{e.Similarity, e.ByteSimilarity, e.CrossUD, e.VolumeRatio}
+}
+
+// featureNames names the evidence features.
+var featureNames = []string{"dtw_rate", "dtw_bytes", "cross_ud", "volume_ratio"}
+
+// PairEvidence computes the evidence for two users' traces over the common
+// span [start, end).
+func PairEvidence(a, b trace.Trace, bin, start, end time.Duration) Evidence {
+	ra := RateSeries(a, bin, start, end)
+	rb := RateSeries(b, bin, start, end)
+	ba := ByteRateSeries(a, bin, start, end)
+	bb := ByteRateSeries(b, bin, start, end)
+
+	aUL := ByteRateSeries(a.FilterDirection(dci.Uplink), bin, start, end)
+	bDL := ByteRateSeries(b.FilterDirection(dci.Downlink), bin, start, end)
+	aDL := ByteRateSeries(a.FilterDirection(dci.Downlink), bin, start, end)
+	bUL := ByteRateSeries(b.FilterDirection(dci.Uplink), bin, start, end)
+
+	cross := math.Max(peakCrossCorr(aUL, bDL, 3), peakCrossCorr(bUL, aDL, 3))
+
+	volA, volB := sum(ba), sum(bb)
+	ratio := 0.0
+	if volA > 0 && volB > 0 {
+		ratio = math.Min(volA, volB) / math.Max(volA, volB)
+	}
+	return Evidence{
+		Similarity:     dtw.Similarity(ra, rb),
+		ByteSimilarity: dtw.Similarity(ba, bb),
+		CrossUD:        cross,
+		VolumeRatio:    ratio,
+	}
+}
+
+// peakCrossCorr returns the maximum Pearson correlation between x and y
+// over integer lags in [-maxLag, maxLag], clamped to [0, 1].
+func peakCrossCorr(x, y []float64, maxLag int) float64 {
+	best := 0.0
+	for lag := -maxLag; lag <= maxLag; lag++ {
+		if c := corrAtLag(x, y, lag); c > best {
+			best = c
+		}
+	}
+	return best
+}
+
+// corrAtLag computes Pearson correlation of x[i] against y[i+lag].
+func corrAtLag(x, y []float64, lag int) float64 {
+	var xs, ys []float64
+	for i := range x {
+		j := i + lag
+		if j < 0 || j >= len(y) {
+			continue
+		}
+		xs = append(xs, x[i])
+		ys = append(ys, y[j])
+	}
+	if len(xs) < 3 {
+		return 0
+	}
+	mx, my := mean(xs), mean(ys)
+	var num, dx, dy float64
+	for i := range xs {
+		a, b := xs[i]-mx, ys[i]-my
+		num += a * b
+		dx += a * a
+		dy += b * b
+	}
+	if dx <= 0 || dy <= 0 {
+		return 0
+	}
+	return num / math.Sqrt(dx*dy)
+}
+
+func mean(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	return sum(v) / float64(len(v))
+}
+
+func sum(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x
+	}
+	return s
+}
+
+// Model is the trained contact classifier.
+type Model struct {
+	lr *logreg.Model
+}
+
+// classNames for the binary decision.
+var classNames = []string{"independent", "communicating"}
+
+// TrainModel fits the logistic regression on labelled evidence.
+func TrainModel(samples []Evidence, seed uint64) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("correlation: no training samples")
+	}
+	ds := newEvidenceDataset(samples)
+	m, err := logreg.Train(ds, logreg.Config{C: 1, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("correlation: %w", err)
+	}
+	return &Model{lr: m}, nil
+}
+
+// Predict reports whether the evidence indicates contact.
+func (m *Model) Predict(e Evidence) bool {
+	return m.lr.Predict(e.vector()) == 1
+}
+
+// Score returns the model's contact probability.
+func (m *Model) Score(e Evidence) float64 {
+	return m.lr.PredictProba(e.vector())[1]
+}

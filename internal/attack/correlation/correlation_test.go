@@ -1,0 +1,206 @@
+package correlation_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/correlation"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/trace"
+)
+
+const sec = time.Second
+
+func TestRateSeries(t *testing.T) {
+	tr := trace.Trace{
+		{At: 100 * time.Millisecond, Bytes: 10},
+		{At: 900 * time.Millisecond, Bytes: 20},
+		{At: 1500 * time.Millisecond, Bytes: 30},
+		{At: 5 * sec, Bytes: 40}, // outside [0, 3s)
+	}
+	got := correlation.RateSeries(tr, sec, 0, 3*sec)
+	want := []float64{2, 1, 0}
+	if len(got) != len(want) {
+		t.Fatalf("series length %d", len(got))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bin %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	bytes := correlation.ByteRateSeries(tr, sec, 0, 3*sec)
+	if bytes[0] != 30 || bytes[1] != 30 || bytes[2] != 0 {
+		t.Fatalf("byte series = %v", bytes)
+	}
+}
+
+func TestRateSeriesPanicsOnBadBin(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad bin accepted")
+		}
+	}()
+	correlation.RateSeries(nil, 0, 0, sec)
+}
+
+// mirrorTraces builds a synthetic communicating pair: B receives what A
+// sends, one bin later.
+func mirrorTraces(n int) (a, b trace.Trace) {
+	for i := 0; i < n; i++ {
+		at := time.Duration(i) * sec
+		// A speaks in bursts every third second.
+		if i%3 == 0 {
+			for j := 0; j < 5; j++ {
+				a = append(a, trace.Record{At: at, Dir: dci.Uplink, Bytes: 150})
+				b = append(b, trace.Record{At: at + 80*time.Millisecond, Dir: dci.Downlink, Bytes: 150})
+			}
+		}
+		a = append(a, trace.Record{At: at, Dir: dci.Downlink, Bytes: 60})
+		b = append(b, trace.Record{At: at, Dir: dci.Uplink, Bytes: 60})
+	}
+	return a, b
+}
+
+func independentTrace(n, phase int) trace.Trace {
+	var out trace.Trace
+	for i := 0; i < n; i++ {
+		if (i+phase)%4 < 2 {
+			for j := 0; j < 3+((i*7+phase)%4); j++ {
+				out = append(out, trace.Record{
+					At:  time.Duration(i)*sec + time.Duration(j*37)*time.Millisecond,
+					Dir: dci.Downlink, Bytes: 100 + (i*13+phase*29)%200,
+				})
+			}
+		}
+	}
+	return out
+}
+
+func TestPairEvidenceSeparates(t *testing.T) {
+	a, b := mirrorTraces(60)
+	talking := correlation.PairEvidence(a, b, sec, 0, 60*sec)
+	x := independentTrace(60, 0)
+	y := independentTrace(60, 2)
+	apart := correlation.PairEvidence(x, y, sec, 0, 60*sec)
+
+	if talking.Similarity <= apart.Similarity {
+		t.Fatalf("communicating similarity %.3f not above independent %.3f",
+			talking.Similarity, apart.Similarity)
+	}
+	if talking.CrossUD <= apart.CrossUD {
+		t.Fatalf("communicating cross-correlation %.3f not above independent %.3f",
+			talking.CrossUD, apart.CrossUD)
+	}
+	if talking.VolumeRatio < 0.8 {
+		t.Fatalf("mirrored volumes ratio %.3f", talking.VolumeRatio)
+	}
+}
+
+func TestModelLearnsContact(t *testing.T) {
+	var samples []correlation.Evidence
+	for i := 0; i < 12; i++ {
+		a, b := mirrorTraces(40 + i)
+		e := correlation.PairEvidence(a, b, sec, 0, time.Duration(40+i)*sec)
+		e.Communicating = true
+		samples = append(samples, e)
+
+		x := independentTrace(40+i, i)
+		y := independentTrace(40+i, i+3)
+		e2 := correlation.PairEvidence(x, y, sec, 0, time.Duration(40+i)*sec)
+		samples = append(samples, e2)
+	}
+	m, err := correlation.TrainModel(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := mirrorTraces(55)
+	pos := correlation.PairEvidence(a, b, sec, 0, 55*sec)
+	if !m.Predict(pos) {
+		t.Fatalf("missed a communicating pair (score %.3f)", m.Score(pos))
+	}
+	x := independentTrace(55, 1)
+	y := independentTrace(55, 5)
+	neg := correlation.PairEvidence(x, y, sec, 0, 55*sec)
+	if m.Predict(neg) {
+		t.Fatalf("false contact on independent pair (score %.3f)", m.Score(neg))
+	}
+	if m.Score(pos) <= m.Score(neg) {
+		t.Fatal("scores not ordered")
+	}
+}
+
+func TestTrainModelEmpty(t *testing.T) {
+	if _, err := correlation.TrainModel(nil, 1); err == nil {
+		t.Fatal("empty training accepted")
+	}
+}
+
+func TestCollectPairEndToEnd(t *testing.T) {
+	app, err := appmodel.ByName("WhatsApp Call")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos, err := correlation.CollectPair(correlation.PairSpec{
+		Profile:       operator.Lab(),
+		App:           app,
+		Communicating: true,
+		Duration:      20 * sec,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	neg, err := correlation.CollectPair(correlation.PairSpec{
+		Profile:       operator.Lab(),
+		App:           app,
+		Communicating: false,
+		Duration:      20 * sec,
+		Seed:          5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pos.Communicating || neg.Communicating {
+		t.Fatal("labels wrong")
+	}
+	if pos.Similarity <= neg.Similarity {
+		t.Fatalf("simulated conversation similarity %.3f not above coincidence %.3f",
+			pos.Similarity, neg.Similarity)
+	}
+}
+
+func TestCollectPairRejectsStreaming(t *testing.T) {
+	app, err := appmodel.ByName("Netflix")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := correlation.CollectPair(correlation.PairSpec{
+		Profile: operator.Lab(), App: app, Duration: sec,
+	}); err == nil {
+		t.Fatal("streaming app accepted")
+	}
+}
+
+func TestCollectPairsLayout(t *testing.T) {
+	app, err := appmodel.ByName("Telegram")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev, err := correlation.CollectPairs(correlation.PairSpec{
+		Profile:  operator.Lab(),
+		App:      app,
+		Duration: 15 * sec,
+		Seed:     6,
+	}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 4 {
+		t.Fatalf("%d evidence samples, want 4", len(ev))
+	}
+	if !ev[0].Communicating || !ev[1].Communicating || ev[2].Communicating || ev[3].Communicating {
+		t.Fatal("label layout wrong: want communicating pairs first")
+	}
+}

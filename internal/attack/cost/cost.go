@@ -1,0 +1,164 @@
+// Package cost implements the paper's analytical attacker cost model
+// (§VII-D, Fig. 7, Eqs. 2–3): what it costs an adversary to build, run, and
+// *keep* running the fingerprinting pipeline, given that traffic drift
+// forces periodic retraining. Costs are expressed in abstract work units
+// per instance (the paper never fixes a currency for the per-task terms)
+// plus a hardware term priced from the paper's $500–1,000-per-sniffer
+// estimate.
+package cost
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Params are the model's inputs, named after the paper's symbols.
+type Params struct {
+	// TrainApps is A_t, the number of apps to fingerprint.
+	TrainApps int
+	// VersionsPerApp is A_v, the number of sufficiently different versions
+	// of each app.
+	VersionsPerApp int
+	// InstancesPerApp is A_i, the traces recorded per app version.
+	InstancesPerApp int
+
+	// CollectUnit is the cost of recording one instance (Col_cost term).
+	CollectUnit float64
+	// FeatureUnit is F_m, the cost of measuring features for one instance.
+	FeatureUnit float64
+	// TrainUnit is T_s, the cost of training on one instance.
+	TrainUnit float64
+	// ClassifyUnit is the per-instance classification cost (T_c use).
+	ClassifyUnit float64
+
+	// Victims is V_n, the number of targeted victims.
+	Victims int
+	// AppsPerVictim is A_a, the average number of apps each victim runs.
+	AppsPerVictim int
+
+	// RetrainPeriodDays is D: after this many days the classifier has
+	// drifted below the performance threshold X and must be retrained.
+	RetrainPeriodDays int
+	// PerformanceThreshold is X, the F-score floor the attacker maintains.
+	PerformanceThreshold float64
+
+	// Sniffers and SnifferUnitUSD price the hardware (the paper estimates
+	// 500–1,000 USD per SDR-based sniffer).
+	Sniffers       int
+	SnifferUnitUSD float64
+}
+
+// Defaults returns the running example used by the experiments: the
+// paper's nine apps, the 70% threshold, and the ~7-day drift horizon
+// measured in Fig. 8.
+func Defaults() Params {
+	return Params{
+		TrainApps:            9,
+		VersionsPerApp:       2,
+		InstancesPerApp:      10,
+		CollectUnit:          1.0,
+		FeatureUnit:          0.2,
+		TrainUnit:            0.5,
+		ClassifyUnit:         0.05,
+		Victims:              5,
+		AppsPerVictim:        4,
+		RetrainPeriodDays:    7,
+		PerformanceThreshold: 0.70,
+		Sniffers:             3,
+		SnifferUnitUSD:       750,
+	}
+}
+
+// Validate checks the parameters.
+func (p Params) Validate() error {
+	switch {
+	case p.TrainApps <= 0 || p.VersionsPerApp <= 0 || p.InstancesPerApp <= 0:
+		return fmt.Errorf("cost: A_t, A_v, A_i must be positive")
+	case p.Victims < 0 || p.AppsPerVictim < 0:
+		return fmt.Errorf("cost: V_n and A_a must be non-negative")
+	case p.RetrainPeriodDays <= 0:
+		return fmt.Errorf("cost: retrain period D must be positive")
+	case p.PerformanceThreshold <= 0 || p.PerformanceThreshold >= 1:
+		return fmt.Errorf("cost: threshold X must lie in (0, 1)")
+	}
+	return nil
+}
+
+// RecordedInstances is A_n = A_t × A_v × A_i.
+func (p Params) RecordedInstances() int {
+	return p.TrainApps * p.VersionsPerApp * p.InstancesPerApp
+}
+
+// CollectingCost is Col_cost(A_n) — recording the training corpus (③).
+func (p Params) CollectingCost() float64 {
+	return float64(p.RecordedInstances()) * p.CollectUnit
+}
+
+// TrainingCost is Train_cost(A_n, F_m, T_c) = A_n × T_s with feature
+// measurement included (⑤).
+func (p Params) TrainingCost() float64 {
+	return float64(p.RecordedInstances()) * (p.FeatureUnit + p.TrainUnit)
+}
+
+// TestInstances is T_d = V_n × A_a.
+func (p Params) TestInstances() int {
+	return p.Victims * p.AppsPerVictim
+}
+
+// IdentificationCost is Col_cost(T_d) + Id_cost(T_d, F_m, T_c) (④⑥).
+func (p Params) IdentificationCost() float64 {
+	td := float64(p.TestInstances())
+	return td*p.CollectUnit + td*(p.FeatureUnit+p.ClassifyUnit)
+}
+
+// PerformanceCost is Eq. 2: the cost of standing up the attack and
+// identifying the victims' apps once.
+func (p Params) PerformanceCost() float64 {
+	return p.CollectingCost() + p.TrainingCost() + p.IdentificationCost()
+}
+
+// RetrainCost is Retrain_cost(A_n, F_m, T_c): one full re-collection and
+// retraining cycle (⑩).
+func (p Params) RetrainCost() float64 {
+	return p.CollectingCost() + p.TrainingCost()
+}
+
+// DailyRetrainCost is Retrain_cost / D — the amortised daily spend needed
+// to hold the classifier above X.
+func (p Params) DailyRetrainCost() float64 {
+	return p.RetrainCost() / float64(p.RetrainPeriodDays)
+}
+
+// TotalCost is Eq. 3 over a monitoring horizon of the given number of
+// days: the one-off performance cost, plus — because drift drops the
+// classifier below X every D days (Fig. 8) — the amortised retraining term
+// for every monitored day.
+func (p Params) TotalCost(horizonDays int) float64 {
+	if horizonDays < 0 {
+		horizonDays = 0
+	}
+	return p.PerformanceCost() + float64(horizonDays)*p.DailyRetrainCost()
+}
+
+// HardwareUSD prices the sniffer fleet.
+func (p Params) HardwareUSD() float64 {
+	return float64(p.Sniffers) * p.SnifferUnitUSD
+}
+
+// Breakdown renders the Fig. 7 cost structure for a monitoring horizon.
+func (p Params) Breakdown(horizonDays int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attacker cost model (work units; paper Eqs. 2-3)\n")
+	fmt.Fprintf(&b, "  A_n recorded instances         %8d  (A_t=%d × A_v=%d × A_i=%d)\n",
+		p.RecordedInstances(), p.TrainApps, p.VersionsPerApp, p.InstancesPerApp)
+	fmt.Fprintf(&b, "  ③ collecting                   %8.1f\n", p.CollectingCost())
+	fmt.Fprintf(&b, "  ⑤ training                     %8.1f\n", p.TrainingCost())
+	fmt.Fprintf(&b, "  ④⑥ identification (T_d=%d)     %8.1f\n", p.TestInstances(), p.IdentificationCost())
+	fmt.Fprintf(&b, "  Perf() one-off (Eq. 2)         %8.1f\n", p.PerformanceCost())
+	fmt.Fprintf(&b, "  ⑩ retrain cycle (every %d d)    %8.1f  (%.1f/day)\n",
+		p.RetrainPeriodDays, p.RetrainCost(), p.DailyRetrainCost())
+	fmt.Fprintf(&b, "  Cost() over %3d days (Eq. 3)   %8.1f\n", horizonDays, p.TotalCost(horizonDays))
+	fmt.Fprintf(&b, "  hardware: %d sniffers × $%.0f = $%.0f\n",
+		p.Sniffers, p.SnifferUnitUSD, p.HardwareUSD())
+	return b.String()
+}

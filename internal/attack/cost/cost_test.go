@@ -1,0 +1,116 @@
+package cost_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"ltefp/internal/attack/cost"
+)
+
+func params() cost.Params {
+	return cost.Params{
+		TrainApps:            9,
+		VersionsPerApp:       2,
+		InstancesPerApp:      10,
+		CollectUnit:          1,
+		FeatureUnit:          0.2,
+		TrainUnit:            0.5,
+		ClassifyUnit:         0.05,
+		Victims:              5,
+		AppsPerVictim:        4,
+		RetrainPeriodDays:    7,
+		PerformanceThreshold: 0.7,
+		Sniffers:             3,
+		SnifferUnitUSD:       750,
+	}
+}
+
+func almost(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestHandChecked(t *testing.T) {
+	p := params()
+	if p.RecordedInstances() != 180 { // 9 × 2 × 10
+		t.Fatalf("A_n = %d", p.RecordedInstances())
+	}
+	if !almost(p.CollectingCost(), 180) {
+		t.Fatalf("Col_cost = %v", p.CollectingCost())
+	}
+	if !almost(p.TrainingCost(), 180*0.7) {
+		t.Fatalf("Train_cost = %v", p.TrainingCost())
+	}
+	if p.TestInstances() != 20 { // 5 × 4
+		t.Fatalf("T_d = %d", p.TestInstances())
+	}
+	if !almost(p.IdentificationCost(), 20*1+20*0.25) {
+		t.Fatalf("Id_cost = %v", p.IdentificationCost())
+	}
+	wantPerf := 180 + 126 + 25.0
+	if !almost(p.PerformanceCost(), wantPerf) {
+		t.Fatalf("Perf = %v, want %v", p.PerformanceCost(), wantPerf)
+	}
+	if !almost(p.RetrainCost(), 180+126) {
+		t.Fatalf("Retrain = %v", p.RetrainCost())
+	}
+	if !almost(p.DailyRetrainCost(), 306.0/7) {
+		t.Fatalf("daily retrain = %v", p.DailyRetrainCost())
+	}
+	// Eq. 3 over 14 days: Perf + 14 × daily.
+	if !almost(p.TotalCost(14), wantPerf+14*306.0/7) {
+		t.Fatalf("Cost(14) = %v", p.TotalCost(14))
+	}
+	if !almost(p.TotalCost(0), wantPerf) {
+		t.Fatal("zero horizon should cost exactly Perf()")
+	}
+	if !almost(p.TotalCost(-5), wantPerf) {
+		t.Fatal("negative horizon should clamp to zero")
+	}
+	if !almost(p.HardwareUSD(), 2250) {
+		t.Fatalf("hardware = %v", p.HardwareUSD())
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := params()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []func(*cost.Params){
+		func(p *cost.Params) { p.TrainApps = 0 },
+		func(p *cost.Params) { p.Victims = -1 },
+		func(p *cost.Params) { p.RetrainPeriodDays = 0 },
+		func(p *cost.Params) { p.PerformanceThreshold = 1 },
+		func(p *cost.Params) { p.PerformanceThreshold = 0 },
+	}
+	for i, mutate := range cases {
+		p := params()
+		mutate(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+func TestDefaultsValid(t *testing.T) {
+	if err := cost.Defaults().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBreakdownMentionsEquations(t *testing.T) {
+	s := params().Breakdown(30)
+	for _, want := range []string{"Eq. 2", "Eq. 3", "sniffers"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("breakdown missing %q", want)
+		}
+	}
+}
+
+func TestMoreVictimsCostMore(t *testing.T) {
+	small := params()
+	big := params()
+	big.Victims = 500
+	if big.TotalCost(30) <= small.TotalCost(30) {
+		t.Fatal("500 victims cost no more than 5")
+	}
+}

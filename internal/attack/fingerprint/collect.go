@@ -1,0 +1,146 @@
+package fingerprint
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sniffer"
+	"ltefp/internal/trace"
+)
+
+// CollectSpec describes one labelled data-collection campaign: repeated
+// sessions of one app on one network, captured by the attacker's sniffer
+// and reduced to window vectors (the paper's steps ②–③).
+type CollectSpec struct {
+	// Profile is the network environment.
+	Profile operator.Profile
+	// App is the foreground app the victim runs.
+	App appmodel.App
+	// Sessions is how many independent traces to record.
+	Sessions int
+	// SessionDur is the length of each trace (the paper records 10-minute
+	// traces; shorter sessions trade fidelity for runtime).
+	SessionDur time.Duration
+	// Day selects the drift-model day (≤1 = training day).
+	Day int
+	// Seed namespaces this campaign's randomness.
+	Seed uint64
+	// Sniffer configures capture fidelity; combined with ApplyProfileLoss
+	// as in capture.Scenario.
+	Sniffer          sniffer.Config
+	ApplyProfileLoss bool
+	// BackgroundApps, when positive, runs this many noise apps on the
+	// victim's own UE alongside the foreground app (the Fig. 9 setting).
+	BackgroundApps int
+	// Window and Stride control feature windowing (defaults as in Config).
+	Window time.Duration
+	Stride time.Duration
+}
+
+// normalize applies the spec defaults.
+func (s CollectSpec) normalize() (CollectSpec, error) {
+	if s.Sessions <= 0 {
+		return s, fmt.Errorf("fingerprint: collect: no sessions requested")
+	}
+	if s.Window <= 0 {
+		s.Window = DefaultWindow
+	}
+	if s.Stride <= 0 {
+		s.Stride = s.Window
+	}
+	return s, nil
+}
+
+// CollectTraces runs the campaign and returns one victim radio trace per
+// session. Sessions run in parallel; output order and content are
+// deterministic in Seed.
+func CollectTraces(spec CollectSpec) ([]trace.Trace, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	traces := make([]trace.Trace, spec.Sessions)
+	errs := make([]error, spec.Sessions)
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := 0; i < spec.Sessions; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			traces[i], errs[i] = collectOne(spec, i)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("fingerprint: session %d: %w", i, err)
+		}
+	}
+	return traces, nil
+}
+
+// CollectPerSession runs the campaign and returns window vectors grouped
+// by session, enabling session-aware train/test splits.
+func CollectPerSession(spec CollectSpec) ([][][]float64, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	traces, err := CollectTraces(spec)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][][]float64, len(traces))
+	for i, t := range traces {
+		out[i] = WindowVectors(t, spec.Window, spec.Stride)
+	}
+	return out, nil
+}
+
+// Collect runs the campaign and returns the victim's window vectors, all
+// sessions concatenated.
+func Collect(spec CollectSpec) ([][]float64, error) {
+	perSession, err := CollectPerSession(spec)
+	if err != nil {
+		return nil, err
+	}
+	var out [][]float64
+	for _, vecs := range perSession {
+		out = append(out, vecs...)
+	}
+	return out, nil
+}
+
+// collectOne records a single session and returns the victim's trace.
+func collectOne(spec CollectSpec, session int) (trace.Trace, error) {
+	seed := spec.Seed*0x9E3779B9 + uint64(session)*0x85EBCA77 + 1
+	sess := capture.Session{
+		UE:       "victim",
+		CellID:   1,
+		App:      spec.App,
+		Start:    500 * time.Millisecond,
+		Duration: spec.SessionDur,
+		Day:      spec.Day,
+	}
+	if spec.BackgroundApps > 0 {
+		sess.Arrivals = mergedArrivals(spec, seed)
+	}
+	res, err := capture.Run(capture.Scenario{
+		Seed:             seed,
+		Cells:            []capture.Cell{{ID: 1, Profile: spec.Profile}},
+		Sessions:         []capture.Session{sess},
+		Sniffer:          spec.Sniffer,
+		ApplyProfileLoss: spec.ApplyProfileLoss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res.UserTrace("victim"), nil
+}

@@ -1,0 +1,44 @@
+package fingerprint
+
+import (
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/sim"
+)
+
+// mergedArrivals builds the victim's arrival stream for noisy sessions:
+// the foreground app overlaid with BackgroundApps noise apps started with
+// small mutual delays, reproducing the paper's Fig. 9 methodology ("we run
+// the 5 to 10 apps in the background with a delay of 3–4 seconds, chosen
+// randomly from the Google store's top 10 free apps including the 9 apps
+// we selected").
+func mergedArrivals(spec CollectSpec, seed uint64) []appmodel.Arrival {
+	g := sim.NewRNG(seed ^ 0xB0B0B0B0)
+	day := spec.Day
+	if day < 1 {
+		day = 1
+	}
+	env := appmodel.Env{Quality: (spec.Profile.CQIMean - 1) / 14}
+	sessions := make([][]appmodel.Arrival, 0, spec.BackgroundApps+1)
+	sessions = append(sessions, spec.App.SessionEnv(g, spec.SessionDur, day, env))
+
+	// Candidate pool: generic top-chart apps plus the nine targets.
+	pool := appmodel.BackgroundPool()
+	pool = append(pool, appmodel.Apps()...)
+	delay := time.Duration(0)
+	for i := 0; i < spec.BackgroundApps; i++ {
+		bg := pool[g.IntN(len(pool))]
+		delay += time.Duration(g.Uniform(3, 4) * float64(time.Second))
+		remaining := spec.SessionDur - delay
+		if remaining <= 0 {
+			continue
+		}
+		arr := bg.SessionEnv(g, remaining, day, env)
+		for j := range arr {
+			arr[j].At += delay
+		}
+		sessions = append(sessions, arr)
+	}
+	return appmodel.MergeSessions(sessions...)
+}

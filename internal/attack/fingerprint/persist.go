@@ -1,0 +1,61 @@
+package fingerprint
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/ml/forest"
+)
+
+// persisted is the on-disk layout of a trained classifier. Maps keyed by
+// custom types travel poorly across gob versions, so categories are stored
+// as a parallel slice.
+type persisted struct {
+	Window     time.Duration
+	Stride     time.Duration
+	Category   *forest.Forest
+	Categories []int
+	Forests    []*forest.Forest
+}
+
+// Save serialises the classifier with encoding/gob.
+func (c *Classifier) Save(w io.Writer) error {
+	p := persisted{
+		Window:   c.Window,
+		Stride:   c.Stride,
+		Category: c.Category,
+	}
+	for cat, f := range c.PerCategory {
+		p.Categories = append(p.Categories, int(cat))
+		p.Forests = append(p.Forests, f)
+	}
+	if err := gob.NewEncoder(w).Encode(p); err != nil {
+		return fmt.Errorf("fingerprint: saving classifier: %w", err)
+	}
+	return nil
+}
+
+// Load deserialises a classifier written by Save.
+func Load(r io.Reader) (*Classifier, error) {
+	var p persisted
+	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+		return nil, fmt.Errorf("fingerprint: loading classifier: %w", err)
+	}
+	if len(p.Categories) != len(p.Forests) {
+		return nil, fmt.Errorf("fingerprint: corrupt classifier: %d categories, %d forests",
+			len(p.Categories), len(p.Forests))
+	}
+	c := &Classifier{
+		Window:      p.Window,
+		Stride:      p.Stride,
+		Category:    p.Category,
+		PerCategory: make(map[appmodel.Category]*forest.Forest, len(p.Forests)),
+	}
+	for i, cat := range p.Categories {
+		c.PerCategory[appmodel.Category(cat)] = p.Forests[i]
+	}
+	return c, nil
+}

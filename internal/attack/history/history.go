@@ -1,0 +1,231 @@
+// Package history implements Attack II of the paper: reconstructing a
+// victim's movement between cell zones together with their per-location app
+// usage. The attacker pre-installs one sniffer per zone, tracks the victim
+// across zones by identity mapping (with IMSI-catcher assistance standing
+// in for cross-TMSI continuity, as the paper's threat model allows), and
+// runs the fingerprinting classifier over each per-zone trace segment. A
+// prediction whose window-vote confidence falls below the 70% stability
+// threshold is flagged unstable, matching the paper's empirical observation
+// that "the prediction results become unstable if the F-score falls below
+// 70%" (Table V).
+package history
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sniffer"
+)
+
+// StabilityThreshold is the confidence below which per-trace predictions
+// are considered unstable (the paper's 70% gate).
+const StabilityThreshold = 0.70
+
+// ZoneSession is one victim activity the attacker hopes to reconstruct:
+// the victim spends Duration in a zone running one app.
+type ZoneSession struct {
+	// Zone is the cell-zone identifier (the paper's A', B', C').
+	Zone int
+	// Day is the simulated day (drift applies relative to the training
+	// day, day 1).
+	Day int
+	// Start is the session start within its day.
+	Start time.Duration
+	// Duration is the session length (5–10 minutes in the paper).
+	Duration time.Duration
+	// App is the ground-truth app in use.
+	App appmodel.App
+}
+
+// Attempt is the attacker's reconstruction of one zone session.
+type Attempt struct {
+	Zone     int
+	Day      int
+	Start    time.Duration
+	Duration time.Duration
+
+	// TrueApp is the ground truth (for scoring).
+	TrueApp string
+	// TrueCategory is the ground-truth category.
+	TrueCategory appmodel.Category
+	// Predicted is the attacker's app prediction.
+	Predicted string
+	// PredictedCategory is the category of the prediction.
+	PredictedCategory appmodel.Category
+	// Confidence is the window-vote fraction backing the prediction (the
+	// Table V "F-score" column).
+	Confidence float64
+	// Windows is the number of classified windows.
+	Windows int
+	// Correct reports whether Predicted == TrueApp.
+	Correct bool
+	// Stable reports Confidence >= StabilityThreshold.
+	Stable bool
+}
+
+// Result is a full history-attack evaluation.
+type Result struct {
+	Attempts []Attempt
+	// Successes counts correct app predictions.
+	Successes int
+}
+
+// SuccessRate is the fraction of attempts whose app was identified.
+func (r *Result) SuccessRate() float64 {
+	if len(r.Attempts) == 0 {
+		return 0
+	}
+	return float64(r.Successes) / float64(len(r.Attempts))
+}
+
+// Config controls a history-attack run.
+type Config struct {
+	// Profile is the operator configuration of all zones (the paper runs
+	// this experiment on T-Mobile).
+	Profile operator.Profile
+	// Zones lists the zone identifiers to instantiate as cells.
+	Zones []int
+	// Sessions is the victim's itinerary.
+	Sessions []ZoneSession
+	// Seed namespaces the runs.
+	Seed uint64
+	// Sniffer configures capture fidelity per zone.
+	Sniffer          sniffer.Config
+	ApplyProfileLoss bool
+}
+
+// Run executes the attack: one capture per day across all zones, identity
+// mapping to stitch the victim's RNTIs together, then per-session
+// classification. The classifier must already be trained (on day-1 data).
+func Run(clf *fingerprint.Classifier, cfg Config) (*Result, error) {
+	if len(cfg.Zones) == 0 {
+		return nil, fmt.Errorf("history: no zones configured")
+	}
+	byDay := make(map[int][]ZoneSession)
+	for _, s := range cfg.Sessions {
+		if !containsInt(cfg.Zones, s.Zone) {
+			return nil, fmt.Errorf("history: session in unknown zone %d", s.Zone)
+		}
+		byDay[s.Day] = append(byDay[s.Day], s)
+	}
+	days := make([]int, 0, len(byDay))
+	for d := range byDay {
+		days = append(days, d)
+	}
+	sort.Ints(days)
+
+	res := &Result{}
+	for _, day := range days {
+		attempts, err := runDay(clf, cfg, day, byDay[day])
+		if err != nil {
+			return nil, fmt.Errorf("history: day %d: %w", day, err)
+		}
+		res.Attempts = append(res.Attempts, attempts...)
+	}
+	for _, a := range res.Attempts {
+		if a.Correct {
+			res.Successes++
+		}
+	}
+	return res, nil
+}
+
+// runDay captures one day's roaming and classifies each zone session.
+func runDay(clf *fingerprint.Classifier, cfg Config, day int, sessions []ZoneSession) ([]Attempt, error) {
+	cells := make([]capture.Cell, len(cfg.Zones))
+	for i, z := range cfg.Zones {
+		cells[i] = capture.Cell{ID: z, Profile: cfg.Profile}
+	}
+	capSessions := make([]capture.Session, len(sessions))
+	for i, s := range sessions {
+		capSessions[i] = capture.Session{
+			UE:       "victim",
+			CellID:   s.Zone,
+			App:      s.App,
+			Start:    s.Start,
+			Duration: s.Duration,
+			Day:      day,
+		}
+	}
+	capRes, err := capture.Run(capture.Scenario{
+		Seed:             cfg.Seed*1000003 + uint64(day),
+		Cells:            cells,
+		Sessions:         capSessions,
+		Sniffer:          cfg.Sniffer,
+		ApplyProfileLoss: cfg.ApplyProfileLoss,
+	})
+	if err != nil {
+		return nil, err
+	}
+	victim := capRes.UserTrace("victim")
+
+	out := make([]Attempt, 0, len(sessions))
+	for _, s := range sessions {
+		// The attacker segments the victim's trace by zone and time.
+		seg := victim.FilterSpan(s.Start, s.Start+s.Duration+2*time.Second)
+		zoneSeg := seg[:0:0]
+		for _, rec := range seg {
+			if rec.CellID == s.Zone {
+				zoneSeg = append(zoneSeg, rec)
+			}
+		}
+		pred := clf.PredictTrace(zoneSeg)
+		out = append(out, Attempt{
+			Zone:              s.Zone,
+			Day:               day,
+			Start:             s.Start,
+			Duration:          s.Duration,
+			TrueApp:           s.App.Name,
+			TrueCategory:      s.App.Category,
+			Predicted:         pred.App,
+			PredictedCategory: pred.Category,
+			Confidence:        pred.Confidence,
+			Windows:           pred.Windows,
+			Correct:           pred.App == s.App.Name,
+			Stable:            pred.Confidence >= StabilityThreshold,
+		})
+	}
+	return out, nil
+}
+
+// String renders the result in the layout of the paper's Table V.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-6s %-4s %-10s %-10s %-14s %-14s %8s %7s\n",
+		"zone", "day", "start", "duration", "category", "prediction", "conf", "result")
+	for _, a := range r.Attempts {
+		result := "TRUE"
+		if !a.Correct {
+			result = "FALSE"
+		}
+		fmt.Fprintf(&b, "%-6s %-4d %-10v %-10v %-14s %-14s %7.2f%% %7s\n",
+			zoneName(a.Zone), a.Day, a.Start, a.Duration,
+			a.TrueCategory, a.Predicted, 100*a.Confidence, result)
+	}
+	fmt.Fprintf(&b, "success rate: %d/%d = %.0f%%\n",
+		r.Successes, len(r.Attempts), 100*r.SuccessRate())
+	return b.String()
+}
+
+// zoneName renders zone IDs in the paper's A'/B'/C' style.
+func zoneName(z int) string {
+	if z >= 1 && z <= 26 {
+		return fmt.Sprintf("Zone %c'", 'A'+z-1)
+	}
+	return fmt.Sprintf("Zone %d", z)
+}
+
+func containsInt(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

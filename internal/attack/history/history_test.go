@@ -1,0 +1,137 @@
+package history_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/attack/history"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/forest"
+)
+
+// labClassifier trains a small lab classifier shared by the tests.
+func labClassifier(t *testing.T) *fingerprint.Classifier {
+	t.Helper()
+	ts := fingerprint.NewTrainingSet()
+	for i, app := range appmodel.Apps() {
+		n := 2
+		if app.Category == appmodel.Messaging {
+			n = 6
+		}
+		vecs, err := fingerprint.Collect(fingerprint.CollectSpec{
+			Profile:    operator.Lab(),
+			App:        app,
+			Sessions:   n,
+			SessionDur: 30 * time.Second,
+			Seed:       uint64(i+1) * 17,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ts.Add(app.Name, vecs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	clf, err := fingerprint.Train(ts, fingerprint.Config{
+		Forest: forest.Config{Trees: 25, Seed: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clf
+}
+
+func itinerary(t *testing.T) []history.ZoneSession {
+	t.Helper()
+	mk := func(zone, day int, start time.Duration, app string) history.ZoneSession {
+		a, err := appmodel.ByName(app)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return history.ZoneSession{
+			Zone: zone, Day: day, Start: start, Duration: 30 * time.Second, App: a,
+		}
+	}
+	return []history.ZoneSession{
+		mk(1, 1, 2*time.Second, "Netflix"),
+		mk(2, 1, 50*time.Second, "Skype"),
+		mk(3, 1, 100*time.Second, "Telegram"),
+		mk(1, 2, 2*time.Second, "YouTube"),
+	}
+}
+
+func TestEndToEnd(t *testing.T) {
+	clf := labClassifier(t)
+	res, err := history.Run(clf, history.Config{
+		Profile:  operator.Lab(),
+		Zones:    []int{1, 2, 3},
+		Sessions: itinerary(t),
+		Seed:     9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Attempts) != 4 {
+		t.Fatalf("%d attempts, want 4", len(res.Attempts))
+	}
+	for _, a := range res.Attempts {
+		if a.Windows == 0 {
+			t.Fatalf("zone %d day %d: no windows captured", a.Zone, a.Day)
+		}
+		if a.TrueApp == a.Predicted != a.Correct {
+			t.Fatal("Correct flag inconsistent with prediction")
+		}
+	}
+	// In the lab, the attack should recover most of the itinerary.
+	if res.SuccessRate() < 0.5 {
+		t.Fatalf("lab success rate %.2f\n%s", res.SuccessRate(), res)
+	}
+	// Days must both appear (day-grouped captures all ran).
+	days := map[int]bool{}
+	for _, a := range res.Attempts {
+		days[a.Day] = true
+	}
+	if !days[1] || !days[2] {
+		t.Fatal("a day's attempts are missing")
+	}
+}
+
+func TestRejectsUnknownZone(t *testing.T) {
+	clf := labClassifier(t)
+	bad := itinerary(t)
+	bad[0].Zone = 99
+	if _, err := history.Run(clf, history.Config{
+		Profile:  operator.Lab(),
+		Zones:    []int{1, 2, 3},
+		Sessions: bad,
+		Seed:     1,
+	}); err == nil {
+		t.Fatal("unknown zone accepted")
+	}
+}
+
+func TestRejectsNoZones(t *testing.T) {
+	if _, err := history.Run(nil, history.Config{}); err == nil {
+		t.Fatal("empty config accepted")
+	}
+}
+
+func TestResultString(t *testing.T) {
+	res := &history.Result{
+		Attempts: []history.Attempt{{
+			Zone: 1, Day: 1, TrueApp: "Netflix",
+			TrueCategory: appmodel.Streaming,
+			Predicted:    "Netflix", Confidence: 0.9, Correct: true, Stable: true,
+		}},
+		Successes: 1,
+	}
+	s := res.String()
+	for _, want := range []string{"Zone A'", "Netflix", "100%"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("render missing %q:\n%s", want, s)
+		}
+	}
+}

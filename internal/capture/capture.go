@@ -1,0 +1,168 @@
+// Package capture orchestrates one end-to-end attack capture: it builds a
+// simulated network from a declarative scenario (cells, victims, app
+// sessions), deploys one passive sniffer per cell, runs the simulation,
+// and performs identity mapping over the result — yielding the per-user
+// radio traces every attack in this repository starts from. It is the glue
+// between the radio substrate (internal/lte/...) and the attack layer
+// (internal/attack/...).
+package capture
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/identity"
+	"ltefp/internal/lte/network"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/lte/ue"
+	"ltefp/internal/sim"
+	"ltefp/internal/sniffer"
+	"ltefp/internal/trace"
+)
+
+// minRNTISightings is the plausibility threshold of the OWL-style filter:
+// an RNTI seen fewer times is treated as a decode artefact.
+const minRNTISightings = 3
+
+// Session is one application run by one UE in one cell.
+type Session struct {
+	// UE names the user equipment; UEs are created on first mention.
+	UE string
+	// CellID is the serving cell for this session.
+	CellID int
+	// App generates the traffic, unless Arrivals is set.
+	App appmodel.App
+	// Arrivals, when non-nil, is a pre-built arrival stream (merged noise
+	// traffic, paired-conversation sides) used instead of App.
+	Arrivals []appmodel.Arrival
+	// Start and Duration place the session on the timeline.
+	Start    time.Duration
+	Duration time.Duration
+	// Day selects the app-drift day (0 and 1 both mean the training day).
+	Day int
+}
+
+// Cell declares one cell of the scenario.
+type Cell struct {
+	ID      int
+	Profile operator.Profile
+}
+
+// Scenario declares a full capture run.
+type Scenario struct {
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Cells to instantiate. Each gets its own sniffer.
+	Cells []Cell
+	// Sessions to schedule.
+	Sessions []Session
+	// Sniffer configures capture fidelity. The zero value records both
+	// directions losslessly; ApplyProfileLoss copies each cell profile's
+	// loss figure instead.
+	Sniffer sniffer.Config
+	// ApplyProfileLoss sets each sniffer's loss probability from its
+	// cell's operator profile (real-world capture conditions).
+	ApplyProfileLoss bool
+	// Settle is extra simulated time after the last session, letting
+	// inactivity timers expire so identity intervals close (default 2 s
+	// past the operator's inactivity timeout).
+	Settle time.Duration
+}
+
+// Capture is the attacker-side result of a scenario run.
+type Capture struct {
+	// Records is every validated DCI observation across all sniffers,
+	// time-ordered.
+	Records trace.Trace
+	// Events are the observed RNTI↔TMSI bindings.
+	Events []sniffer.IdentityEvent
+	// Pagings are the observed paging records.
+	Pagings []sniffer.PagingEvent
+	// Mapper is the reconstructed identity map.
+	Mapper *identity.Mapper
+	// TMSIs maps UE name to every TMSI the UE held during the run.
+	TMSIs map[string][]uint32
+	// Dropped counts sniffer capture losses (all cells).
+	Dropped int64
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) (*Capture, error) {
+	if len(sc.Cells) == 0 {
+		return nil, fmt.Errorf("capture: scenario has no cells")
+	}
+	n := network.New(sc.Seed)
+	snifRNG := sim.NewRNG(sc.Seed ^ 0xdeadbeefcafe)
+	sniffers := make([]*sniffer.Sniffer, 0, len(sc.Cells))
+	maxIdle := time.Duration(0)
+	for _, cs := range sc.Cells {
+		cell, err := n.AddCell(cs.ID, cs.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("capture: %w", err)
+		}
+		cfg := sc.Sniffer
+		if sc.ApplyProfileLoss {
+			cfg.LossProb = cs.Profile.CaptureLoss
+		}
+		s := sniffer.New(cfg, snifRNG.Fork())
+		cell.AddObserver(s)
+		sniffers = append(sniffers, s)
+		if cs.Profile.InactivityTimeout > maxIdle {
+			maxIdle = cs.Profile.InactivityTimeout
+		}
+	}
+
+	ues := make(map[string]*ue.UE)
+	var end time.Duration
+	for _, s := range sc.Sessions {
+		u, ok := ues[s.UE]
+		if !ok {
+			u = n.NewUE(s.UE)
+			ues[s.UE] = u
+			n.Camp(u, s.CellID)
+		}
+		if s.Arrivals != nil {
+			n.ScheduleArrivals(u, s.CellID, s.Arrivals, s.Start)
+		} else {
+			day := s.Day
+			if day < 1 {
+				day = 1
+			}
+			n.ScheduleSession(u, s.CellID, s.App, s.Start, s.Duration, day)
+		}
+		if e := s.Start + s.Duration; e > end {
+			end = e
+		}
+	}
+	settle := sc.Settle
+	if settle <= 0 {
+		settle = maxIdle + 2*time.Second
+	}
+	n.Run(end + settle)
+
+	out := &Capture{TMSIs: make(map[string][]uint32, len(ues))}
+	for _, s := range sniffers {
+		out.Records = append(out.Records, s.ValidatedRecords(minRNTISightings)...)
+		out.Events = append(out.Events, s.IdentityEvents()...)
+		out.Pagings = append(out.Pagings, s.PagingEvents()...)
+		_, dropped := s.Stats()
+		out.Dropped += dropped
+	}
+	out.Records.Sort()
+	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].At < out.Events[j].At })
+	out.Mapper = identity.Build(out.Events, out.Records, maxIdle+2*time.Second)
+	for name, u := range ues {
+		for _, t := range n.TMSIHistory(u) {
+			out.TMSIs[name] = append(out.TMSIs[name], uint32(t))
+		}
+	}
+	return out, nil
+}
+
+// UserTrace returns every record attributable to the named UE via identity
+// mapping over all of its TMSIs.
+func (c *Capture) UserTrace(ueName string) trace.Trace {
+	return c.Mapper.UserTrace(c.Records, c.TMSIs[ueName]...)
+}

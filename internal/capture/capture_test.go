@@ -1,0 +1,165 @@
+package capture_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sim"
+	"ltefp/internal/sniffer"
+)
+
+func app(t *testing.T, name string) appmodel.App {
+	t.Helper()
+	a, err := appmodel.ByName(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func labScenario(t *testing.T, seed uint64) capture.Scenario {
+	t.Helper()
+	return capture.Scenario{
+		Seed:  seed,
+		Cells: []capture.Cell{{ID: 1, Profile: operator.Lab()}},
+		Sessions: []capture.Session{{
+			UE: "victim", CellID: 1, App: app(t, "Skype"),
+			Start: 200 * time.Millisecond, Duration: 15 * time.Second,
+		}},
+	}
+}
+
+func TestRunAttributesVictim(t *testing.T) {
+	res, err := capture.Run(labScenario(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := res.UserTrace("victim")
+	if len(victim) == 0 {
+		t.Fatal("victim trace empty")
+	}
+	// In a lab cell with no ambient users, everything belongs to the victim.
+	if len(victim) != len(res.Records) {
+		t.Fatalf("victim %d records, capture %d: lab cell should be all-victim",
+			len(victim), len(res.Records))
+	}
+	if len(res.TMSIs["victim"]) == 0 {
+		t.Fatal("no TMSI history for the victim")
+	}
+	if len(res.Events) == 0 {
+		t.Fatal("no identity events")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, err := capture.Run(labScenario(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := capture.Run(labScenario(t, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Records) != len(b.Records) {
+		t.Fatalf("same seed, different captures: %d vs %d", len(a.Records), len(b.Records))
+	}
+	for i := range a.Records {
+		if a.Records[i] != b.Records[i] {
+			t.Fatalf("record %d differs between identical runs", i)
+		}
+	}
+	c, err := capture.Run(labScenario(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Records) == len(a.Records) {
+		same := true
+		for i := range c.Records {
+			if c.Records[i] != a.Records[i] {
+				same = false
+				break
+			}
+		}
+		if same {
+			t.Fatal("different seeds produced identical captures")
+		}
+	}
+}
+
+func TestMultiUEIsolation(t *testing.T) {
+	sc := capture.Scenario{
+		Seed:  3,
+		Cells: []capture.Cell{{ID: 1, Profile: operator.Lab()}},
+		Sessions: []capture.Session{
+			{UE: "alice", CellID: 1, App: app(t, "Netflix"), Start: 200 * time.Millisecond, Duration: 10 * time.Second},
+			{UE: "bob", CellID: 1, App: app(t, "WhatsApp Call"), Start: 200 * time.Millisecond, Duration: 10 * time.Second},
+		},
+	}
+	res, err := capture.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice := res.UserTrace("alice")
+	bob := res.UserTrace("bob")
+	if len(alice) == 0 || len(bob) == 0 {
+		t.Fatal("a victim trace is empty")
+	}
+	if len(alice)+len(bob) != len(res.Records) {
+		t.Fatalf("attribution mismatch: %d + %d != %d", len(alice), len(bob), len(res.Records))
+	}
+	// Streaming versus VoIP: Alice's volume dwarfs Bob's.
+	if alice.TotalBytes() < 4*bob.TotalBytes() {
+		t.Fatalf("netflix bytes %d not ≫ VoIP bytes %d", alice.TotalBytes(), bob.TotalBytes())
+	}
+}
+
+func TestPrebuiltArrivals(t *testing.T) {
+	conv := app(t, "WhatsApp")
+	g := pairSeed()
+	arr := conv.Session(g, 10*time.Second, 1)
+	sc := capture.Scenario{
+		Seed:  4,
+		Cells: []capture.Cell{{ID: 1, Profile: operator.Lab()}},
+		Sessions: []capture.Session{{
+			UE: "victim", CellID: 1, Arrivals: arr,
+			Start: 200 * time.Millisecond, Duration: 10 * time.Second,
+		}},
+	}
+	res, err := capture.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.UserTrace("victim")) == 0 {
+		t.Fatal("pre-built arrivals produced no capture")
+	}
+}
+
+func TestNoCellsRejected(t *testing.T) {
+	if _, err := capture.Run(capture.Scenario{}); err == nil {
+		t.Fatal("empty scenario accepted")
+	}
+}
+
+func TestSnifferLossReducesCapture(t *testing.T) {
+	full, err := capture.Run(labScenario(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lossy := labScenario(t, 9)
+	lossy.Sniffer = sniffer.Config{LossProb: 0.5}
+	degraded, err := capture.Run(lossy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(degraded.Records) >= len(full.Records) {
+		t.Fatalf("lossy capture %d >= lossless %d", len(degraded.Records), len(full.Records))
+	}
+	if degraded.Dropped == 0 {
+		t.Fatal("no drops recorded")
+	}
+}
+
+func pairSeed() *sim.RNG { return sim.NewRNG(42) }

@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ltefp/internal/attack/cost"
+)
+
+// CostScenario is one row of the cost-model sweep.
+type CostScenario struct {
+	Label       string
+	Params      cost.Params
+	HorizonDays int
+}
+
+// CostModelResult reproduces the §VII-D analytical attacker cost model
+// (Fig. 7, Eqs. 2–3) over a sweep of attacker ambitions.
+type CostModelResult struct {
+	Scenarios []CostScenario
+}
+
+// CostModel evaluates the cost model for a single-victim stalker, the
+// paper's running configuration, and a city-scale campaign.
+func CostModel() *CostModelResult {
+	base := cost.Defaults()
+
+	single := base
+	single.Victims = 1
+	single.AppsPerVictim = 4
+	single.Sniffers = 1
+
+	city := base
+	city.Victims = 200
+	city.AppsPerVictim = 5
+	city.Sniffers = 25
+	city.InstancesPerApp = 20
+
+	return &CostModelResult{Scenarios: []CostScenario{
+		{Label: "single victim, one month", Params: single, HorizonDays: 30},
+		{Label: "paper configuration, one month", Params: base, HorizonDays: 30},
+		{Label: "city-wide campaign, one quarter", Params: city, HorizonDays: 90},
+	}}
+}
+
+// String renders every scenario's Fig. 7 breakdown.
+func (r *CostModelResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Analytical attacker cost model (paper §VII-D)\n")
+	for _, s := range r.Scenarios {
+		fmt.Fprintf(&b, "\n-- %s --\n%s", s.Label, s.Params.Breakdown(s.HorizonDays))
+	}
+	return b.String()
+}

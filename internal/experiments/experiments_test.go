@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ltefp/internal/appmodel"
+)
+
+func TestScalesAreSane(t *testing.T) {
+	for _, s := range []Scale{Quick(), Full()} {
+		if s.StreamSessions < 2 || s.MsgSessions < s.StreamSessions {
+			t.Errorf("%s: session sizing wrong: %+v", s.Name, s)
+		}
+		if s.PairsPerSetting < 2 || s.Fig8Days < 2 || s.HistoryFactor <= 0 {
+			t.Errorf("%s: sweep sizing wrong: %+v", s.Name, s)
+		}
+	}
+	if Full().StreamSessions <= Quick().StreamSessions {
+		t.Error("full scale not larger than quick")
+	}
+}
+
+func TestSessionsFor(t *testing.T) {
+	s := Quick()
+	for _, app := range appmodel.Apps() {
+		n, d := s.sessionsFor(app)
+		if n <= 0 || d <= 0 {
+			t.Fatalf("%s: sessionsFor = (%d, %v)", app.Name, n, d)
+		}
+		if app.Category == appmodel.Messaging && n <= s.StreamSessions {
+			t.Errorf("%s: messengers need more sessions", app.Name)
+		}
+	}
+}
+
+func TestTrainTestSplit(t *testing.T) {
+	app := appmodel.Apps()[0]
+	d := appData{app: app}
+	for s := 0; s < 4; s++ {
+		var sess [][]float64
+		for w := 0; w < 25; w++ {
+			sess = append(sess, []float64{float64(s), float64(w)})
+		}
+		d.sessions = append(d.sessions, sess)
+	}
+	train, test := d.trainTest()
+	if len(train)+len(test) != 100 {
+		t.Fatalf("split lost windows: %d + %d", len(train), len(test))
+	}
+	if len(test) != 20 {
+		t.Fatalf("test fraction = %d/100, want the paper's 20%%", len(test))
+	}
+	// Determinism.
+	train2, _ := d.trainTest()
+	for i := range train {
+		if train[i][0] != train2[i][0] || train[i][1] != train2[i][1] {
+			t.Fatal("split not deterministic")
+		}
+	}
+}
+
+func TestTableVItineraryIsPaperShaped(t *testing.T) {
+	if len(tableVItinerary) != 12 {
+		t.Fatalf("%d itinerary entries, want the paper's 12", len(tableVItinerary))
+	}
+	zones := map[int]bool{}
+	days := map[int]bool{}
+	cats := map[appmodel.Category]bool{}
+	for _, e := range tableVItinerary {
+		zones[e.zone] = true
+		days[e.day] = true
+		app, err := appmodel.ByName(e.app)
+		if err != nil {
+			t.Fatalf("itinerary app %q: %v", e.app, err)
+		}
+		cats[app.Category] = true
+		if e.minutes < 5 || e.minutes > 10 {
+			t.Errorf("session length %v min outside the paper's 5-10", e.minutes)
+		}
+	}
+	if len(zones) != 3 || len(days) != 3 || len(cats) != 3 {
+		t.Fatalf("coverage: %d zones, %d days, %d categories", len(zones), len(days), len(cats))
+	}
+}
+
+func TestCostModelRuns(t *testing.T) {
+	res := CostModel()
+	if len(res.Scenarios) < 3 {
+		t.Fatalf("%d scenarios", len(res.Scenarios))
+	}
+	s := res.String()
+	for _, want := range []string{"single victim", "city-wide", "Eq. 2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("cost render missing %q", want)
+		}
+	}
+	for _, sc := range res.Scenarios {
+		if err := sc.Params.Validate(); err != nil {
+			t.Errorf("%s: %v", sc.Label, err)
+		}
+	}
+}
+
+func TestVariants(t *testing.T) {
+	vs := Variants()
+	if len(vs) != 3 || vs[0] != DownUp || vs[1] != Down || vs[2] != Up {
+		t.Fatalf("variants = %v", vs)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/metrics"
+	"ltefp/internal/sniffer"
+)
+
+// Figure8Point is one day of the drift sweep.
+type Figure8Point struct {
+	Day int
+	// F1 is the YouTube F-score of the day-1 classifier on day-Day traces.
+	F1 float64
+}
+
+// Figure8Result reproduces Fig. 8: decrease of classification performance
+// over time as app updates drift the traffic away from the training-day
+// distribution (T-Mobile, YouTube). The paper observes the 70% usability
+// threshold being crossed around day 7.
+type Figure8Result struct {
+	Points []Figure8Point
+}
+
+// CrossedBelow returns the first measured day whose F-score fell below the
+// threshold (0 when never crossed).
+func (r *Figure8Result) CrossedBelow(threshold float64) int {
+	for _, p := range r.Points {
+		if p.F1 < threshold {
+			return p.Day
+		}
+	}
+	return 0
+}
+
+// Figure8 trains the classifier on day-1 T-Mobile traces and tests it
+// against streaming traces recorded on later days.
+func Figure8(scale Scale, seed uint64) (*Figure8Result, error) {
+	prof := operator.TMobile()
+	cfg := sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true}
+	// Drift measurement needs a classifier whose day-1 baseline is solid
+	// across fresh sessions, so the training campaign is doubled for the
+	// streaming apps under test.
+	trainScale := scale
+	trainScale.StreamSessions *= 2
+	data, err := collectSetting(prof, trainScale, 1, seed+7907, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 8 training: %w", err)
+	}
+	clf, err := buildAllDataClassifier(data, seed)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: figure 8 training: %w", err)
+	}
+
+	streaming := appmodel.ByCategory(appmodel.Streaming)
+	names := appmodel.Names()
+	idx := make(map[string]int, len(names))
+	for i, n := range names {
+		idx[n] = i
+	}
+	res := &Figure8Result{}
+	step := scale.Fig8Step
+	if step < 1 {
+		step = 1
+	}
+	for day := 1; day <= scale.Fig8Days; day += step {
+		conf := metrics.NewConfusion(names)
+		for ai, app := range streaming {
+			sessions := scale.StreamSessions
+			if sessions < 3 {
+				sessions = 3
+			}
+			vecs, err := fingerprint.Collect(fingerprint.CollectSpec{
+				Profile:          prof,
+				App:              app,
+				Sessions:         sessions,
+				SessionDur:       scale.StreamDur,
+				Day:              day,
+				Seed:             seed + uint64(day)*6701 + uint64(ai+1)*433,
+				Sniffer:          cfg,
+				ApplyProfileLoss: true,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: figure 8 day %d: %w", day, err)
+			}
+			for _, x := range vecs {
+				pred, _ := clf.PredictVector(x)
+				conf.Add(idx[app.Name], idx[pred])
+			}
+		}
+		res.Points = append(res.Points, Figure8Point{Day: day, F1: conf.F1(idx["YouTube"])})
+	}
+	return res, nil
+}
+
+// String renders the series with an ASCII trend.
+func (r *Figure8Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 8: performance decrease over time (T-Mobile, YouTube)\n")
+	fmt.Fprintf(&b, "%-5s %-8s\n", "day", "F-score")
+	for _, p := range r.Points {
+		bar := strings.Repeat("#", int(p.F1*40))
+		fmt.Fprintf(&b, "%-5d %7.3f  %s\n", p.Day, p.F1, bar)
+	}
+	if d := r.CrossedBelow(0.70); d > 0 {
+		fmt.Fprintf(&b, "crossed the 70%% usability threshold at day %d\n", d)
+	} else {
+		fmt.Fprintf(&b, "stayed above the 70%% usability threshold\n")
+	}
+	return b.String()
+}

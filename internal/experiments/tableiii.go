@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/ml/metrics"
+	"ltefp/internal/sniffer"
+	"ltefp/internal/trace"
+)
+
+// forestConfig is the paper's Random Forest setting (Table VIII: 100
+// trees, seed 1) namespaced by the experiment seed.
+func forestConfig(seed uint64) forest.Config {
+	return forest.Config{Trees: 100, Seed: seed}
+}
+
+// Variant names the sniffer-coverage variants of Table III.
+type Variant string
+
+// The three coverage variants: both directions, downlink only, uplink only.
+const (
+	DownUp Variant = "Down+Up"
+	Down   Variant = "Down"
+	Up     Variant = "Up"
+)
+
+// Variants lists the Table III variants in column order.
+func Variants() []Variant { return []Variant{DownUp, Down, Up} }
+
+// TableIIIRow is one app's results across the three variants.
+type TableIIIRow struct {
+	App      string
+	Category appmodel.Category
+	Cells    map[Variant]PRF
+}
+
+// TableIIIResult reproduces Table III: lab-setting per-app classification
+// for combined, downlink-only, and uplink-only sniffer coverage.
+type TableIIIResult struct {
+	Rows       []TableIIIRow
+	Confusions map[Variant]*metrics.Confusion
+}
+
+// TableIII runs the lab fingerprinting evaluation. One both-direction
+// capture per app session feeds all three variants (a sole-downlink
+// sniffer sees exactly the downlink subset of the combined capture).
+func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
+	lab := operator.Lab()
+	apps := appmodel.Apps()
+	traces := make(map[string][]trace.Trace, len(apps))
+	for i, app := range apps {
+		sessions, dur := scale.sessionsFor(app)
+		tr, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
+			Profile:          lab,
+			App:              app,
+			Sessions:         sessions,
+			SessionDur:       dur,
+			Seed:             seed + uint64(i+1)*7919,
+			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption},
+			ApplyProfileLoss: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table III: %s: %w", app.Name, err)
+		}
+		traces[app.Name] = tr
+	}
+
+	res := &TableIIIResult{Confusions: make(map[Variant]*metrics.Confusion)}
+	rows := make(map[string]*TableIIIRow, len(apps))
+	for _, app := range apps {
+		rows[app.Name] = &TableIIIRow{App: app.Name, Category: app.Category, Cells: make(map[Variant]PRF)}
+	}
+	for _, v := range Variants() {
+		data := make([]appData, len(apps))
+		for i, app := range apps {
+			d := appData{app: app}
+			for _, t := range traces[app.Name] {
+				ft := filterVariant(t, v)
+				d.sessions = append(d.sessions, fingerprint.WindowVectors(ft, fingerprint.DefaultWindow, fingerprint.DefaultWindow))
+			}
+			data[i] = d
+		}
+		clf, test, err := buildClassifier(data, seed)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table III %s: %w", v, err)
+		}
+		conf, err := clf.Evaluate(test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table III %s: %w", v, err)
+		}
+		res.Confusions[v] = conf
+		for i, app := range apps {
+			rows[app.Name].Cells[v] = prfFor(conf, i)
+		}
+	}
+	for _, app := range apps {
+		res.Rows = append(res.Rows, *rows[app.Name])
+	}
+	return res, nil
+}
+
+// filterVariant restricts a trace to a variant's direction coverage.
+func filterVariant(t trace.Trace, v Variant) trace.Trace {
+	switch v {
+	case Down:
+		return t.FilterDirection(dci.Downlink)
+	case Up:
+		return t.FilterDirection(dci.Uplink)
+	default:
+		return t
+	}
+}
+
+// String renders the table in the paper's layout.
+func (r *TableIIIResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table III: lab-setting mobile app classification (Random Forest)\n")
+	fmt.Fprintf(&b, "%-11s %-14s", "Category", "App")
+	for _, v := range Variants() {
+		fmt.Fprintf(&b, " |%8s F1  Prec   Rec", v)
+	}
+	fmt.Fprintln(&b)
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-11s %-14s", row.Category, row.App)
+		for _, v := range Variants() {
+			c := row.Cells[v]
+			fmt.Fprintf(&b, " |   %6.3f %5.3f %5.3f", c.F1, c.Precision, c.Recall)
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}

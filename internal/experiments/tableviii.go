@@ -1,0 +1,179 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/features"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/cnn"
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/ml/knn"
+	"ltefp/internal/ml/logreg"
+	"ltefp/internal/ml/metrics"
+	"ltefp/internal/sim"
+	"ltefp/internal/sniffer"
+)
+
+// Algorithm names in the paper's Table VIII column order.
+const (
+	AlgLR  = "LR"
+	AlgKNN = "kNN"
+	AlgCNN = "CNN"
+	AlgRF  = "RF"
+)
+
+// Algorithms lists the benchmark columns in paper order.
+func Algorithms() []string { return []string{AlgLR, AlgKNN, AlgCNN, AlgRF} }
+
+// TableVIIIResult reproduces Table VIII: per-category accuracy of the four
+// candidate learners on a mixed real-world dataset, with Random Forest
+// expected to lead.
+type TableVIIIResult struct {
+	// PerClass is indexed [algorithm][category name].
+	PerClass map[string]map[string]float64
+	// Average is the support-weighted average accuracy per algorithm.
+	Average map[string]float64
+	// ClassCounts reports the mixed dataset's class sizes (the paper mixes
+	// Streaming 265,599 / Calling 109,692 / Messenger 38,333 — streaming-
+	// heavy, messaging-light; our natural window counts share that skew).
+	ClassCounts map[string]int
+	// Params echoes each algorithm's hyperparameters.
+	Params map[string]string
+}
+
+// TableVIII benchmarks the four learners on a 3-category dataset built
+// from the T-Mobile (real-world) campaign — apps of all three classes
+// mixed into one corpus, split 80/20 as in the paper. The comparison's
+// reproduction target is the ordering (RF first, CNN last); see
+// EXPERIMENTS.md for why the absolute accuracies sit above the paper's.
+func TableVIII(scale Scale, seed uint64) (*TableVIIIResult, error) {
+	prof := operator.TMobile()
+	cats := appmodel.Categories()
+	catNames := make([]string, len(cats))
+	for i, c := range cats {
+		catNames[i] = c.String()
+	}
+	ds := dataset.New(catNames, features.Names())
+	for ai, app := range appmodel.Apps() {
+		sessions, dur := scale.sessionsFor(app)
+		vecs, err := fingerprint.Collect(fingerprint.CollectSpec{
+			Profile:          prof,
+			App:              app,
+			Sessions:         sessions,
+			SessionDur:       dur,
+			Seed:             seed + 2749 + uint64(ai+1)*7919,
+			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
+			ApplyProfileLoss: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: table VIII: %s: %w", app.Name, err)
+		}
+		y := 0
+		for i, c := range cats {
+			if c == app.Category {
+				y = i
+			}
+		}
+		ds.AddAll(vecs, y)
+	}
+	rng := sim.NewRNG(seed + 5381)
+	train, test := ds.Split(0.8, rng)
+
+	res := &TableVIIIResult{
+		PerClass:    make(map[string]map[string]float64),
+		Average:     make(map[string]float64),
+		ClassCounts: make(map[string]int),
+		Params: map[string]string{
+			AlgLR:  "C = 1",
+			AlgKNN: "k = 4",
+			AlgCNN: "classes = 3, loss = softmax cross-entropy",
+			AlgRF:  "trees = 100, seed = 1",
+		},
+	}
+	for i, c := range ds.ClassCounts() {
+		res.ClassCounts[catNames[i]] = c
+	}
+
+	type learner struct {
+		name    string
+		predict func(x []float64) int
+	}
+	var learners []learner
+
+	lrModel, err := logreg.Train(train, logreg.Config{C: 1, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table VIII LR: %w", err)
+	}
+	learners = append(learners, learner{AlgLR, lrModel.Predict})
+
+	// kNN memorises the training set; cap it so prediction stays tractable
+	// at full scale without changing the comparison's shape.
+	knnTrain := train.SamplePerClass(3000, rng)
+	knnModel, err := knn.Train(knnTrain, 4)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table VIII kNN: %w", err)
+	}
+	learners = append(learners, learner{AlgKNN, knnModel.Predict})
+
+	cnnModel, err := cnn.Train(train, cnn.Config{Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table VIII CNN: %w", err)
+	}
+	learners = append(learners, learner{AlgCNN, cnnModel.Predict})
+
+	rfModel, err := forest.Train(train, forestConfig(1))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: table VIII RF: %w", err)
+	}
+	learners = append(learners, learner{AlgRF, rfModel.Predict})
+
+	for _, l := range learners {
+		conf := metrics.NewConfusion(catNames)
+		for i, x := range test.X {
+			conf.Add(test.Y[i], l.predict(x))
+		}
+		per := make(map[string]float64, len(catNames))
+		for ci, cn := range catNames {
+			per[cn] = conf.Recall(ci) // per-class accuracy
+		}
+		res.PerClass[l.name] = per
+		res.Average[l.name] = conf.Accuracy()
+	}
+	return res, nil
+}
+
+// String renders the table in the paper's layout.
+func (r *TableVIIIResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table VIII: performance comparison of learning algorithms (weighted accuracy)\n")
+	fmt.Fprintf(&b, "%-12s", "Class")
+	for _, a := range Algorithms() {
+		fmt.Fprintf(&b, " %8s", a)
+	}
+	fmt.Fprintln(&b)
+	for _, cat := range appmodel.Categories() {
+		fmt.Fprintf(&b, "%-12s", cat)
+		for _, a := range Algorithms() {
+			fmt.Fprintf(&b, " %8.3f", r.PerClass[a][cat.String()])
+		}
+		fmt.Fprintln(&b)
+	}
+	fmt.Fprintf(&b, "%-12s", "Average")
+	for _, a := range Algorithms() {
+		fmt.Fprintf(&b, " %8.3f", r.Average[a])
+	}
+	fmt.Fprintln(&b)
+	for _, a := range Algorithms() {
+		fmt.Fprintf(&b, "  %s: %s\n", a, r.Params[a])
+	}
+	fmt.Fprintf(&b, "  dataset class counts:")
+	for _, cat := range appmodel.Categories() {
+		fmt.Fprintf(&b, " %s %d", cat, r.ClassCounts[cat.String()])
+	}
+	fmt.Fprintln(&b)
+	return b.String()
+}

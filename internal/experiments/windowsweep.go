@@ -1,0 +1,141 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sniffer"
+	"ltefp/internal/trace"
+)
+
+// WindowSweepPoint is one candidate window size's outcome.
+type WindowSweepPoint struct {
+	Window time.Duration
+	// WeightedF1 is the window-classification score at this size.
+	WeightedF1 float64
+	// WindowsPerMinute is the evidence density: smaller windows yield more
+	// (but weaker) classification opportunities.
+	WindowsPerMinute float64
+}
+
+// WindowSweepResult reproduces the paper's window-size selection study
+// (§VI: "We tested for deriving the optimal window size ... We set the
+// time window as 100 ms empirically"): the same captures are re-windowed
+// at several widths and the classifier re-trained at each.
+type WindowSweepResult struct {
+	Points []WindowSweepPoint
+}
+
+// Best returns the window size with the highest F1.
+func (r *WindowSweepResult) Best() WindowSweepPoint {
+	best := r.Points[0]
+	for _, p := range r.Points {
+		if p.WeightedF1 > best.WeightedF1 {
+			best = p
+		}
+	}
+	return best
+}
+
+// WindowSweep evaluates candidate window sizes on one set of T-Mobile
+// captures.
+func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
+	prof := operator.TMobile()
+	apps := appmodel.Apps()
+	traces := make(map[string][]trace.Trace, len(apps))
+	var totalSpan time.Duration
+	for i, app := range apps {
+		sessions, dur := scale.sessionsFor(app)
+		tr, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
+			Profile:          prof,
+			App:              app,
+			Sessions:         sessions,
+			SessionDur:       dur,
+			Seed:             seed + 52289 + uint64(i+1)*7919,
+			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
+			ApplyProfileLoss: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: window sweep: %s: %w", app.Name, err)
+		}
+		traces[app.Name] = tr
+		totalSpan += time.Duration(sessions) * dur
+	}
+
+	res := &WindowSweepResult{}
+	for _, w := range []time.Duration{
+		25 * time.Millisecond,
+		50 * time.Millisecond,
+		100 * time.Millisecond,
+		200 * time.Millisecond,
+		400 * time.Millisecond,
+		800 * time.Millisecond,
+	} {
+		data := make([]appData, len(apps))
+		windows := 0
+		for i, app := range apps {
+			d := appData{app: app}
+			for _, tr := range traces[app.Name] {
+				vecs := fingerprint.WindowVectors(tr, w, w)
+				windows += len(vecs)
+				d.sessions = append(d.sessions, vecs)
+			}
+			data[i] = d
+		}
+		clf, test, err := buildClassifierWindowed(data, seed, w)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: window sweep %v: %w", w, err)
+		}
+		conf, err := clf.Evaluate(test)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: window sweep %v: %w", w, err)
+		}
+		res.Points = append(res.Points, WindowSweepPoint{
+			Window:           w,
+			WeightedF1:       conf.WeightedF1(),
+			WindowsPerMinute: float64(windows) / totalSpan.Minutes(),
+		})
+	}
+	return res, nil
+}
+
+// buildClassifierWindowed is buildClassifier with an explicit window size.
+func buildClassifierWindowed(data []appData, seed uint64, w time.Duration) (*fingerprint.Classifier, map[string][][]float64, error) {
+	ts := fingerprint.NewTrainingSet()
+	test := make(map[string][][]float64, len(data))
+	for _, d := range data {
+		train, held := d.trainTest()
+		if err := ts.Add(d.app.Name, train); err != nil {
+			return nil, nil, err
+		}
+		test[d.app.Name] = held
+	}
+	clf, err := fingerprint.Train(ts, fingerprint.Config{
+		Window: w,
+		Stride: w,
+		Forest: forestConfig(seed),
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return clf, test, nil
+}
+
+// String renders the sweep.
+func (r *WindowSweepResult) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Window-size selection (§VI; the paper picks 100 ms empirically)\n")
+	fmt.Fprintf(&b, "%-10s %12s %14s\n", "window", "weighted-F1", "windows/min")
+	for _, p := range r.Points {
+		marker := ""
+		if p.Window == r.Best().Window {
+			marker = "  <- best"
+		}
+		fmt.Fprintf(&b, "%-10v %12.3f %14.0f%s\n", p.Window, p.WeightedF1, p.WindowsPerMinute, marker)
+	}
+	return b.String()
+}

@@ -1,0 +1,280 @@
+// Package features turns windowed radio traces into the fixed-length
+// vectors the classifiers consume. The feature families follow the paper's
+// Table II — time vector (interarrival and cumulative time), size vector
+// (transport block sizes), direction vector (uplink/downlink) — aggregated
+// per sliding window; the RNTI identity vector is used upstream for
+// grouping, not as a model input.
+package features
+
+import (
+	"math"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/trace"
+)
+
+// baseNames lists the per-window features in vector order.
+var baseNames = []string{
+	"frame_count",
+	"dl_count",
+	"ul_count",
+	"total_bytes",
+	"dl_bytes",
+	"ul_bytes",
+	"size_mean",
+	"size_std",
+	"size_min",
+	"size_max",
+	"iat_mean",
+	"iat_std",
+	"iat_max",
+	"cumulative_time",
+	"dl_byte_ratio",
+	"burstiness",
+	"active_fraction",
+	"size_p50",
+}
+
+// contextNames lists the cross-window context features appended by
+// FromTrace: burst cadence is invisible inside a single 100 ms window, so
+// the extractor also looks at the trace's recent past — the gap since the
+// previous frame, the previous window's volume, and the trailing one-second
+// rate. These are still pure radio-layer observables.
+var contextNames = []string{
+	"gap_prev_ms",
+	"prev_count",
+	"prev_bytes",
+	"rate_1s_bytes",
+	"rate_1s_count",
+	"bytes_3s",
+	"active_frac_3s",
+}
+
+// Dim is the length of a per-window feature vector.
+const Dim = 18
+
+// ContextDim is the number of appended cross-window features.
+const ContextDim = 7
+
+// TotalDim is the length of vectors produced by FromTrace.
+const TotalDim = Dim + ContextDim
+
+// Names returns the FromTrace feature names in vector order.
+func Names() []string {
+	out := make([]string, 0, TotalDim)
+	out = append(out, baseNames...)
+	return append(out, contextNames...)
+}
+
+// BaseNames returns the single-window feature names in vector order.
+func BaseNames() []string {
+	out := make([]string, len(baseNames))
+	copy(out, baseNames)
+	return out
+}
+
+// gapCapMilliseconds bounds the gap feature (and encodes "no previous
+// activity" for the first window).
+const gapCapMilliseconds = 10000
+
+// FromTrace extracts one TotalDim feature vector per non-empty window of
+// the trace: the Dim per-window aggregates plus the ContextDim trailing
+// context features.
+func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
+	ws := t.Windows(width, stride)
+	out := make([][]float64, 0, len(ws))
+	recIdx := 0 // first record at or after the current window start
+	lo := 0     // first record inside the trailing 1 s horizon
+	lo3 := 0    // first record inside the trailing 3 s horizon
+	var prevCount, prevBytes float64
+	for _, w := range ws {
+		end := w.Start + width
+		for recIdx < len(t) && t[recIdx].At < w.Start {
+			recIdx++
+		}
+		for lo < len(t) && t[lo].At < end-time.Second {
+			lo++
+		}
+		for lo3 < len(t) && t[lo3].At < end-3*time.Second {
+			lo3++
+		}
+		if len(w.Records) == 0 {
+			continue
+		}
+		v := make([]float64, TotalDim)
+		copy(v, FromWindow(w, width))
+
+		gap := float64(gapCapMilliseconds)
+		if recIdx > 0 {
+			g := float64((w.Records[0].At - t[recIdx-1].At).Microseconds()) / 1000
+			if g < gap {
+				gap = g
+			}
+		}
+		v[Dim] = gap
+		v[Dim+1] = prevCount
+		v[Dim+2] = prevBytes
+
+		var rb, rc float64
+		for i := lo; i < len(t) && t[i].At < end; i++ {
+			rb += float64(t[i].Bytes)
+			rc++
+		}
+		v[Dim+3] = rb
+		v[Dim+4] = rc
+
+		// Trailing 3 s duty cycle: byte volume plus the fraction of 100 ms
+		// slots carrying any traffic. Duty cycle separates burst-and-idle
+		// delivery (Netflix-style) from near-continuous delivery
+		// (YouTube-style) robustly across channel conditions.
+		var b3 float64
+		slots := make(map[int64]struct{}, 30)
+		for i := lo3; i < len(t) && t[i].At < end; i++ {
+			b3 += float64(t[i].Bytes)
+			slots[int64(t[i].At/(100*time.Millisecond))] = struct{}{}
+		}
+		v[Dim+5] = b3
+		v[Dim+6] = float64(len(slots)) / 30
+		out = append(out, v)
+
+		prevCount = v[0]
+		prevBytes = v[3]
+	}
+	return out
+}
+
+// FromWindow extracts the feature vector of one window. width is the
+// window width the trace was split with (it bounds time features for
+// sparse windows). Empty windows yield the zero vector — "silence" rows
+// that let the classifier learn burst cadence.
+func FromWindow(w trace.Window, width time.Duration) []float64 {
+	v := make([]float64, Dim)
+	recs := w.Records
+	if len(recs) == 0 {
+		return v
+	}
+	var (
+		dlCount, ulCount float64
+		dlBytes, ulBytes float64
+		sizes            = make([]float64, len(recs))
+		sumSize, sumSq   float64
+		minSize          = math.Inf(1)
+		maxSize          float64
+	)
+	for i, r := range recs {
+		b := float64(r.Bytes)
+		sizes[i] = b
+		sumSize += b
+		sumSq += b * b
+		if b < minSize {
+			minSize = b
+		}
+		if b > maxSize {
+			maxSize = b
+		}
+		if r.Dir == dci.Downlink {
+			dlCount++
+			dlBytes += b
+		} else {
+			ulCount++
+			ulBytes += b
+		}
+	}
+	n := float64(len(recs))
+	meanSize := sumSize / n
+	varSize := sumSq/n - meanSize*meanSize
+	if varSize < 0 {
+		varSize = 0
+	}
+
+	// Interarrival times in milliseconds.
+	var iatMean, iatStd, iatMax, cum float64
+	if len(recs) >= 2 {
+		var sum, sumSq2 float64
+		k := float64(len(recs) - 1)
+		for i := 1; i < len(recs); i++ {
+			d := float64((recs[i].At - recs[i-1].At).Microseconds()) / 1000
+			sum += d
+			sumSq2 += d * d
+			if d > iatMax {
+				iatMax = d
+			}
+		}
+		iatMean = sum / k
+		v2 := sumSq2/k - iatMean*iatMean
+		if v2 < 0 {
+			v2 = 0
+		}
+		iatStd = math.Sqrt(v2)
+		cum = sum
+	} else {
+		// A lone record: the only time information is the window itself.
+		iatMean = float64(width.Microseconds()) / 1000
+	}
+
+	burst := 0.0
+	if iatMean > 0 {
+		burst = iatStd / iatMean
+	}
+
+	// Fraction of 1 ms bins inside the window holding at least one record.
+	bins := int(width / time.Millisecond)
+	if bins < 1 {
+		bins = 1
+	}
+	occupied := make(map[int64]struct{}, len(recs))
+	for _, r := range recs {
+		occupied[int64((r.At-w.Start)/time.Millisecond)] = struct{}{}
+	}
+	active := float64(len(occupied)) / float64(bins)
+
+	v[0] = n
+	v[1] = dlCount
+	v[2] = ulCount
+	v[3] = sumSize
+	v[4] = dlBytes
+	v[5] = ulBytes
+	v[6] = meanSize
+	v[7] = math.Sqrt(varSize)
+	v[8] = minSize
+	v[9] = maxSize
+	v[10] = iatMean
+	v[11] = iatStd
+	v[12] = iatMax
+	v[13] = cum
+	if sumSize > 0 {
+		v[14] = dlBytes / sumSize
+	}
+	v[15] = burst
+	v[16] = active
+	v[17] = median(sizes)
+	return v
+}
+
+// FromWindows extracts a feature matrix, one row per window.
+func FromWindows(ws []trace.Window, width time.Duration) [][]float64 {
+	out := make([][]float64, len(ws))
+	for i, w := range ws {
+		out[i] = FromWindow(w, width)
+	}
+	return out
+}
+
+// median computes the median, reordering its argument.
+func median(v []float64) float64 {
+	if len(v) == 0 {
+		return 0
+	}
+	// Insertion sort: window sizes are small.
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+	m := len(v) / 2
+	if len(v)%2 == 1 {
+		return v[m]
+	}
+	return (v[m-1] + v[m]) / 2
+}

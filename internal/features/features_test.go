@@ -1,0 +1,141 @@
+package features_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"ltefp/internal/features"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/trace"
+)
+
+const ms = time.Millisecond
+
+func TestNamesMatchDims(t *testing.T) {
+	if len(features.Names()) != features.TotalDim {
+		t.Fatalf("Names() has %d entries, TotalDim = %d", len(features.Names()), features.TotalDim)
+	}
+	if len(features.BaseNames()) != features.Dim {
+		t.Fatalf("BaseNames() has %d entries, Dim = %d", len(features.BaseNames()), features.Dim)
+	}
+	if features.TotalDim != features.Dim+features.ContextDim {
+		t.Fatal("dimension constants inconsistent")
+	}
+}
+
+func TestEmptyWindowIsZero(t *testing.T) {
+	v := features.FromWindow(trace.Window{Start: 0}, 100*ms)
+	if len(v) != features.Dim {
+		t.Fatalf("vector length %d", len(v))
+	}
+	for i, x := range v {
+		if x != 0 {
+			t.Fatalf("feature %d of empty window = %v", i, x)
+		}
+	}
+}
+
+func TestHandComputedWindow(t *testing.T) {
+	w := trace.Window{
+		Start: 0,
+		Records: trace.Trace{
+			{At: 10 * ms, Dir: dci.Downlink, Bytes: 100},
+			{At: 30 * ms, Dir: dci.Uplink, Bytes: 300},
+			{At: 70 * ms, Dir: dci.Downlink, Bytes: 200},
+		},
+	}
+	v := features.FromWindow(w, 100*ms)
+	check := func(name string, idx int, want float64) {
+		t.Helper()
+		if math.Abs(v[idx]-want) > 1e-9 {
+			t.Errorf("%s = %v, want %v", name, v[idx], want)
+		}
+	}
+	check("frame_count", 0, 3)
+	check("dl_count", 1, 2)
+	check("ul_count", 2, 1)
+	check("total_bytes", 3, 600)
+	check("dl_bytes", 4, 300)
+	check("ul_bytes", 5, 300)
+	check("size_mean", 6, 200)
+	check("size_min", 8, 100)
+	check("size_max", 9, 300)
+	check("iat_mean", 10, 30) // gaps 20 ms and 40 ms
+	check("iat_max", 12, 40)
+	check("cumulative_time", 13, 60)
+	check("dl_byte_ratio", 14, 0.5)
+	check("active_fraction", 16, 0.03) // 3 of 100 one-ms bins
+	check("size_p50", 17, 200)
+}
+
+func TestSingleRecordWindow(t *testing.T) {
+	w := trace.Window{Start: 0, Records: trace.Trace{{At: 5 * ms, Dir: dci.Downlink, Bytes: 64}}}
+	v := features.FromWindow(w, 100*ms)
+	if v[10] != 100 { // iat_mean falls back to the window width in ms
+		t.Fatalf("iat_mean for lone record = %v, want 100", v[10])
+	}
+	if v[6] != 64 || v[17] != 64 {
+		t.Fatal("size stats for lone record wrong")
+	}
+}
+
+func TestFromTraceContextFeatures(t *testing.T) {
+	// Two bursts separated by 2 s: the second burst's first window must
+	// carry the gap in gap_prev_ms and the previous window's stats.
+	tr := trace.Trace{
+		{At: 10 * ms, Dir: dci.Downlink, Bytes: 500},
+		{At: 20 * ms, Dir: dci.Downlink, Bytes: 700},
+		{At: 2020 * ms, Dir: dci.Downlink, Bytes: 900},
+	}
+	vecs := features.FromTrace(tr, 100*ms, 100*ms)
+	if len(vecs) != 2 {
+		t.Fatalf("%d non-empty windows, want 2", len(vecs))
+	}
+	first, second := vecs[0], vecs[1]
+	if len(first) != features.TotalDim {
+		t.Fatalf("vector length %d", len(first))
+	}
+	gapIdx := features.Dim
+	if first[gapIdx] != 10000 {
+		t.Fatalf("first window gap_prev = %v, want the 10 s cap", first[gapIdx])
+	}
+	if second[gapIdx] != 2000 {
+		t.Fatalf("second window gap_prev = %v ms, want 2000", second[gapIdx])
+	}
+	if second[features.Dim+1] != 2 || second[features.Dim+2] != 1200 {
+		t.Fatalf("prev-window context = (%v, %v), want (2, 1200)",
+			second[features.Dim+1], second[features.Dim+2])
+	}
+	// Trailing 1 s of the second window holds only its own record.
+	if second[features.Dim+3] != 900 || second[features.Dim+4] != 1 {
+		t.Fatalf("rate_1s = (%v, %v), want (900, 1)",
+			second[features.Dim+3], second[features.Dim+4])
+	}
+	// Trailing 3 s of the second window sees all three records in two
+	// occupied 100 ms slots.
+	if second[features.Dim+5] != 2100 {
+		t.Fatalf("bytes_3s = %v, want 2100", second[features.Dim+5])
+	}
+	if math.Abs(second[features.Dim+6]-2.0/30) > 1e-9 {
+		t.Fatalf("active_frac_3s = %v, want 2/30", second[features.Dim+6])
+	}
+}
+
+func TestFromTraceEmptyTrace(t *testing.T) {
+	if got := features.FromTrace(nil, 100*ms, 100*ms); len(got) != 0 {
+		t.Fatalf("FromTrace(nil) returned %d vectors", len(got))
+	}
+}
+
+func TestFromWindowsMatrix(t *testing.T) {
+	tr := trace.Trace{
+		{At: 10 * ms, Dir: dci.Downlink, Bytes: 100},
+		{At: 200 * ms, Dir: dci.Downlink, Bytes: 100},
+	}
+	ws := tr.Windows(100*ms, 100*ms)
+	m := features.FromWindows(ws, 100*ms)
+	if len(m) != len(ws) {
+		t.Fatalf("matrix rows %d, windows %d", len(m), len(ws))
+	}
+}

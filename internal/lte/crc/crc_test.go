@@ -1,0 +1,78 @@
+package crc_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ltefp/internal/lte/crc"
+)
+
+// TestChecksumKnownVector checks the classic CRC-16/CCITT check value:
+// the XMODEM variant (poly 0x1021, init 0) of "123456789" is 0x31C3.
+func TestChecksumKnownVector(t *testing.T) {
+	got := crc.Checksum([]byte("123456789"))
+	if got != 0x31C3 {
+		t.Fatalf("Checksum(123456789) = %#04x, want 0x31c3", got)
+	}
+}
+
+func TestChecksumEmpty(t *testing.T) {
+	if got := crc.Checksum(nil); got != 0 {
+		t.Fatalf("Checksum(nil) = %#04x, want 0 (zero initial register)", got)
+	}
+}
+
+func TestChecksumSensitivity(t *testing.T) {
+	a := crc.Checksum([]byte{0x12, 0x34, 0x56, 0x78})
+	b := crc.Checksum([]byte{0x12, 0x34, 0x56, 0x79})
+	if a == b {
+		t.Fatal("single-bit payload change did not change the checksum")
+	}
+}
+
+// TestMaskInvolution: masking is XOR, so applying it twice must restore
+// the original parity bits for every (parity, rnti) pair.
+func TestMaskInvolution(t *testing.T) {
+	f := func(parity, rnti uint16) bool {
+		return crc.Mask(crc.Mask(parity, rnti), rnti) == parity
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRecoverRNTI: the blind-decoding identity — for any payload and any
+// RNTI, recovering from an Attach-ed transmission yields the RNTI back.
+func TestRecoverRNTI(t *testing.T) {
+	f := func(payload []byte, rnti uint16) bool {
+		masked := crc.Attach(payload, rnti)
+		return crc.RecoverRNTI(payload, masked) == rnti
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVerify accepts the right RNTI and rejects a different one.
+func TestVerify(t *testing.T) {
+	payload := []byte{0xde, 0xad, 0xbe, 0xef}
+	masked := crc.Attach(payload, 0x1234)
+	if !crc.Verify(payload, masked, 0x1234) {
+		t.Fatal("Verify rejected the correct RNTI")
+	}
+	if crc.Verify(payload, masked, 0x1235) {
+		t.Fatal("Verify accepted a wrong RNTI")
+	}
+}
+
+// TestCorruptionChangesRecoveredRNTI: flipping payload bits makes the
+// recovered RNTI wrong — the basis of the sniffer's plausibility filter.
+func TestCorruptionChangesRecoveredRNTI(t *testing.T) {
+	payload := []byte{1, 2, 3, 4}
+	const rnti = 0x4242
+	masked := crc.Attach(payload, rnti)
+	corrupted := []byte{1, 2, 3, 5}
+	if got := crc.RecoverRNTI(corrupted, masked); got == rnti {
+		t.Fatalf("corrupted payload still recovered RNTI %#04x", got)
+	}
+}

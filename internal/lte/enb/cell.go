@@ -1,0 +1,342 @@
+// Package enb models an eNodeB cell: RNTI management, the random-access
+// and paging procedures, per-TTI resource scheduling, inactivity release,
+// and handover. Its Tick method assembles, for every 1 ms subframe, the
+// exact set of PDCCH transmissions a passive observer could capture — which
+// makes this package the ground truth the sniffer package is graded
+// against.
+package enb
+
+import (
+	"fmt"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/epc"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/lte/phy"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/lte/rrc"
+	"ltefp/internal/lte/ue"
+	"ltefp/internal/sim"
+)
+
+// Observer receives every subframe a cell transmits. Sniffers implement
+// this; they must not retain the subframe past the call.
+type Observer interface {
+	Observe(cellID int, sf *phy.Subframe)
+}
+
+// ctxState tracks the radio-bearer lifecycle of one UE context.
+type ctxState int
+
+const (
+	ctxAccess ctxState = iota + 1 // random access in progress
+	ctxConnected
+	ctxReleased
+)
+
+// ueCtx is the cell-side context of one UE with an allocated C-RNTI.
+type ueCtx struct {
+	ue    *ue.UE
+	rnti  rnti.RNTI
+	state ctxState
+
+	dlQueue int // bytes awaiting downlink delivery
+	ulQueue int // bytes granted-for awaiting uplink delivery
+
+	lastActivity time.Duration
+	rntiAge      time.Duration // when the current C-RNTI was assigned
+	nextDLSF     int64         // earliest subframe of the next DL grant
+	nextULSF     int64
+	harq         int
+	secured      bool // AS security active: no more plaintext
+}
+
+// Cell is one eNodeB cell.
+type Cell struct {
+	// ID is the cell identifier (also the paper's "cell zone").
+	ID int
+	// Profile is the operator configuration shaping this cell.
+	Profile operator.Profile
+
+	core  *epc.Core
+	rng   *sim.RNG
+	alloc *rnti.Allocator
+
+	byRNTI map[rnti.RNTI]*ueCtx
+	byUE   map[*ue.UE]*ueCtx
+	order  []*ueCtx // deterministic scheduling order
+	rrPtr  int      // round-robin rotation pointer
+
+	// dlPending buffers downlink bytes for idle UEs until paging brings
+	// them back to connected mode.
+	dlPending map[*ue.UE]int
+
+	ctl       sim.Queue // timed control-procedure steps
+	observers []Observer
+
+	cur *builder // subframe under assembly; valid only inside Tick
+
+	// stats
+	grantsDL, grantsUL int64
+	bytesDL, bytesUL   int64
+}
+
+// NewCell returns an empty cell.
+func NewCell(id int, p operator.Profile, core *epc.Core, rng *sim.RNG) (*Cell, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("enb: %w", err)
+	}
+	return &Cell{
+		ID:        id,
+		Profile:   p,
+		core:      core,
+		rng:       rng,
+		alloc:     rnti.NewAllocator(rng),
+		byRNTI:    make(map[rnti.RNTI]*ueCtx),
+		byUE:      make(map[*ue.UE]*ueCtx),
+		dlPending: make(map[*ue.UE]int),
+	}, nil
+}
+
+// AddObserver registers a subframe observer (a sniffer).
+func (c *Cell) AddObserver(o Observer) { c.observers = append(c.observers, o) }
+
+// Camp parks an idle UE on this cell and initialises its channel model.
+func (c *Cell) Camp(u *ue.UE) {
+	u.CellID = c.ID
+	u.SetChannel(c.Profile.CQIMean, c.Profile.CQISigma, c.Profile.CQIWalkPerSec)
+}
+
+// Leave removes an idle UE from this cell. Pending downlink for it is
+// dropped (as the serving gateway would re-route it).
+func (c *Cell) Leave(u *ue.UE) {
+	if ctx, ok := c.byUE[u]; ok {
+		c.release(ctx, u.State == ue.Connected)
+	}
+	delete(c.dlPending, u)
+	if u.CellID == c.ID {
+		u.CellID = ue.NoCell
+	}
+	u.State = ue.Idle
+	u.RNTI = 0
+}
+
+// Connected reports the number of UE contexts in connected state.
+func (c *Cell) Connected() int {
+	n := 0
+	for _, ctx := range c.order {
+		if ctx.state == ctxConnected {
+			n++
+		}
+	}
+	return n
+}
+
+// Stats reports cumulative grant and byte counters (DL, UL).
+func (c *Cell) Stats() (grantsDL, grantsUL, bytesDL, bytesUL int64) {
+	return c.grantsDL, c.grantsUL, c.bytesDL, c.bytesUL
+}
+
+// DeliverDL hands downlink payload for a UE to the cell (as arriving from
+// the core network). Idle UEs are paged.
+func (c *Cell) DeliverDL(u *ue.UE, bytes int, now time.Duration) {
+	if bytes <= 0 {
+		return
+	}
+	if ctx, ok := c.byUE[u]; ok && ctx.state == ctxConnected {
+		ctx.dlQueue += bytes
+		return
+	}
+	first := c.dlPending[u] == 0
+	c.dlPending[u] += bytes
+	if first && u.State == ue.Idle {
+		c.schedulePaging(u, now)
+	}
+}
+
+// DeliverUL registers uplink payload generated at the UE. Idle UEs trigger
+// random access; connected UEs signal a scheduling request, which reaches
+// the scheduler after the SR cycle delay.
+func (c *Cell) DeliverUL(u *ue.UE, bytes int, now time.Duration) {
+	if bytes <= 0 {
+		return
+	}
+	if ctx, ok := c.byUE[u]; ok && ctx.state == ctxConnected {
+		c.ctl.Push(now+6*sim.TTI, func() { ctx.ulQueue += bytes })
+		return
+	}
+	u.AddPendingUL(bytes, now)
+	if u.State == ue.Idle {
+		c.RequestConnection(u, rrc.CauseMOData, now)
+	}
+}
+
+// RequestConnection starts the contention-based random access procedure
+// for an idle UE camped on this cell.
+func (c *Cell) RequestConnection(u *ue.UE, cause rrc.EstablishmentCause, now time.Duration) {
+	if u.State != ue.Idle || u.CellID != c.ID {
+		return
+	}
+	u.State = ue.Connecting
+	preamble := c.rng.IntN(64)
+	// Preamble on the next RACH occasion.
+	c.ctl.Push(now+2*sim.TTI, func() {
+		c.cur.sf.RACH = append(c.cur.sf.RACH, phy.Preamble{ID: preamble})
+		c.scheduleRAR(u, cause, preamble, c.cur.now)
+	})
+}
+
+// scheduleRAR allocates a C-RNTI and emits msg2..msg4 plus security
+// activation on their standard timeline.
+func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int, now time.Duration) {
+	r, err := c.alloc.Allocate()
+	if err != nil {
+		// Cell full: the UE backs off to idle and will retry on next data.
+		u.State = ue.Idle
+		return
+	}
+	ctx := &ueCtx{ue: u, rnti: r, state: ctxAccess}
+	c.byRNTI[r] = ctx
+	c.byUE[u] = ctx
+	c.order = append(c.order, ctx)
+
+	tmsi, hasTMSI, random := u.Identity()
+	if c.Profile.OneTimeIdentifiers {
+		// 5G-style concealment: the UE presents a one-time pseudonym, so
+		// the contention-resolution echo binds the RNTI to nothing stable.
+		hasTMSI = false
+		random = c.rng.Uint64() & 0xFFFFFFFFFF
+	}
+	id := rrc.UEIdentity{TMSI: uint32(tmsi), HasTMSI: hasTMSI, Random: random}
+
+	// msg2: random access response on the RA-RNTI (common search space).
+	c.ctl.Push(now+3*sim.TTI, func() {
+		raRNTI := rnti.RAMin + rnti.RNTI(c.cur.sf.Index%10)
+		c.cur.control(c, raRNTI, dci.Format1A, 3, rrc.RandomAccessResponse{
+			PreambleID: preamble,
+			TempCRNTI:  r,
+		})
+	})
+	// msg3: UL grant carrying the RRC connection request in plaintext.
+	c.ctl.Push(now+5*sim.TTI, func() {
+		c.cur.control(c, r, dci.Format0, 2, rrc.ConnectionRequest{Identity: id, Cause: cause})
+	})
+	// msg4: connection setup echoing the contention-resolution identity —
+	// the plaintext a passive identity-mapping attacker reads.
+	c.ctl.Push(now+7*sim.TTI, func() {
+		c.cur.control(c, r, dci.Format1A, 3, rrc.ConnectionSetup{ContentionResolution: id})
+	})
+	// Security activation, after which nothing is plaintext; the
+	// connection is then live.
+	c.ctl.Push(now+9*sim.TTI, func() {
+		c.cur.control(c, r, dci.Format1A, 2, rrc.SecurityModeCommand{})
+		ctx.secured = true
+		ctx.state = ctxConnected
+		ctx.lastActivity = c.cur.now
+		ctx.rntiAge = c.cur.now
+		u.State = ue.Connected
+		u.RNTI = r
+		if pend := u.TakePendingUL(); pend > 0 {
+			ctx.ulQueue += pend
+		}
+		if pend := c.dlPending[u]; pend > 0 {
+			ctx.dlQueue += pend
+			delete(c.dlPending, u)
+		}
+	})
+}
+
+// schedulePaging emits a paging record for an idle UE and has it respond
+// with mobile-terminated access.
+func (c *Cell) schedulePaging(u *ue.UE, now time.Duration) {
+	// Next paging occasion: paging frames recur every 32 ms.
+	const pagingCycle = 32 * sim.TTI
+	due := now + pagingCycle - now%pagingCycle
+	c.ctl.Push(due, func() {
+		if !u.HasTMSI || u.State != ue.Idle || u.CellID != c.ID {
+			return
+		}
+		shown := uint32(u.TMSI)
+		if c.Profile.OneTimeIdentifiers {
+			// Rotating paging pseudonym: useless for passive tracking.
+			shown = uint32(c.rng.Uint64())
+		}
+		c.cur.control(c, rnti.PRNTI, dci.Format1A, 1, rrc.Paging{
+			Records: []rrc.PagingRecord{{TMSI: shown}},
+		})
+		c.ctl.Push(c.cur.now+6*sim.TTI, func() {
+			c.RequestConnection(u, rrc.CauseMTAccess, c.cur.now)
+		})
+	})
+}
+
+// HandoverTo moves a connected UE to the target cell: the source sends the
+// (encrypted) reconfiguration command and releases the context; the target
+// admits the UE via non-contention random access — meaning no plaintext
+// identity is exposed in the target cell, exactly the property that forces
+// the paper's attacker to re-map identities after handover.
+func (c *Cell) HandoverTo(target *Cell, u *ue.UE, now time.Duration) error {
+	ctx, ok := c.byUE[u]
+	if !ok || ctx.state != ctxConnected {
+		return fmt.Errorf("enb: handover of %s: not connected in cell %d", u.Name, c.ID)
+	}
+	// Encrypted RRCConnectionReconfiguration with mobilityControlInfo.
+	c.ctl.Push(now, func() {
+		c.cur.control(c, ctx.rnti, dci.Format1A, 2, nil)
+	})
+	dl, ul := ctx.dlQueue, ctx.ulQueue
+	ctx.dlQueue, ctx.ulQueue = 0, 0
+	c.ctl.Push(now+2*sim.TTI, func() {
+		c.release(ctx, false)
+		target.admitHandover(u, dl, ul, c.cur.now)
+	})
+	return nil
+}
+
+// admitHandover creates a connected, secured context for a UE arriving via
+// handover (non-contention random access, ~10 ms).
+func (c *Cell) admitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) {
+	c.Camp(u)
+	u.State = ue.Connecting
+	r, err := c.alloc.Allocate()
+	if err != nil {
+		u.State = ue.Idle
+		return
+	}
+	ctx := &ueCtx{ue: u, rnti: r, state: ctxAccess, secured: true, dlQueue: dlQueue, ulQueue: ulQueue}
+	c.byRNTI[r] = ctx
+	c.byUE[u] = ctx
+	c.order = append(c.order, ctx)
+	c.ctl.Push(now+8*sim.TTI, func() {
+		// Dedicated-preamble RACH completes; no contention resolution, no
+		// plaintext identity on the air.
+		c.cur.sf.RACH = append(c.cur.sf.RACH, phy.Preamble{ID: 60 + c.rng.IntN(4)})
+		c.cur.control(c, r, dci.Format1A, 2, nil)
+		ctx.state = ctxConnected
+		ctx.lastActivity = c.cur.now
+		ctx.rntiAge = c.cur.now
+		u.State = ue.Connected
+		u.RNTI = r
+	})
+}
+
+// release tears down a UE context. withMessage emits the (encrypted)
+// RRC release on the air first.
+func (c *Cell) release(ctx *ueCtx, withMessage bool) {
+	if ctx.state == ctxReleased {
+		return
+	}
+	if withMessage && c.cur != nil {
+		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
+	}
+	ctx.state = ctxReleased
+	delete(c.byRNTI, ctx.rnti)
+	delete(c.byUE, ctx.ue)
+	c.alloc.Release(ctx.rnti)
+	if ctx.ue.CellID == c.ID {
+		ctx.ue.State = ue.Idle
+		ctx.ue.RNTI = 0
+	}
+	// ctx is compacted out of c.order at the end of the current Tick.
+}

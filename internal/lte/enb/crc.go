@@ -1,0 +1,11 @@
+package enb
+
+import (
+	"ltefp/internal/lte/crc"
+	"ltefp/internal/lte/rnti"
+)
+
+// attachCRC computes the RNTI-masked CRC transmitted with a DCI payload.
+func attachCRC(payload []byte, r rnti.RNTI) uint16 {
+	return crc.Attach(payload, uint16(r))
+}

@@ -1,0 +1,115 @@
+package enb_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/lte/rrc"
+	"ltefp/internal/lte/ue"
+)
+
+func TestRNTIRefreshDefense(t *testing.T) {
+	p := operator.Lab()
+	p.RNTIRefreshEvery = 300 * time.Millisecond
+	r := newRig(t, p)
+	u := r.newUE("a")
+	r.cell.DeliverUL(u, 100, r.now)
+	r.run(50 * time.Millisecond)
+	if u.State != ue.Connected {
+		t.Fatal("UE did not connect")
+	}
+	first := u.RNTI
+	// Keep the connection busy so inactivity release never fires.
+	for i := 0; i < 20; i++ {
+		r.cell.DeliverDL(u, 2000, r.now)
+		r.run(100 * time.Millisecond)
+	}
+	if u.State != ue.Connected {
+		t.Fatal("UE dropped mid-session")
+	}
+	if u.RNTI == first {
+		t.Fatal("C-RNTI never refreshed despite the defense being on")
+	}
+	// The refresh must not leak any plaintext identity: the only identity
+	// events are from the initial attach.
+	ids := 0
+	for _, pl := range r.rec.plaintexts() {
+		switch pl.(type) {
+		case rrc.ConnectionRequest, rrc.ConnectionSetup:
+			ids++
+		}
+	}
+	if ids > 2 {
+		t.Fatalf("%d identity plaintexts observed; refreshes must be unlinkable", ids)
+	}
+	// Traffic continued under the new RNTIs: total delivered bytes match.
+	_, _, bytesDL, _ := r.cell.Stats()
+	if bytesDL != 40000 {
+		t.Fatalf("delivered %d bytes across refreshes, want 40000", bytesDL)
+	}
+}
+
+func TestPadBucketsDefense(t *testing.T) {
+	p := operator.Lab()
+	p.PadBuckets = true
+	r := newRig(t, p)
+	u := r.newUE("a")
+	r.cell.DeliverUL(u, 1, r.now)
+	r.run(50 * time.Millisecond)
+	// Distinct small payloads must land on identical bucketed block sizes.
+	sizes := make(map[int]bool)
+	for _, payload := range []int{130, 180, 230} {
+		before := len(r.rec.subframes)
+		r.cell.DeliverDL(u, payload, r.now)
+		r.run(50 * time.Millisecond)
+		for _, sf := range r.rec.subframes[before:] {
+			for i := range sf.PDCCH {
+				msg, err := dci.Parse(sf.PDCCH[i].Payload)
+				if err != nil || msg.Format != dci.Format1A || msg.MCS == 0 {
+					continue
+				}
+				b, err := msg.TransportBlockBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sizes[b] = true
+			}
+		}
+	}
+	if len(sizes) != 1 {
+		t.Fatalf("morphed block sizes = %v, want one shared bucket", sizes)
+	}
+	for b := range sizes {
+		if b < 256 {
+			t.Fatalf("bucketed block %d smaller than the 256-byte bucket", b)
+		}
+	}
+}
+
+func TestOneTimeIdentifiers(t *testing.T) {
+	p := operator.Lab()
+	p.OneTimeIdentifiers = true
+	r := newRig(t, p)
+	u := r.newUE("a")
+	r.cell.DeliverUL(u, 100, r.now)
+	r.run(100 * time.Millisecond)
+	if u.State != ue.Connected {
+		t.Fatal("UE did not connect under concealment")
+	}
+	for _, pl := range r.rec.plaintexts() {
+		switch m := pl.(type) {
+		case rrc.ConnectionRequest:
+			if m.Identity.HasTMSI {
+				t.Fatal("concealed connection request exposed a TMSI")
+			}
+		case rrc.ConnectionSetup:
+			if m.ContentionResolution.HasTMSI {
+				t.Fatal("concealed connection setup exposed a TMSI")
+			}
+		}
+	}
+	_ = rnti.RNTI(0)
+}

@@ -1,0 +1,364 @@
+package enb
+
+import (
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/phy"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/lte/tbs"
+	"ltefp/internal/sim"
+)
+
+// builder assembles the subframe currently being transmitted: it tracks
+// PDCCH occupancy and the shared-channel resource budgets, and collects the
+// resulting transmissions.
+type builder struct {
+	sf  *phy.Subframe
+	now time.Duration
+	cce *phy.CCEMap
+
+	dlPRBLeft int
+	ulPRBLeft int
+	dlRB      int // next downlink RB start
+	ulRB      int
+}
+
+// Tick advances the cell by one subframe and returns everything it put on
+// the air. The caller must invoke Tick exactly once per TTI in time order.
+func (c *Cell) Tick(now time.Duration) *phy.Subframe {
+	b := &builder{
+		sf:        &phy.Subframe{Index: int64(now / sim.TTI)},
+		now:       now,
+		cce:       phy.NewCCEMap(c.Profile.NCCE),
+		dlPRBLeft: c.Profile.PRBs,
+		ulPRBLeft: c.Profile.PRBs,
+	}
+	c.cur = b
+	c.ctl.PopDue(now)
+	c.scheduleData(b)
+	c.checkInactivity(now)
+	if c.Profile.RNTIRefreshEvery > 0 && b.sf.Index%32 == 0 {
+		c.refreshRNTIs(now)
+	}
+	if b.sf.Index%100 == 0 {
+		c.stepChannels()
+	}
+	c.compactOrder()
+	c.cur = nil
+	for _, o := range c.observers {
+		o.Observe(c.ID, b.sf)
+	}
+	return b.sf
+}
+
+// control emits a control-plane message (RAR, msg3 grant, msg4, paging,
+// security command, release, reconfiguration). Control uses the most
+// robust MCS; if the PDCCH is congested this subframe, emission retries
+// next subframe — state transitions attached by the caller have already
+// happened, as they would at the RRC layer.
+func (b *builder) control(c *Cell, r rnti.RNTI, f dci.Format, nprb int, plaintext any) {
+	agg := 4
+	if !r.IsC() {
+		agg = 8
+	}
+	if _, ok := b.tryEmit(c, r, f, agg, nprb, 0, plaintext); !ok {
+		c.ctl.Push(b.now+sim.TTI, func() {
+			c.cur.control(c, r, f, nprb, plaintext)
+		})
+	}
+}
+
+// tryEmit places one DCI on the PDCCH and charges the shared-channel
+// budget. It returns the scheduled transport block size in bytes.
+func (b *builder) tryEmit(c *Cell, r rnti.RNTI, f dci.Format, agg, nprb, mcs int, plaintext any) (tbBytes int, ok bool) {
+	budget := &b.dlPRBLeft
+	rbNext := &b.dlRB
+	if f == dci.Format0 {
+		budget = &b.ulPRBLeft
+		rbNext = &b.ulRB
+	}
+	if nprb < 1 || nprb > *budget {
+		return 0, false
+	}
+	firstCCE, placed := b.cce.Place(r, agg, b.sf.Index)
+	if !placed {
+		return 0, false
+	}
+	rbStart := *rbNext
+	if rbStart+nprb > c.Profile.PRBs {
+		rbStart = 0
+	}
+	msg := dci.Message{
+		Format:  f,
+		RBStart: rbStart,
+		NPRB:    nprb,
+		MCS:     mcs,
+		HARQ:    int(b.sf.Index) % 8,
+		NDI:     true,
+		TPC:     1,
+	}
+	payload, err := msg.Pack()
+	if err != nil {
+		// A packing failure is a scheduler bug, not a runtime condition.
+		panic("enb: packing DCI: " + err.Error())
+	}
+	itbs, _, err := tbs.ForMCS(mcs)
+	if err != nil {
+		panic("enb: MCS from scheduler out of range: " + err.Error())
+	}
+	tbBytes, err = tbs.Bytes(itbs, nprb)
+	if err != nil {
+		panic("enb: TBS lookup: " + err.Error())
+	}
+	b.sf.PDCCH = append(b.sf.PDCCH, phy.Transmission{
+		Payload:   payload,
+		MaskedCRC: attachCRC(payload, r),
+		AggLevel:  agg,
+		FirstCCE:  firstCCE,
+		Plaintext: plaintext,
+	})
+	*budget -= nprb
+	*rbNext = rbStart + nprb
+	return tbBytes, true
+}
+
+// scheduleData runs the per-TTI data scheduler: a rotating round-robin
+// over connected UEs, granting downlink assignments (format 1A) and uplink
+// grants (format 0) against the remaining PRB budget.
+func (c *Cell) scheduleData(b *builder) {
+	n := len(c.order)
+	if n == 0 {
+		return
+	}
+	p := &c.Profile
+	for i := 0; i < n; i++ {
+		ctx := c.order[(c.rrPtr+i)%n]
+		if ctx.state != ctxConnected {
+			continue
+		}
+		mcs := ctx.ue.MCS()
+		if ctx.dlQueue > 0 && b.sf.Index >= ctx.nextDLSF && b.dlPRBLeft > 0 {
+			if granted := c.grant(b, ctx, dci.Format1A, mcs, ctx.dlQueue, b.dlPRBLeft); granted > 0 {
+				if granted > ctx.dlQueue {
+					granted = ctx.dlQueue
+				}
+				ctx.dlQueue -= granted
+				ctx.lastActivity = b.now
+				// Contention jitter delays the start of service for a new
+				// burst; a backlogged UE keeps its scheduling cadence, as
+				// under any work-conserving scheduler.
+				ctx.nextDLSF = b.sf.Index + int64(p.SchedPeriodTTI)
+				if ctx.dlQueue == 0 {
+					ctx.nextDLSF += c.jitter()
+				}
+				c.grantsDL++
+				c.bytesDL += int64(granted)
+			}
+		}
+		if ctx.ulQueue > 0 && b.sf.Index >= ctx.nextULSF && b.ulPRBLeft > 0 {
+			if granted := c.grant(b, ctx, dci.Format0, mcs, ctx.ulQueue, b.ulPRBLeft); granted > 0 {
+				if granted > ctx.ulQueue {
+					granted = ctx.ulQueue
+				}
+				ctx.ulQueue -= granted
+				ctx.lastActivity = b.now
+				ctx.nextULSF = b.sf.Index + int64(p.SchedPeriodTTI)
+				if ctx.ulQueue == 0 {
+					ctx.nextULSF += c.jitter()
+				}
+				c.grantsUL++
+				c.bytesUL += int64(granted)
+			}
+		}
+	}
+	c.rrPtr = (c.rrPtr + 1) % n
+}
+
+// grant sizes and emits one data grant, returning the transport block size
+// in bytes (0 when the PDCCH or PRB budget blocked it).
+func (c *Cell) grant(b *builder, ctx *ueCtx, f dci.Format, mcs, queued, prbLeft int) int {
+	p := &c.Profile
+	want := queued
+	if p.PaddingProb > 0 && c.rng.Bool(p.PaddingProb) {
+		// Over-grants scale with the payload (a scheduler rounds a grant
+		// up within its allocation granularity), bounded by the profile's
+		// absolute cap.
+		pad := queued / 3
+		if pad < 24 {
+			pad = 24
+		}
+		if pad > p.PaddingMaxBytes {
+			pad = p.PaddingMaxBytes
+		}
+		want += c.rng.IntN(pad + 1)
+	}
+	if p.PadBuckets {
+		want = padBucket(want)
+	}
+	itbs, _, err := tbs.ForMCS(mcs)
+	if err != nil {
+		panic("enb: UE MCS out of range: " + err.Error())
+	}
+	maxPRB := p.MaxPRBPerGrant
+	if prbLeft < maxPRB {
+		maxPRB = prbLeft
+	}
+	nprb, _ := tbs.PRBsFor(itbs, want, maxPRB)
+	// Link adaptation tightens the grant: with the PRB count fixed, the
+	// MCS is lowered while the transport block still fits the payload, so
+	// small packets get small transport blocks instead of a padded block
+	// at the channel's full rate (srsENB behaves the same way). This is
+	// what makes TBS track payload size — the leak the paper exploits.
+	ueITBS := itbs
+	for itbs > 0 {
+		smaller, err := tbs.Bytes(itbs-1, nprb)
+		if err != nil || smaller < want {
+			break
+		}
+		itbs--
+	}
+	// Production schedulers do not size grants exactly: they leave up to
+	// LinkAdaptSlack MCS steps of headroom (never exceeding what the
+	// channel supports), re-blurring the TBS↔payload correspondence.
+	if s := p.LinkAdaptSlack; s > 0 {
+		itbs += c.rng.IntN(s + 1)
+		if itbs > ueITBS {
+			itbs = ueITBS
+		}
+	}
+	mcs = mcsForITBS(itbs)
+	tb, ok := b.tryEmit(c, ctx.rnti, f, aggForCQI(ctx.ue.CQI), nprb, mcs, nil)
+	if !ok {
+		return 0
+	}
+	return tb
+}
+
+// padBucket morphs a payload size up to the next traffic-morphing bucket:
+// powers of two from 128 bytes, then 16 KiB multiples for bulk transfers.
+// Collapsing sizes onto a few buckets is what destroys the size feature.
+func padBucket(want int) int {
+	if want <= 128 {
+		return 128
+	}
+	if want <= 64*1024 {
+		b := 128
+		for b < want {
+			b *= 2
+		}
+		return b
+	}
+	const step = 16 * 1024
+	return (want + step - 1) / step * step
+}
+
+// jitter draws the grant-delay jitter of this operator.
+func (c *Cell) jitter() int64 {
+	j := c.Profile.GrantJitterTTI
+	if j <= 0 {
+		return 0
+	}
+	return int64(c.rng.IntN(j + 1))
+}
+
+// mcsForITBS inverts the MCS → I_TBS mapping (TS 36.213 Table 7.1.7.1-1),
+// picking the lowest-order modulation that reaches the index.
+func mcsForITBS(itbs int) int {
+	switch {
+	case itbs <= 9:
+		return itbs
+	case itbs <= 15:
+		return itbs + 1
+	default:
+		return itbs + 2
+	}
+}
+
+// aggForCQI picks the PDCCH aggregation level link adaptation would: worse
+// channels need more CCEs.
+func aggForCQI(cqi float64) int {
+	switch {
+	case cqi >= 12:
+		return 1
+	case cqi >= 9:
+		return 2
+	case cqi >= 6:
+		return 4
+	default:
+		return 8
+	}
+}
+
+// refreshRNTIs implements the paper's §VIII-B countermeasure: connected
+// UEs whose C-RNTI has aged past the refresh period get a fresh one via an
+// encrypted reconfiguration. A passive observer sees the old RNTI fall
+// silent and an unlinkable new one appear, resetting its tracking state.
+func (c *Cell) refreshRNTIs(now time.Duration) {
+	for _, ctx := range c.order {
+		if ctx.state != ctxConnected {
+			continue
+		}
+		if now-ctx.rntiAge < c.Profile.RNTIRefreshEvery {
+			continue
+		}
+		fresh, err := c.alloc.Allocate()
+		if err != nil {
+			continue // RNTI space exhausted: keep the old one this round
+		}
+		// Encrypted RRCConnectionReconfiguration on the old identity.
+		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
+		delete(c.byRNTI, ctx.rnti)
+		c.alloc.Release(ctx.rnti)
+		ctx.rnti = fresh
+		ctx.rntiAge = now
+		c.byRNTI[fresh] = ctx
+		ctx.ue.RNTI = fresh
+	}
+}
+
+// checkInactivity releases UEs whose connections have been silent past the
+// operator's inactivity timeout — the mechanism behind the RNTI churn the
+// paper's tracker must survive.
+func (c *Cell) checkInactivity(now time.Duration) {
+	for _, ctx := range c.order {
+		if ctx.state != ctxConnected {
+			continue
+		}
+		if ctx.dlQueue > 0 || ctx.ulQueue > 0 {
+			continue
+		}
+		if now-ctx.lastActivity >= c.Profile.InactivityTimeout {
+			c.release(ctx, true)
+		}
+	}
+}
+
+// stepChannels advances every attached UE's channel random walk (called
+// every 100 subframes).
+func (c *Cell) stepChannels() {
+	for _, ctx := range c.order {
+		if ctx.state != ctxReleased {
+			ctx.ue.StepCQI(100 * sim.TTI)
+		}
+	}
+}
+
+// compactOrder drops released contexts from the scheduling ring.
+func (c *Cell) compactOrder() {
+	kept := c.order[:0]
+	for _, ctx := range c.order {
+		if ctx.state != ctxReleased {
+			kept = append(kept, ctx)
+		}
+	}
+	for i := len(kept); i < len(c.order); i++ {
+		c.order[i] = nil
+	}
+	c.order = kept
+	if len(c.order) == 0 {
+		c.rrPtr = 0
+	} else {
+		c.rrPtr %= len(c.order)
+	}
+}

@@ -1,0 +1,86 @@
+package epc_test
+
+import (
+	"errors"
+	"testing"
+
+	"ltefp/internal/lte/epc"
+	"ltefp/internal/sim"
+)
+
+func TestAttachResolve(t *testing.T) {
+	c := epc.NewCore(sim.NewRNG(1))
+	tmsi := c.Attach("310150000000001")
+	if tmsi == 0 {
+		t.Fatal("zero TMSI assigned")
+	}
+	imsi, err := c.Resolve(tmsi)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if imsi != "310150000000001" {
+		t.Fatalf("Resolve = %q", imsi)
+	}
+	if got := c.Attach("310150000000001"); got != tmsi {
+		t.Fatalf("re-attach changed TMSI: %v -> %v", tmsi, got)
+	}
+	if c.Registered() != 1 {
+		t.Fatalf("Registered() = %d", c.Registered())
+	}
+}
+
+func TestTMSIUniqueness(t *testing.T) {
+	c := epc.NewCore(sim.NewRNG(2))
+	seen := make(map[epc.TMSI]bool)
+	for i := 0; i < 1000; i++ {
+		tmsi := c.Attach(epc.IMSI(rune('a'+i%26)) + epc.IMSI(rune('0'+i/26)))
+		if seen[tmsi] {
+			t.Fatalf("TMSI %v assigned twice", tmsi)
+		}
+		seen[tmsi] = true
+	}
+}
+
+func TestReallocate(t *testing.T) {
+	c := epc.NewCore(sim.NewRNG(3))
+	old := c.Attach("imsi-1")
+	fresh, err := c.Reallocate("imsi-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh == old {
+		t.Fatal("reallocation returned the same TMSI")
+	}
+	if _, err := c.Resolve(old); err == nil {
+		t.Fatal("old TMSI still resolves after reallocation")
+	}
+	if got, err := c.TMSIOf("imsi-1"); err != nil || got != fresh {
+		t.Fatalf("TMSIOf = (%v, %v), want (%v, nil)", got, err, fresh)
+	}
+}
+
+func TestUnknownSubscriber(t *testing.T) {
+	c := epc.NewCore(sim.NewRNG(4))
+	if _, err := c.Reallocate("ghost"); !errors.Is(err, epc.ErrUnknownSubscriber) {
+		t.Fatalf("Reallocate(ghost) error = %v", err)
+	}
+	if _, err := c.TMSIOf("ghost"); !errors.Is(err, epc.ErrUnknownSubscriber) {
+		t.Fatalf("TMSIOf(ghost) error = %v", err)
+	}
+	if _, err := c.Resolve(12345); !errors.Is(err, epc.ErrUnknownSubscriber) {
+		t.Fatalf("Resolve(12345) error = %v", err)
+	}
+}
+
+func TestDetach(t *testing.T) {
+	c := epc.NewCore(sim.NewRNG(5))
+	tmsi := c.Attach("imsi-2")
+	c.Detach("imsi-2")
+	if _, err := c.Resolve(tmsi); err == nil {
+		t.Fatal("detached subscriber's TMSI still resolves")
+	}
+	if c.Registered() != 0 {
+		t.Fatalf("Registered() = %d after detach", c.Registered())
+	}
+	c.Detach("imsi-2") // second detach is a no-op
+}

@@ -1,0 +1,239 @@
+// Package network is the simulation driver: it owns the clock, the core
+// network, the cells, and the UEs, routes application-layer arrivals into
+// the radio stack, and runs the whole system subframe by subframe. All
+// orchestration that is not radio protocol — traffic programs, mobility,
+// background cell load, periodic GUTI reallocation — lives here, keeping
+// the enb and ue packages purely protocol-shaped.
+package network
+
+import (
+	"fmt"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/enb"
+	"ltefp/internal/lte/epc"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/lte/ue"
+	"ltefp/internal/sim"
+)
+
+// Network is one simulated mobile network: a core, one or more cells, and
+// any number of UEs. Not safe for concurrent use.
+type Network struct {
+	// Core is the EPC.
+	Core *epc.Core
+
+	clock     sim.Clock
+	rng       *sim.RNG
+	cells     map[int]*enb.Cell
+	cellOrder []int
+	queue     sim.Queue
+	ues       []*ue.UE
+	nextIMSI  int
+	gutiArmed map[*ue.UE]bool
+	tmsiHist  map[*ue.UE][]epc.TMSI
+}
+
+// New returns an empty network seeded deterministically.
+func New(seed uint64) *Network {
+	rng := sim.NewRNG(seed)
+	return &Network{
+		Core:      epc.NewCore(rng.Fork()),
+		rng:       rng,
+		cells:     make(map[int]*enb.Cell),
+		gutiArmed: make(map[*ue.UE]bool),
+		tmsiHist:  make(map[*ue.UE][]epc.TMSI),
+	}
+}
+
+// Now returns the current simulated time.
+func (n *Network) Now() time.Duration { return n.clock.Now() }
+
+// AddCell creates a cell with the given ID and operator profile, spawning
+// the profile's ambient background UEs. Cell IDs must be unique.
+func (n *Network) AddCell(id int, p operator.Profile) (*enb.Cell, error) {
+	if _, dup := n.cells[id]; dup {
+		return nil, fmt.Errorf("network: duplicate cell ID %d", id)
+	}
+	c, err := enb.NewCell(id, p, n.Core, n.rng.Fork())
+	if err != nil {
+		return nil, err
+	}
+	n.cells[id] = c
+	n.cellOrder = append(n.cellOrder, id)
+	for i := 0; i < p.BackgroundUEs; i++ {
+		bu := n.NewUE(fmt.Sprintf("bg-%d-%d", id, i))
+		n.Camp(bu, id)
+		n.startBackground(bu)
+	}
+	return c, nil
+}
+
+// Cell returns the cell with the given ID.
+func (n *Network) Cell(id int) (*enb.Cell, error) {
+	c, ok := n.cells[id]
+	if !ok {
+		return nil, fmt.Errorf("network: no cell %d", id)
+	}
+	return c, nil
+}
+
+// NewUE creates a UE, registers it with the core (obtaining a TMSI), and
+// returns it unattached.
+func (n *Network) NewUE(name string) *ue.UE {
+	n.nextIMSI++
+	imsi := epc.IMSI(fmt.Sprintf("310150%09d", n.nextIMSI))
+	u := ue.New(name, imsi, n.rng.Fork())
+	u.TMSI = n.Core.Attach(imsi)
+	u.HasTMSI = true
+	n.ues = append(n.ues, u)
+	n.tmsiHist[u] = append(n.tmsiHist[u], u.TMSI)
+	return u
+}
+
+// TMSIHistory returns every TMSI a UE has held, in assignment order. This
+// is simulation ground truth: experiments use it for labelling, and attack
+// scenarios use it to stand in for the IMSI-catcher assistance the paper's
+// threat model grants the attacker for cross-TMSI tracking.
+func (n *Network) TMSIHistory(u *ue.UE) []epc.TMSI {
+	out := make([]epc.TMSI, len(n.tmsiHist[u]))
+	copy(out, n.tmsiHist[u])
+	return out
+}
+
+// Camp parks an idle UE on a cell, leaving its previous cell if any, and
+// arms this cell's periodic GUTI reallocation for it.
+func (n *Network) Camp(u *ue.UE, cellID int) {
+	if u.CellID != ue.NoCell && u.CellID != cellID {
+		if old, ok := n.cells[u.CellID]; ok {
+			old.Leave(u)
+		}
+	}
+	c := n.cells[cellID]
+	c.Camp(u)
+	if every := c.Profile.GUTIReallocEvery; every > 0 {
+		n.scheduleGUTIRealloc(u, every)
+	}
+}
+
+// Handover moves a connected UE to the target cell via the X2-style
+// handover procedure.
+func (n *Network) Handover(u *ue.UE, targetCellID int) error {
+	src, ok := n.cells[u.CellID]
+	if !ok {
+		return fmt.Errorf("network: UE %s not in any cell", u.Name)
+	}
+	dst, ok := n.cells[targetCellID]
+	if !ok {
+		return fmt.Errorf("network: no cell %d", targetCellID)
+	}
+	return src.HandoverTo(dst, u, n.clock.Now())
+}
+
+// ScheduleSession arranges for the UE to run one application session: at
+// start the UE is (re)camped on the cell if needed, and the app's arrivals
+// flow into the radio stack for the session duration. day selects the
+// drift model day (1 = training day).
+func (n *Network) ScheduleSession(u *ue.UE, cellID int, app appmodel.App, start, dur time.Duration, day int) {
+	g := n.rng.Fork()
+	n.queue.Push(start, func() {
+		if u.CellID != cellID {
+			n.Camp(u, cellID)
+		}
+		// Adaptive apps see the session's channel: quality is derived
+		// from the UE's channel state at session start.
+		env := appmodel.Env{Quality: (u.CQI - 1) / 14}
+		for _, a := range app.SessionEnv(g, dur, day, env) {
+			arr := a
+			n.queue.Push(start+arr.At, func() { n.route(u, arr) })
+		}
+	})
+}
+
+// ScheduleArrivals injects a pre-built arrival stream for a UE starting at
+// the given time (used for paired-conversation and merged-noise traffic).
+func (n *Network) ScheduleArrivals(u *ue.UE, cellID int, arrivals []appmodel.Arrival, start time.Duration) {
+	n.queue.Push(start, func() {
+		if u.CellID != cellID {
+			n.Camp(u, cellID)
+		}
+		for _, a := range arrivals {
+			arr := a
+			n.queue.Push(start+arr.At, func() { n.route(u, arr) })
+		}
+	})
+}
+
+// transportOverhead approximates the IP/transport headers wrapped around
+// each application payload before it reaches the radio bearer.
+const transportOverhead = 40
+
+// route hands one application arrival to the UE's serving cell.
+func (n *Network) route(u *ue.UE, a appmodel.Arrival) {
+	c, ok := n.cells[u.CellID]
+	if !ok {
+		return // UE left the network while traffic was in flight
+	}
+	bytes := a.Bytes + transportOverhead
+	switch a.Dir {
+	case dci.Uplink:
+		c.DeliverUL(u, bytes, n.clock.Now())
+	case dci.Downlink:
+		c.DeliverDL(u, bytes, n.clock.Now())
+	}
+}
+
+// startBackground keeps a UE running an endless rotation of background
+// apps, generating traffic in bounded chunks so memory stays flat.
+func (n *Network) startBackground(u *ue.UE) {
+	pool := appmodel.BackgroundPool()
+	g := n.rng.Fork()
+	var step func()
+	step = func() {
+		app := pool[g.IntN(len(pool))]
+		dur := time.Duration(g.Uniform(15, 45) * float64(time.Second))
+		base := n.clock.Now()
+		for _, a := range app.Session(g, dur, 1) {
+			arr := a
+			n.queue.Push(base+arr.At, func() { n.route(u, arr) })
+		}
+		// A think-time gap before the next app keeps background UEs
+		// cycling through idle and connected states.
+		n.queue.Push(base+dur+time.Duration(g.Uniform(2, 20)*float64(time.Second)), step)
+	}
+	n.queue.Push(time.Duration(g.Uniform(0, 10)*float64(time.Second)), step)
+}
+
+// scheduleGUTIRealloc periodically refreshes a UE's TMSI while it is idle,
+// as tracking-area updates do on real networks.
+func (n *Network) scheduleGUTIRealloc(u *ue.UE, every time.Duration) {
+	if n.gutiArmed[u] {
+		return
+	}
+	n.gutiArmed[u] = true
+	var step func()
+	step = func() {
+		if u.State == ue.Idle && u.HasTMSI {
+			if t, err := n.Core.Reallocate(u.IMSI); err == nil {
+				u.TMSI = t
+				n.tmsiHist[u] = append(n.tmsiHist[u], t)
+			}
+		}
+		n.queue.Push(n.clock.Now()+every, step)
+	}
+	n.queue.Push(n.clock.Now()+every, step)
+}
+
+// Run advances the simulation until the given absolute time.
+func (n *Network) Run(until time.Duration) {
+	for n.clock.Now() < until {
+		now := n.clock.Now()
+		n.queue.PopDue(now)
+		for _, id := range n.cellOrder {
+			n.cells[id].Tick(now)
+		}
+		n.clock.Tick()
+	}
+}

@@ -1,0 +1,153 @@
+package network_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/lte/network"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/lte/ue"
+)
+
+func TestAddCellDuplicate(t *testing.T) {
+	n := network.New(1)
+	if _, err := n.AddCell(1, operator.Lab()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddCell(1, operator.Lab()); err == nil {
+		t.Fatal("duplicate cell ID accepted")
+	}
+	if _, err := n.Cell(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.Cell(2); err == nil {
+		t.Fatal("missing cell resolved")
+	}
+}
+
+func TestSessionDeliversTraffic(t *testing.T) {
+	n := network.New(2)
+	cell, err := n.AddCell(1, operator.Lab())
+	if err != nil {
+		t.Fatal(err)
+	}
+	u := n.NewUE("victim")
+	n.Camp(u, 1)
+	app, err := appmodel.ByName("Skype")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ScheduleSession(u, 1, app, 100*time.Millisecond, 10*time.Second, 1)
+	n.Run(12 * time.Second)
+
+	gDL, gUL, bDL, bUL := cell.Stats()
+	if gDL == 0 || gUL == 0 {
+		t.Fatalf("grants = (%d DL, %d UL): VoIP session produced no traffic", gDL, gUL)
+	}
+	// VoIP is roughly symmetric.
+	ratio := float64(bDL) / float64(bUL)
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("VoIP DL/UL byte ratio = %.2f, want near 1", ratio)
+	}
+}
+
+func TestBackgroundUEsGenerateLoad(t *testing.T) {
+	p := operator.Lab()
+	p.BackgroundUEs = 4
+	n := network.New(3)
+	cell, err := n.AddCell(1, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Run(20 * time.Second)
+	gDL, _, _, _ := cell.Stats()
+	if gDL == 0 {
+		t.Fatal("ambient background UEs produced no downlink grants")
+	}
+}
+
+func TestTMSIHistoryGrowsWithRealloc(t *testing.T) {
+	p := operator.Lab()
+	p.GUTIReallocEvery = 2 * time.Second
+	n := network.New(4)
+	if _, err := n.AddCell(1, p); err != nil {
+		t.Fatal(err)
+	}
+	u := n.NewUE("victim")
+	n.Camp(u, 1)
+	n.Run(9 * time.Second)
+	hist := n.TMSIHistory(u)
+	if len(hist) < 3 {
+		t.Fatalf("TMSI history has %d entries after three reallocation periods", len(hist))
+	}
+	seen := make(map[uint32]bool)
+	for _, tm := range hist {
+		if seen[uint32(tm)] {
+			t.Fatal("TMSI repeated in history")
+		}
+		seen[uint32(tm)] = true
+	}
+	if u.TMSI != hist[len(hist)-1] {
+		t.Fatal("UE's current TMSI is not the last history entry")
+	}
+}
+
+func TestHandoverAPI(t *testing.T) {
+	n := network.New(5)
+	if _, err := n.AddCell(1, operator.Lab()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := n.AddCell(2, operator.Lab()); err != nil {
+		t.Fatal(err)
+	}
+	u := n.NewUE("victim")
+	n.Camp(u, 1)
+	app, err := appmodel.ByName("Skype")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.ScheduleSession(u, 1, app, 100*time.Millisecond, 20*time.Second, 1)
+	n.Run(5 * time.Second)
+	if u.State != ue.Connected {
+		t.Fatal("UE not connected before handover")
+	}
+	if err := n.Handover(u, 2); err != nil {
+		t.Fatal(err)
+	}
+	n.Run(6 * time.Second)
+	if u.CellID != 2 || u.State != ue.Connected {
+		t.Fatalf("after handover: cell %d, state %v", u.CellID, u.State)
+	}
+	if err := n.Handover(u, 9); err == nil {
+		t.Fatal("handover to a missing cell accepted")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() (int64, int64) {
+		n := network.New(77)
+		cell, err := n.AddCell(1, operator.TMobile())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u := n.NewUE("victim")
+		n.Camp(u, 1)
+		app, err := appmodel.ByName("YouTube")
+		if err != nil {
+			t.Fatal(err)
+		}
+		n.ScheduleSession(u, 1, app, 100*time.Millisecond, 5*time.Second, 1)
+		n.Run(6 * time.Second)
+		_, _, bDL, bUL := cell.Stats()
+		return bDL, bUL
+	}
+	dl1, ul1 := run()
+	dl2, ul2 := run()
+	if dl1 != dl2 || ul1 != ul2 {
+		t.Fatalf("identical seeds diverged: (%d, %d) vs (%d, %d)", dl1, ul1, dl2, ul2)
+	}
+	if dl1 == 0 {
+		t.Fatal("no traffic simulated")
+	}
+}

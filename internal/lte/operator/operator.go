@@ -1,0 +1,223 @@
+// Package operator collects the per-network configuration knobs that shape
+// radio-layer traffic: scheduler policy, channel-quality statistics, idle
+// timers, padding behaviour, and ambient cell load. The paper observes that
+// "traffic patterns and frame metadata are sensitive to operator-specific
+// configuration, such as the specific resource scheduling algorithms that
+// eNodeBs use", and trains one model per carrier; this package is where
+// those differences live, so lab-versus-real-world and carrier-versus-
+// carrier comparisons are configuration rather than code.
+//
+// The three commercial profiles are synthetic stand-ins for Verizon, AT&T,
+// and T-Mobile (see DESIGN.md §2): their parameter values are chosen to be
+// mutually distinct and noisier than the lab profile, reproducing the
+// paper's 5–30 point F-score gap between settings rather than any carrier's
+// actual configuration.
+package operator
+
+import (
+	"fmt"
+	"time"
+)
+
+// Profile describes one network environment.
+type Profile struct {
+	// Name identifies the profile ("Lab", "Verizon", "AT&T", "T-Mobile").
+	Name string
+
+	// PRBs is the carrier bandwidth in physical resource blocks.
+	PRBs int
+	// NCCE is the PDCCH capacity in control channel elements per subframe.
+	NCCE int
+	// MaxPRBPerGrant caps a single UE's allocation in one TTI.
+	MaxPRBPerGrant int
+	// SchedPeriodTTI is the nominal gap, in subframes, between scheduling
+	// opportunities for one UE (1 = every TTI).
+	SchedPeriodTTI int
+	// GrantJitterTTI adds up to this many subframes of random delay before
+	// a queued transport block is granted, modelling contention with other
+	// cell users and scheduler batching.
+	GrantJitterTTI int
+
+	// InactivityTimeout is how long a UE may stay silent before the eNodeB
+	// releases its RRC connection (and C-RNTI). The paper cites 10 s as the
+	// common default.
+	InactivityTimeout time.Duration
+
+	// CQIMean and CQISigma describe the stationary distribution of a UE's
+	// channel quality indicator (0..15), which the scheduler maps to MCS.
+	CQIMean  float64
+	CQISigma float64
+	// CQIWalkPerSec is the standard deviation of the per-second random walk
+	// of a UE's CQI around its mean, modelling fading and mobility.
+	CQIWalkPerSec float64
+
+	// PaddingProb is the probability a grant is padded beyond the queued
+	// payload (real schedulers over-grant; padding blurs the size feature).
+	PaddingProb float64
+	// PaddingMaxBytes bounds the over-grant.
+	PaddingMaxBytes int
+
+	// LinkAdaptSlack is the maximum number of extra MCS steps the scheduler
+	// leaves above the tightest transport block that fits a payload. A
+	// dedicated lab eNodeB sizes grants exactly (0); production schedulers
+	// leave headroom for retransmissions and report lag, which blurs the
+	// TBS-to-payload correspondence the attack feeds on.
+	LinkAdaptSlack int
+
+	// CaptureLoss is the probability the sniffer misses a PDCCH message in
+	// this environment (decode failures grow with distance and load).
+	CaptureLoss float64
+	// BackgroundUEs is the number of ambient, non-target UEs the cell
+	// serves, whose traffic shares the PDCCH and the scheduler.
+	BackgroundUEs int
+
+	// GUTIReallocEvery is how often the core reallocates a subscriber's
+	// TMSI; zero disables reallocation (lab).
+	GUTIReallocEvery time.Duration
+
+	// RNTIRefreshEvery, when positive, reassigns every connected UE's
+	// C-RNTI at this period via an encrypted reconfiguration — the paper's
+	// first proposed countermeasure ("a frequent reassignment of the RNTI
+	// from the base station can disrupt the tracking and collecting of LTE
+	// traffic", §VIII-B). A passive sniffer cannot link the old RNTI to
+	// the new one.
+	RNTIRefreshEvery time.Duration
+
+	// PadBuckets, when true, morphs every grant up to the next
+	// power-of-two size bucket (Wright et al.'s traffic morphing applied
+	// at layer two, the paper's second countermeasure) at the price of
+	// padding overhead.
+	PadBuckets bool
+
+	// OneTimeIdentifiers models 5G-style identity protection (§VIII-C:
+	// SUCI/rotating 5G-GUTIs): connection establishment and paging expose
+	// only single-use pseudonyms, so a passive observer can no longer bind
+	// RNTIs to a stable subscriber identity across connections.
+	OneTimeIdentifiers bool
+}
+
+// Validate checks the profile for configuration errors.
+func (p *Profile) Validate() error {
+	switch {
+	case p.Name == "":
+		return fmt.Errorf("operator: profile has no name")
+	case p.PRBs < 6 || p.PRBs > 110:
+		return fmt.Errorf("operator: %s: PRBs %d outside [6, 110]", p.Name, p.PRBs)
+	case p.MaxPRBPerGrant < 1 || p.MaxPRBPerGrant > p.PRBs:
+		return fmt.Errorf("operator: %s: MaxPRBPerGrant %d outside [1, %d]", p.Name, p.MaxPRBPerGrant, p.PRBs)
+	case p.SchedPeriodTTI < 1:
+		return fmt.Errorf("operator: %s: SchedPeriodTTI %d < 1", p.Name, p.SchedPeriodTTI)
+	case p.InactivityTimeout <= 0:
+		return fmt.Errorf("operator: %s: InactivityTimeout must be positive", p.Name)
+	case p.CQIMean < 1 || p.CQIMean > 15:
+		return fmt.Errorf("operator: %s: CQIMean %.1f outside [1, 15]", p.Name, p.CQIMean)
+	case p.CaptureLoss < 0 || p.CaptureLoss >= 1:
+		return fmt.Errorf("operator: %s: CaptureLoss %.3f outside [0, 1)", p.Name, p.CaptureLoss)
+	case p.PaddingProb < 0 || p.PaddingProb > 1:
+		return fmt.Errorf("operator: %s: PaddingProb %.3f outside [0, 1]", p.Name, p.PaddingProb)
+	}
+	return nil
+}
+
+// Lab returns the controlled-environment profile: a dedicated eNodeB, one
+// UE per experiment, excellent channel, no padding, no capture loss.
+func Lab() Profile {
+	return Profile{
+		Name:              "Lab",
+		PRBs:              100,
+		NCCE:              42,
+		MaxPRBPerGrant:    100,
+		SchedPeriodTTI:    1,
+		GrantJitterTTI:    0,
+		InactivityTimeout: 10 * time.Second,
+		CQIMean:           14,
+		CQISigma:          0.5,
+		CQIWalkPerSec:     0.05,
+		PaddingProb:       0,
+		PaddingMaxBytes:   0,
+		CaptureLoss:       0,
+		BackgroundUEs:     0,
+	}
+}
+
+// Verizon returns the synthetic Verizon-like commercial profile.
+func Verizon() Profile {
+	return Profile{
+		Name:              "Verizon",
+		PRBs:              100,
+		NCCE:              42,
+		MaxPRBPerGrant:    80,
+		SchedPeriodTTI:    2,
+		GrantJitterTTI:    10,
+		InactivityTimeout: 10 * time.Second,
+		CQIMean:           10.5,
+		CQISigma:          1.4,
+		CQIWalkPerSec:     1.3,
+		PaddingProb:       0.22,
+		PaddingMaxBytes:   900,
+		LinkAdaptSlack:    2,
+		CaptureLoss:       0.035,
+		BackgroundUEs:     14,
+		GUTIReallocEvery:  45 * time.Minute,
+	}
+}
+
+// ATT returns the synthetic AT&T-like commercial profile.
+func ATT() Profile {
+	return Profile{
+		Name:              "AT&T",
+		PRBs:              100,
+		NCCE:              42,
+		MaxPRBPerGrant:    90,
+		SchedPeriodTTI:    1,
+		GrantJitterTTI:    9,
+		InactivityTimeout: 11 * time.Second,
+		CQIMean:           11.0,
+		CQISigma:          1.2,
+		CQIWalkPerSec:     1.1,
+		PaddingProb:       0.18,
+		PaddingMaxBytes:   700,
+		LinkAdaptSlack:    2,
+		CaptureLoss:       0.03,
+		BackgroundUEs:     12,
+		GUTIReallocEvery:  60 * time.Minute,
+	}
+}
+
+// TMobile returns the synthetic T-Mobile-like commercial profile.
+func TMobile() Profile {
+	return Profile{
+		Name:              "T-Mobile",
+		PRBs:              100,
+		NCCE:              42,
+		MaxPRBPerGrant:    70,
+		SchedPeriodTTI:    2,
+		GrantJitterTTI:    12,
+		InactivityTimeout: 9 * time.Second,
+		CQIMean:           10.0,
+		CQISigma:          1.6,
+		CQIWalkPerSec:     1.5,
+		PaddingProb:       0.25,
+		PaddingMaxBytes:   1100,
+		LinkAdaptSlack:    3,
+		CaptureLoss:       0.04,
+		BackgroundUEs:     16,
+		GUTIReallocEvery:  40 * time.Minute,
+	}
+}
+
+// Commercial returns the three real-world profiles in the order the paper's
+// tables list them.
+func Commercial() []Profile {
+	return []Profile{Verizon(), ATT(), TMobile()}
+}
+
+// ByName resolves a profile by its table name (case-sensitive).
+func ByName(name string) (Profile, error) {
+	for _, p := range append([]Profile{Lab()}, Commercial()...) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("operator: unknown profile %q", name)
+}

@@ -1,0 +1,94 @@
+package operator_test
+
+import (
+	"testing"
+
+	"ltefp/internal/lte/operator"
+)
+
+func TestBuiltinProfilesValid(t *testing.T) {
+	profiles := append([]operator.Profile{operator.Lab()}, operator.Commercial()...)
+	for _, p := range profiles {
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", p.Name, err)
+		}
+	}
+}
+
+func TestCommercialOrder(t *testing.T) {
+	got := operator.Commercial()
+	want := []string{"Verizon", "AT&T", "T-Mobile"}
+	if len(got) != len(want) {
+		t.Fatalf("Commercial() has %d profiles", len(got))
+	}
+	for i, p := range got {
+		if p.Name != want[i] {
+			t.Errorf("Commercial()[%d] = %s, want %s", i, p.Name, want[i])
+		}
+	}
+}
+
+func TestLabIsClean(t *testing.T) {
+	lab := operator.Lab()
+	if lab.CaptureLoss != 0 || lab.PaddingProb != 0 || lab.BackgroundUEs != 0 || lab.LinkAdaptSlack != 0 {
+		t.Fatal("lab profile must be noiseless: no loss, padding, ambient users, or link-adaptation slack")
+	}
+}
+
+func TestCommercialNoisierThanLab(t *testing.T) {
+	lab := operator.Lab()
+	for _, p := range operator.Commercial() {
+		if p.CaptureLoss <= lab.CaptureLoss {
+			t.Errorf("%s: capture loss not above lab", p.Name)
+		}
+		if p.BackgroundUEs == 0 {
+			t.Errorf("%s: no ambient users", p.Name)
+		}
+		if p.CQIMean >= lab.CQIMean {
+			t.Errorf("%s: channel not worse than lab", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"Lab", "Verizon", "AT&T", "T-Mobile"} {
+		p, err := operator.ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if p.Name != name {
+			t.Fatalf("ByName(%q).Name = %q", name, p.Name)
+		}
+	}
+	if _, err := operator.ByName("Sprint"); err == nil {
+		t.Fatal("ByName(Sprint) succeeded")
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	bad := operator.Lab()
+	bad.Name = ""
+	if err := bad.Validate(); err == nil {
+		t.Error("empty name accepted")
+	}
+	bad = operator.Lab()
+	bad.PRBs = 5
+	if err := bad.Validate(); err == nil {
+		t.Error("PRBs below 6 accepted")
+	}
+	bad = operator.Lab()
+	bad.MaxPRBPerGrant = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero MaxPRBPerGrant accepted")
+	}
+	bad = operator.Lab()
+	bad.CaptureLoss = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("CaptureLoss = 1 accepted")
+	}
+	bad = operator.Lab()
+	bad.InactivityTimeout = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero inactivity timeout accepted")
+	}
+}

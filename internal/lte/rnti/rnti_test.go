@@ -1,0 +1,99 @@
+package rnti_test
+
+import (
+	"strings"
+	"testing"
+
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/sim"
+)
+
+func TestRanges(t *testing.T) {
+	cases := []struct {
+		r    rnti.RNTI
+		isC  bool
+		isRA bool
+	}{
+		{rnti.CMin, true, false},
+		{rnti.CMax, true, false},
+		{rnti.CMin - 1, false, true}, // 0x003C is the top of the RA range
+		{rnti.RAMin, false, true},
+		{rnti.PRNTI, false, false},
+		{rnti.SIRNTI, false, false},
+		{0, false, false},
+	}
+	for _, c := range cases {
+		if got := c.r.IsC(); got != c.isC {
+			t.Errorf("%v.IsC() = %v, want %v", c.r, got, c.isC)
+		}
+		if got := c.r.IsRA(); got != c.isRA {
+			t.Errorf("%v.IsRA() = %v, want %v", c.r, got, c.isRA)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := rnti.PRNTI.String(); got != "P-RNTI" {
+		t.Errorf("PRNTI.String() = %q", got)
+	}
+	if got := rnti.SIRNTI.String(); got != "SI-RNTI" {
+		t.Errorf("SIRNTI.String() = %q", got)
+	}
+	if got := rnti.RNTI(0x1000).String(); !strings.HasPrefix(got, "C-RNTI") {
+		t.Errorf("C-range String() = %q", got)
+	}
+	if got := rnti.RNTI(0x0010).String(); !strings.HasPrefix(got, "RA-RNTI") {
+		t.Errorf("RA-range String() = %q", got)
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	a := rnti.NewAllocator(sim.NewRNG(1))
+	seen := make(map[rnti.RNTI]bool)
+	for i := 0; i < 2000; i++ {
+		r, err := a.Allocate()
+		if err != nil {
+			t.Fatalf("allocation %d: %v", i, err)
+		}
+		if !r.IsC() {
+			t.Fatalf("allocated %v outside the C-RNTI range", r)
+		}
+		if seen[r] {
+			t.Fatalf("allocated %v twice while still in use", r)
+		}
+		seen[r] = true
+	}
+	if got := a.Active(); got != 2000 {
+		t.Fatalf("Active() = %d, want 2000", got)
+	}
+}
+
+func TestAllocatorReleaseCooldown(t *testing.T) {
+	a := rnti.NewAllocator(sim.NewRNG(2))
+	r, err := a.Allocate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Release(r)
+	if got := a.Active(); got != 0 {
+		t.Fatalf("Active() after release = %d, want 0", got)
+	}
+	// The just-released value must not come straight back.
+	for i := 0; i < 50; i++ {
+		got, err := a.Allocate()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got == r {
+			t.Fatalf("released RNTI %v reused after only %d allocations", r, i)
+		}
+	}
+}
+
+func TestReleaseUnknownIsNoop(t *testing.T) {
+	a := rnti.NewAllocator(sim.NewRNG(3))
+	a.Release(0x2000) // must not panic or corrupt state
+	if got := a.Active(); got != 0 {
+		t.Fatalf("Active() = %d after releasing unknown RNTI", got)
+	}
+}

@@ -1,0 +1,52 @@
+package rrc_test
+
+import (
+	"strings"
+	"testing"
+
+	"ltefp/internal/lte/rrc"
+)
+
+func TestEstablishmentCauseStrings(t *testing.T) {
+	cases := map[rrc.EstablishmentCause]string{
+		rrc.CauseMOData:       "mo-Data",
+		rrc.CauseMTAccess:     "mt-Access",
+		rrc.CauseMOSignalling: "mo-Signalling",
+	}
+	for c, want := range cases {
+		if got := c.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", c, got, want)
+		}
+	}
+	if got := rrc.EstablishmentCause(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown cause rendered %q", got)
+	}
+}
+
+func TestUEIdentityString(t *testing.T) {
+	withTMSI := rrc.UEIdentity{TMSI: 0xDEADBEEF, HasTMSI: true}
+	if got := withTMSI.String(); !strings.Contains(got, "deadbeef") {
+		t.Errorf("TMSI identity rendered %q", got)
+	}
+	random := rrc.UEIdentity{Random: 0x123456789A}
+	if got := random.String(); !strings.Contains(got, "random") {
+		t.Errorf("random identity rendered %q", got)
+	}
+	// The random value is 40 bits on the air; wider inputs must truncate
+	// in the rendering rather than leak extra state.
+	wide := rrc.UEIdentity{Random: 0xFF123456789A}
+	if got := wide.String(); !strings.Contains(got, "123456789a") {
+		t.Errorf("wide random identity rendered %q", got)
+	}
+}
+
+func TestContentionResolutionEcho(t *testing.T) {
+	// The security property the identity-mapping attack rests on: msg4
+	// carries msg3's identity verbatim.
+	id := rrc.UEIdentity{TMSI: 0xCAFE, HasTMSI: true}
+	req := rrc.ConnectionRequest{Identity: id, Cause: rrc.CauseMOData}
+	setup := rrc.ConnectionSetup{ContentionResolution: req.Identity}
+	if setup.ContentionResolution != id {
+		t.Fatal("contention resolution does not echo the request identity")
+	}
+}

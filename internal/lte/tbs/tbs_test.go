@@ -1,0 +1,144 @@
+package tbs_test
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ltefp/internal/lte/tbs"
+)
+
+func TestForMCSMapping(t *testing.T) {
+	cases := []struct {
+		mcs  int
+		itbs int
+		mod  tbs.Modulation
+	}{
+		{0, 0, tbs.QPSK},
+		{9, 9, tbs.QPSK},
+		{10, 9, tbs.QAM16},
+		{16, 15, tbs.QAM16},
+		{17, 15, tbs.QAM64},
+		{28, 26, tbs.QAM64},
+	}
+	for _, c := range cases {
+		itbs, mod, err := tbs.ForMCS(c.mcs)
+		if err != nil {
+			t.Fatalf("ForMCS(%d): %v", c.mcs, err)
+		}
+		if itbs != c.itbs || mod != c.mod {
+			t.Errorf("ForMCS(%d) = (%d, %v), want (%d, %v)", c.mcs, itbs, mod, c.itbs, c.mod)
+		}
+	}
+	if _, _, err := tbs.ForMCS(-1); err == nil {
+		t.Error("ForMCS(-1) accepted")
+	}
+	if _, _, err := tbs.ForMCS(29); err == nil {
+		t.Error("ForMCS(29) accepted")
+	}
+}
+
+func TestAnchors(t *testing.T) {
+	// The generated table is anchored to the normative corners (within a
+	// quantisation step).
+	lo, err := tbs.Bits(0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lo < 16 || lo > 32 {
+		t.Errorf("Bits(0, 1) = %d, want within [16, 32] (normative corner is 16)", lo)
+	}
+	hi, err := tbs.Bits(tbs.MaxITBS, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hi < 70000 || hi > 80000 {
+		t.Errorf("Bits(26, 100) = %d, want ≈75376", hi)
+	}
+}
+
+// TestMonotone: TBS must be strictly monotone in both N_PRB and I_TBS —
+// the property the scheduler's binary search and MCS tightening rely on.
+func TestMonotone(t *testing.T) {
+	for i := 0; i <= tbs.MaxITBS; i++ {
+		prev := 0
+		for n := 1; n <= tbs.MaxPRB; n++ {
+			b, err := tbs.Bits(i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b <= prev {
+				t.Fatalf("Bits(%d, %d) = %d not > Bits(%d, %d) = %d", i, n, b, i, n-1, prev)
+			}
+			if b%8 != 0 {
+				t.Fatalf("Bits(%d, %d) = %d not byte-aligned", i, n, b)
+			}
+			prev = b
+		}
+	}
+	for n := 1; n <= tbs.MaxPRB; n++ {
+		prev := 0
+		for i := 0; i <= tbs.MaxITBS; i++ {
+			b, err := tbs.Bits(i, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if b <= prev {
+				t.Fatalf("Bits(%d, %d) = %d not > Bits(%d, %d) = %d", i, n, b, i-1, n, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+func TestRangeErrors(t *testing.T) {
+	if _, err := tbs.Bits(-1, 1); err == nil {
+		t.Error("Bits(-1, 1) accepted")
+	}
+	if _, err := tbs.Bits(0, 0); err == nil {
+		t.Error("Bits(0, 0) accepted")
+	}
+	if _, err := tbs.Bits(0, tbs.MaxPRB+1); err == nil {
+		t.Error("Bits over MaxPRB accepted")
+	}
+	if _, err := tbs.Bytes(27, 1); err == nil {
+		t.Error("Bytes over MaxITBS accepted")
+	}
+}
+
+// TestPRBsFor: the chosen allocation must fit the payload (when it fits at
+// all) and be minimal.
+func TestPRBsFor(t *testing.T) {
+	f := func(itbsRaw, payloadRaw uint16) bool {
+		itbs := int(itbsRaw) % (tbs.MaxITBS + 1)
+		payload := int(payloadRaw) % 5000
+		nprb, fits := tbs.PRBsFor(itbs, payload, tbs.MaxPRB)
+		got, err := tbs.Bytes(itbs, nprb)
+		if err != nil {
+			return false
+		}
+		if fits {
+			if got < payload {
+				return false
+			}
+			if nprb > 1 {
+				smaller, err := tbs.Bytes(itbs, nprb-1)
+				if err != nil || smaller >= payload {
+					return false // not minimal
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPRBsForCapped(t *testing.T) {
+	// A payload too big for the cap returns the cap and !fits: the MAC
+	// segments it across subframes.
+	nprb, fits := tbs.PRBsFor(0, 1<<20, 10)
+	if fits || nprb != 10 {
+		t.Fatalf("PRBsFor(huge, cap 10) = (%d, %v), want (10, false)", nprb, fits)
+	}
+}

@@ -1,0 +1,151 @@
+// Package ue models user equipment: the RRC state, identities, channel
+// quality, and pending-traffic bookkeeping of one phone. The UE is kept
+// deliberately thin — connection management lives in the eNodeB (package
+// enb) and traffic programs live in the network driver — so that the state
+// a sniffer tries to reconstruct (which RNTI belongs to which subscriber,
+// and when it changes) has a single authoritative home here.
+package ue
+
+import (
+	"fmt"
+	"time"
+
+	"ltefp/internal/lte/epc"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/sim"
+)
+
+// State is the RRC state of a UE.
+type State int
+
+// RRC states.
+const (
+	// Idle: no RRC connection, no C-RNTI; reachable only by paging.
+	Idle State = iota + 1
+	// Connecting: random access in progress.
+	Connecting
+	// Connected: RRC connection established, C-RNTI assigned.
+	Connected
+)
+
+// String names the state.
+func (s State) String() string {
+	switch s {
+	case Idle:
+		return "RRC_IDLE"
+	case Connecting:
+		return "RRC_CONNECTING"
+	case Connected:
+		return "RRC_CONNECTED"
+	default:
+		return fmt.Sprintf("State(%d)", int(s))
+	}
+}
+
+// NoCell marks a UE not camped on any cell.
+const NoCell = -1
+
+// UE is one piece of user equipment.
+type UE struct {
+	// Name labels the UE in experiment output ("victim-A").
+	Name string
+	// IMSI is the permanent subscriber identity.
+	IMSI epc.IMSI
+
+	// TMSI is the current temporary identity; valid when HasTMSI.
+	TMSI    epc.TMSI
+	HasTMSI bool
+
+	// State is the RRC state.
+	State State
+	// RNTI is the current C-RNTI; meaningful only when State != Idle.
+	RNTI rnti.RNTI
+	// CellID is the serving (or camped) cell, NoCell when unattached.
+	CellID int
+
+	// PendingUL is uplink payload waiting for a connection, in bytes.
+	PendingUL int
+	// PendingULAt remembers when the oldest pending uplink byte arrived.
+	PendingULAt time.Duration
+
+	// CQI is the current channel quality indicator (1..15, fractional
+	// internally); cqiMean/cqiWalk drive its mean-reverting random walk.
+	CQI     float64
+	cqiMean float64
+	cqiWalk float64
+
+	rng *sim.RNG
+}
+
+// New returns an idle, unattached UE.
+func New(name string, imsi epc.IMSI, rng *sim.RNG) *UE {
+	return &UE{
+		Name:   name,
+		IMSI:   imsi,
+		State:  Idle,
+		CellID: NoCell,
+		rng:    rng,
+	}
+}
+
+// SetChannel initialises the channel-quality model from an operator
+// profile's CQI statistics; the eNodeB calls this when the UE attaches.
+func (u *UE) SetChannel(mean, sigma, walkPerSec float64) {
+	u.cqiMean = u.rng.ClampedNormal(mean, sigma, 1, 15)
+	u.cqiWalk = walkPerSec
+	u.CQI = u.cqiMean
+}
+
+// StepCQI advances the channel random walk by dt. The walk is
+// mean-reverting so that a UE's typical MCS is stable across a session, as
+// a stationary user's is.
+func (u *UE) StepCQI(dt time.Duration) {
+	sec := dt.Seconds()
+	pull := (u.cqiMean - u.CQI) * 0.2 * sec
+	u.CQI += pull + u.rng.Normal(0, u.cqiWalk*sec)
+	if u.CQI < 1 {
+		u.CQI = 1
+	}
+	if u.CQI > 15 {
+		u.CQI = 15
+	}
+}
+
+// MCS maps the current channel quality to the modulation-and-coding index
+// the scheduler would pick (wideband CQI to MCS, roughly two MCS steps per
+// CQI step as in common eNodeB link adaptation tables).
+func (u *UE) MCS() int {
+	m := int(u.CQI*1.93) - 1
+	if m < 0 {
+		m = 0
+	}
+	if m > 28 {
+		m = 28
+	}
+	return m
+}
+
+// Identity returns the identity the UE would present in an RRC connection
+// request: its S-TMSI when it has one, otherwise a fresh random value.
+func (u *UE) Identity() (tmsi epc.TMSI, hasTMSI bool, random uint64) {
+	if u.HasTMSI {
+		return u.TMSI, true, 0
+	}
+	return 0, false, u.rng.Uint64() & 0xFFFFFFFFFF
+}
+
+// AddPendingUL buffers uplink payload that arrived while no connection
+// exists (or before the grant pipeline drains it).
+func (u *UE) AddPendingUL(bytes int, now time.Duration) {
+	if u.PendingUL == 0 {
+		u.PendingULAt = now
+	}
+	u.PendingUL += bytes
+}
+
+// TakePendingUL drains the pending-uplink buffer, returning its size.
+func (u *UE) TakePendingUL() int {
+	n := u.PendingUL
+	u.PendingUL = 0
+	return n
+}

@@ -1,0 +1,111 @@
+package ue_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/lte/ue"
+	"ltefp/internal/sim"
+)
+
+func newUE(t *testing.T) *ue.UE {
+	t.Helper()
+	return ue.New("victim", "310150000000001", sim.NewRNG(1))
+}
+
+func TestNewDefaults(t *testing.T) {
+	u := newUE(t)
+	if u.State != ue.Idle {
+		t.Fatalf("new UE state = %v", u.State)
+	}
+	if u.CellID != ue.NoCell {
+		t.Fatalf("new UE cell = %d", u.CellID)
+	}
+	if u.HasTMSI {
+		t.Fatal("new UE has a TMSI before attach")
+	}
+}
+
+func TestCQIWalkBounds(t *testing.T) {
+	u := newUE(t)
+	u.SetChannel(10, 2, 5) // violent walk to probe the clamps
+	for i := 0; i < 10000; i++ {
+		u.StepCQI(100 * time.Millisecond)
+		if u.CQI < 1 || u.CQI > 15 {
+			t.Fatalf("CQI escaped [1, 15]: %v", u.CQI)
+		}
+	}
+}
+
+func TestMCSBounds(t *testing.T) {
+	u := newUE(t)
+	u.SetChannel(1, 0, 0)
+	u.CQI = 1
+	if m := u.MCS(); m < 0 || m > 28 {
+		t.Fatalf("MCS at CQI 1 = %d", m)
+	}
+	u.CQI = 15
+	if m := u.MCS(); m != 27 && m != 28 {
+		t.Fatalf("MCS at CQI 15 = %d, want near 28", m)
+	}
+	// Monotone in CQI.
+	prev := -1
+	for cqi := 1.0; cqi <= 15; cqi += 0.5 {
+		u.CQI = cqi
+		if m := u.MCS(); m < prev {
+			t.Fatalf("MCS not monotone at CQI %v", cqi)
+		} else {
+			prev = m
+		}
+	}
+}
+
+func TestIdentity(t *testing.T) {
+	u := newUE(t)
+	_, hasTMSI, random := u.Identity()
+	if hasTMSI {
+		t.Fatal("identity claims TMSI before attach")
+	}
+	if random == 0 {
+		t.Fatal("random identity should be non-zero")
+	}
+	if random>>40 != 0 {
+		t.Fatalf("random identity wider than 40 bits: %x", random)
+	}
+	u.TMSI = 0xCAFE
+	u.HasTMSI = true
+	tmsi, hasTMSI, _ := u.Identity()
+	if !hasTMSI || tmsi != 0xCAFE {
+		t.Fatalf("identity = (%v, %v)", tmsi, hasTMSI)
+	}
+}
+
+func TestPendingUL(t *testing.T) {
+	u := newUE(t)
+	u.AddPendingUL(100, 3*time.Second)
+	u.AddPendingUL(50, 4*time.Second)
+	if u.PendingUL != 150 {
+		t.Fatalf("PendingUL = %d", u.PendingUL)
+	}
+	if u.PendingULAt != 3*time.Second {
+		t.Fatalf("PendingULAt = %v, want the first arrival's time", u.PendingULAt)
+	}
+	if got := u.TakePendingUL(); got != 150 {
+		t.Fatalf("TakePendingUL = %d", got)
+	}
+	if u.PendingUL != 0 {
+		t.Fatal("TakePendingUL did not drain")
+	}
+}
+
+func TestStateString(t *testing.T) {
+	for s, want := range map[ue.State]string{
+		ue.Idle:       "RRC_IDLE",
+		ue.Connecting: "RRC_CONNECTING",
+		ue.Connected:  "RRC_CONNECTED",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,313 @@
+// Package cnn implements a small one-dimensional convolutional network
+// (conv → ReLU → max-pool → dense → softmax) trained with softmax
+// cross-entropy, reproducing the paper's Table VIII CNN baseline. The paper
+// finds the CNN the *weakest* of the four learners on this task — the
+// features are simple tabular aggregates where convolution has little
+// structure to exploit — and prefers Random Forest for accuracy and cost;
+// this implementation exists to reproduce that comparison honestly.
+package cnn
+
+import (
+	"fmt"
+	"math"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/sim"
+)
+
+// Config controls network shape and training. Zero values select the
+// noted defaults.
+type Config struct {
+	// Channels is the number of convolution filters (default 8).
+	Channels int
+	// Kernel is the convolution width (default 3, stride 1, same-pad).
+	Kernel int
+	// Epochs is the number of training passes (default 40).
+	Epochs int
+	// LearningRate is the SGD step (default 0.02).
+	LearningRate float64
+	// Momentum is the SGD momentum coefficient (default 0.9).
+	Momentum float64
+	// Seed drives weight initialisation and shuffling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Channels <= 0 {
+		c.Channels = 8
+	}
+	if c.Kernel <= 0 {
+		c.Kernel = 3
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 40
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.02
+	}
+	if c.Momentum <= 0 {
+		c.Momentum = 0.9
+	}
+	return c
+}
+
+// Model is a trained network.
+type Model struct {
+	Classes []string
+
+	cfg    Config
+	dim    int // input length
+	pooled int // length after 2-wide max pooling
+
+	convW []float64 // [channel][kernel]
+	convB []float64 // [channel]
+	fcW   []float64 // [class][channel*pooled]
+	fcB   []float64 // [class]
+
+	scaler *dataset.Scaler
+}
+
+// Train fits the network with momentum SGD.
+func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("cnn: %w", err)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("cnn: empty training set")
+	}
+	cfg = cfg.withDefaults()
+	sc := dataset.FitScaler(d)
+	scaled := sc.TransformAll(d)
+
+	dim := d.Dim()
+	m := &Model{
+		Classes: d.Classes,
+		cfg:     cfg,
+		dim:     dim,
+		pooled:  (dim + 1) / 2,
+		scaler:  sc,
+	}
+	nc := len(d.Classes)
+	rng := sim.NewRNG(cfg.Seed + 0x9747b28c)
+	m.convW = heInit(rng, cfg.Channels*cfg.Kernel, float64(cfg.Kernel))
+	m.convB = make([]float64, cfg.Channels)
+	m.fcW = heInit(rng, nc*cfg.Channels*m.pooled, float64(cfg.Channels*m.pooled))
+	m.fcB = make([]float64, nc)
+
+	vConvW := make([]float64, len(m.convW))
+	vConvB := make([]float64, len(m.convB))
+	vFcW := make([]float64, len(m.fcW))
+	vFcB := make([]float64, len(m.fcB))
+
+	order := make([]int, d.Len())
+	for i := range order {
+		order[i] = i
+	}
+	ws := m.newWorkspace()
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.05*float64(epoch))
+		for _, i := range order {
+			m.forward(scaled.X[i], ws)
+			m.backward(scaled.X[i], scaled.Y[i], ws)
+			// Heavy-tailed traffic features produce extreme standardised
+			// outliers; clip the per-sample gradient so one burst window
+			// cannot blow up the weights.
+			clipGradients(5, ws.gConvW, ws.gConvB, ws.gFcW, ws.gFcB)
+			applyMomentum(m.convW, ws.gConvW, vConvW, lr, cfg.Momentum)
+			applyMomentum(m.convB, ws.gConvB, vConvB, lr, cfg.Momentum)
+			applyMomentum(m.fcW, ws.gFcW, vFcW, lr, cfg.Momentum)
+			applyMomentum(m.fcB, ws.gFcB, vFcB, lr, cfg.Momentum)
+		}
+	}
+	return m, nil
+}
+
+// workspace holds per-sample activations and gradients, reused across
+// steps to avoid allocation.
+type workspace struct {
+	act    []float64 // conv activations [channel][dim]
+	pool   []float64 // pooled [channel][pooled]
+	argmax []int
+	logits []float64
+	probs  []float64
+
+	gConvW, gConvB []float64
+	gFcW, gFcB     []float64
+}
+
+func (m *Model) newWorkspace() *workspace {
+	ch, nc := m.cfg.Channels, len(m.Classes)
+	return &workspace{
+		act:    make([]float64, ch*m.dim),
+		pool:   make([]float64, ch*m.pooled),
+		argmax: make([]int, ch*m.pooled),
+		logits: make([]float64, nc),
+		probs:  make([]float64, nc),
+		gConvW: make([]float64, len(m.convW)),
+		gConvB: make([]float64, len(m.convB)),
+		gFcW:   make([]float64, len(m.fcW)),
+		gFcB:   make([]float64, len(m.fcB)),
+	}
+}
+
+// forward runs the network on a standardised input.
+func (m *Model) forward(x []float64, ws *workspace) {
+	ch, k := m.cfg.Channels, m.cfg.Kernel
+	half := k / 2
+	for c := 0; c < ch; c++ {
+		for p := 0; p < m.dim; p++ {
+			z := m.convB[c]
+			for kk := 0; kk < k; kk++ {
+				ip := p + kk - half
+				if ip < 0 || ip >= m.dim {
+					continue
+				}
+				z += m.convW[c*k+kk] * x[ip]
+			}
+			if z < 0 {
+				z = 0
+			}
+			ws.act[c*m.dim+p] = z
+		}
+		for q := 0; q < m.pooled; q++ {
+			i0 := 2 * q
+			best, arg := ws.act[c*m.dim+i0], i0
+			if i1 := i0 + 1; i1 < m.dim && ws.act[c*m.dim+i1] > best {
+				best, arg = ws.act[c*m.dim+i1], i1
+			}
+			ws.pool[c*m.pooled+q] = best
+			ws.argmax[c*m.pooled+q] = arg
+		}
+	}
+	flat := ws.pool
+	nc := len(m.Classes)
+	maxZ := math.Inf(-1)
+	for y := 0; y < nc; y++ {
+		z := m.fcB[y]
+		w := m.fcW[y*len(flat) : (y+1)*len(flat)]
+		for j, v := range flat {
+			z += w[j] * v
+		}
+		ws.logits[y] = z
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	sum := 0.0
+	for y := range ws.probs {
+		ws.probs[y] = math.Exp(ws.logits[y] - maxZ)
+		sum += ws.probs[y]
+	}
+	for y := range ws.probs {
+		ws.probs[y] /= sum
+	}
+}
+
+// backward fills the gradient buffers for one sample.
+func (m *Model) backward(x []float64, y int, ws *workspace) {
+	ch, k := m.cfg.Channels, m.cfg.Kernel
+	half := k / 2
+	flatLen := ch * m.pooled
+	zero(ws.gConvW)
+	zero(ws.gConvB)
+	zero(ws.gFcW)
+	zero(ws.gFcB)
+
+	// Softmax cross-entropy gradient at the logits.
+	for c := 0; c < len(m.Classes); c++ {
+		g := ws.probs[c]
+		if c == y {
+			g -= 1
+		}
+		ws.gFcB[c] = g
+		w := ws.gFcW[c*flatLen : (c+1)*flatLen]
+		for j, v := range ws.pool {
+			w[j] = g * v
+		}
+	}
+	// Backprop into the pooled map, routed through argmax and ReLU.
+	for c := 0; c < ch; c++ {
+		for q := 0; q < m.pooled; q++ {
+			var gp float64
+			for cls := 0; cls < len(m.Classes); cls++ {
+				gp += ws.gFcB[cls] * m.fcW[cls*flatLen+c*m.pooled+q]
+			}
+			p := ws.argmax[c*m.pooled+q]
+			if ws.act[c*m.dim+p] <= 0 {
+				continue // ReLU gate
+			}
+			ws.gConvB[c] += gp
+			for kk := 0; kk < k; kk++ {
+				ip := p + kk - half
+				if ip < 0 || ip >= m.dim {
+					continue
+				}
+				ws.gConvW[c*k+kk] += gp * x[ip]
+			}
+		}
+	}
+}
+
+// PredictProba returns class probabilities for a raw (unscaled) input.
+func (m *Model) PredictProba(x []float64) []float64 {
+	ws := m.newWorkspace()
+	m.forward(m.scaler.Transform(x), ws)
+	out := make([]float64, len(ws.probs))
+	copy(out, ws.probs)
+	return out
+}
+
+// Predict returns the most probable class index.
+func (m *Model) Predict(x []float64) int {
+	p := m.PredictProba(x)
+	best, bv := 0, p[0]
+	for c, v := range p {
+		if v > bv {
+			best, bv = c, v
+		}
+	}
+	return best
+}
+
+func heInit(rng *sim.RNG, n int, fanIn float64) []float64 {
+	out := make([]float64, n)
+	s := math.Sqrt(2 / fanIn)
+	for i := range out {
+		out[i] = rng.Normal(0, s)
+	}
+	return out
+}
+
+// clipGradients rescales the concatenated gradient to the given L2 norm
+// when it exceeds it.
+func clipGradients(maxNorm float64, grads ...[]float64) {
+	var sq float64
+	for _, g := range grads {
+		for _, v := range g {
+			sq += v * v
+		}
+	}
+	if sq <= maxNorm*maxNorm {
+		return
+	}
+	scale := maxNorm / math.Sqrt(sq)
+	for _, g := range grads {
+		for i := range g {
+			g[i] *= scale
+		}
+	}
+}
+
+func applyMomentum(w, g, v []float64, lr, mom float64) {
+	for i := range w {
+		v[i] = mom*v[i] - lr*g[i]
+		w[i] += v[i]
+	}
+}
+
+func zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}

@@ -1,0 +1,113 @@
+package cnn_test
+
+import (
+	"math"
+	"testing"
+
+	"ltefp/internal/ml/cnn"
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/sim"
+)
+
+func blobs(n, dim int, seed uint64) *dataset.Dataset {
+	g := sim.NewRNG(seed)
+	ds := dataset.New([]string{"a", "b", "c"}, nil)
+	for i := 0; i < n; i++ {
+		y := i % 3
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = g.Normal(float64(2*y), 1)
+		}
+		x[y] += 4 // positional signature for the convolution to find
+		ds.Add(x, y)
+	}
+	return ds
+}
+
+func TestSeparableAccuracy(t *testing.T) {
+	ds := blobs(1500, 18, 1)
+	train, test := ds.Split(0.8, sim.NewRNG(2))
+	m, err := cnn.Train(train, cnn.Config{Epochs: 25, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range test.X {
+		if m.Predict(x) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.9 {
+		t.Fatalf("accuracy on separable blobs = %.3f", acc)
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	ds := blobs(300, 12, 3)
+	m, err := cnn.Train(ds, cnn.Config{Epochs: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X[:30] {
+		p := m.PredictProba(x)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("probability %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+// TestSurvivesOutliers: extreme rows (heavy-tailed traffic features) must
+// not blow up training — the gradient clipping regression test.
+func TestSurvivesOutliers(t *testing.T) {
+	ds := blobs(600, 10, 4)
+	g := sim.NewRNG(5)
+	// Heavy-tailed bursts: a few rows with features dozens of standard
+	// deviations out, as burst windows in real traffic are.
+	for i := 0; i < 30; i++ {
+		row := g.IntN(ds.Len())
+		ds.X[row][g.IntN(10)] += 200
+	}
+	m, err := cnn.Train(ds, cnn.Config{Epochs: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	preds := make(map[int]int)
+	correct := 0
+	for i, x := range ds.X {
+		p := m.Predict(x)
+		preds[p]++
+		if p == ds.Y[i] {
+			correct++
+		}
+	}
+	if len(preds) < 2 {
+		t.Fatalf("model collapsed to a single class: %v", preds)
+	}
+	if acc := float64(correct) / float64(ds.Len()); acc < 0.6 {
+		t.Fatalf("accuracy with outliers = %.3f", acc)
+	}
+}
+
+func TestOddInputLength(t *testing.T) {
+	// Odd dims exercise the max-pool edge (last slot pools one element).
+	ds := blobs(300, 7, 6)
+	m, err := cnn.Train(ds, cnn.Config{Epochs: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = m.Predict(ds.X[0])
+}
+
+func TestErrors(t *testing.T) {
+	empty := dataset.New([]string{"a"}, nil)
+	if _, err := cnn.Train(empty, cnn.Config{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}

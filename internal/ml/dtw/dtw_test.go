@@ -1,0 +1,138 @@
+package dtw_test
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ltefp/internal/ml/dtw"
+	"ltefp/internal/sim"
+)
+
+func TestIdentity(t *testing.T) {
+	a := []float64{1, 3, 2, 5, 4}
+	if d := dtw.Distance(a, a); d != 0 {
+		t.Fatalf("Distance(a, a) = %v", d)
+	}
+}
+
+func TestKnownSmallExample(t *testing.T) {
+	// [0, 1] vs [0, 0, 1]: warping aligns the repeated 0, cost 0.
+	if d := dtw.Distance([]float64{0, 1}, []float64{0, 0, 1}); d != 0 {
+		t.Fatalf("warpable pair distance = %v, want 0", d)
+	}
+	// [0] vs [1]: single squared difference.
+	if d := dtw.Distance([]float64{0}, []float64{1}); d != 1 {
+		t.Fatalf("Distance([0], [1]) = %v, want 1", d)
+	}
+	// Eq. 1 hand-check: [1, 2] vs [3]: (1-3)² + (2-3)² = 5.
+	if d := dtw.Distance([]float64{1, 2}, []float64{3}); d != 5 {
+		t.Fatalf("hand-checked distance = %v, want 5", d)
+	}
+}
+
+func TestEmptyInputs(t *testing.T) {
+	if d := dtw.Distance(nil, nil); d != 0 {
+		t.Fatalf("Distance(nil, nil) = %v", d)
+	}
+	if d := dtw.Distance([]float64{1}, nil); !math.IsInf(d, 1) {
+		t.Fatalf("Distance(a, nil) = %v, want +Inf", d)
+	}
+}
+
+// TestSymmetry: DTW with a symmetric step pattern is symmetric.
+func TestSymmetry(t *testing.T) {
+	g := sim.NewRNG(1)
+	f := func(seedA, seedB uint8) bool {
+		a := series(g, 5+int(seedA)%30)
+		b := series(g, 5+int(seedB)%30)
+		return math.Abs(dtw.Distance(a, b)-dtw.Distance(b, a)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBandIsLowerBounded: constraining the warping path can only increase
+// the distance.
+func TestBandIsLowerBounded(t *testing.T) {
+	g := sim.NewRNG(2)
+	for i := 0; i < 50; i++ {
+		a := series(g, 40)
+		b := series(g, 40)
+		free := dtw.Distance(a, b)
+		banded := dtw.DistanceBand(a, b, 3)
+		if banded < free-1e-9 {
+			t.Fatalf("banded %v < unconstrained %v", banded, free)
+		}
+	}
+}
+
+func TestBandCoversLengthDifference(t *testing.T) {
+	a := series(sim.NewRNG(3), 50)
+	b := series(sim.NewRNG(4), 10)
+	if d := dtw.DistanceBand(a, b, 0); math.IsInf(d, 1) {
+		t.Fatal("band narrower than the length difference returned +Inf; it must be widened internally")
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	n := dtw.Normalize([]float64{2, 4, 6})
+	var mean, sq float64
+	for _, v := range n {
+		mean += v
+		sq += v * v
+	}
+	mean /= 3
+	if math.Abs(mean) > 1e-9 {
+		t.Fatalf("normalised mean = %v", mean)
+	}
+	if math.Abs(sq/3-1) > 1e-9 {
+		t.Fatalf("normalised variance = %v", sq/3)
+	}
+	flat := dtw.Normalize([]float64{5, 5, 5})
+	for _, v := range flat {
+		if v != 0 {
+			t.Fatal("constant series should normalise to zeros")
+		}
+	}
+}
+
+func TestSimilarityRange(t *testing.T) {
+	g := sim.NewRNG(5)
+	a := series(g, 60)
+	if s := dtw.Similarity(a, a); math.Abs(s-1) > 1e-9 {
+		t.Fatalf("self-similarity = %v", s)
+	}
+	b := series(g, 60)
+	s := dtw.Similarity(a, b)
+	if s <= 0 || s >= 1 {
+		t.Fatalf("cross-similarity = %v outside (0, 1)", s)
+	}
+	if dtw.Similarity(nil, a) != 0 {
+		t.Fatal("similarity with empty series should be 0")
+	}
+}
+
+func TestSimilarityOrdering(t *testing.T) {
+	g := sim.NewRNG(6)
+	base := series(g, 80)
+	near := make([]float64, len(base))
+	for i, v := range base {
+		near[i] = v + g.Normal(0, 0.1)
+	}
+	far := series(g, 80)
+	if dtw.Similarity(base, near) <= dtw.Similarity(base, far) {
+		t.Fatal("a perturbed copy scored no closer than an unrelated series")
+	}
+}
+
+func series(g *sim.RNG, n int) []float64 {
+	out := make([]float64, n)
+	v := 0.0
+	for i := range out {
+		v += g.Normal(0, 1)
+		out[i] = v
+	}
+	return out
+}

@@ -1,0 +1,325 @@
+// Package forest implements CART decision trees and Breiman random forests
+// from scratch: bootstrap aggregation, per-split feature subsampling, and
+// exact Gini-optimal threshold search. The paper selects Random Forest
+// (100 trees, seed 1) as its classifier after benchmarking it against
+// logistic regression, kNN, and a CNN (Table VIII); this package is that
+// model.
+package forest
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/sim"
+)
+
+// Config controls forest training. Zero values select the defaults noted
+// per field.
+type Config struct {
+	// Trees is the ensemble size (default 100, the paper's setting).
+	Trees int
+	// MaxDepth bounds tree depth (default 24).
+	MaxDepth int
+	// MinLeaf is the minimum samples per leaf (default 2).
+	MinLeaf int
+	// FeaturesPerSplit is the number of features tried per split
+	// (default √d).
+	FeaturesPerSplit int
+	// SubsampleSize is the bootstrap sample size per tree (default n).
+	SubsampleSize int
+	// Seed drives all randomness (the paper uses seed 1).
+	Seed uint64
+	// Workers bounds training parallelism (default GOMAXPROCS).
+	Workers int
+}
+
+func (c Config) withDefaults(n, dim int) Config {
+	if c.Trees <= 0 {
+		c.Trees = 100
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 24
+	}
+	if c.MinLeaf <= 0 {
+		c.MinLeaf = 2
+	}
+	if c.FeaturesPerSplit <= 0 {
+		c.FeaturesPerSplit = int(math.Ceil(math.Sqrt(float64(dim))))
+	}
+	if c.FeaturesPerSplit > dim {
+		c.FeaturesPerSplit = dim
+	}
+	if c.SubsampleSize <= 0 || c.SubsampleSize > n {
+		c.SubsampleSize = n
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	return c
+}
+
+// leafMark distinguishes leaves in the flat node array.
+const leafMark = -1
+
+// Node is one flat-array tree node. Leaves have Feature == leafMark and a
+// class distribution; internal nodes route on X[Feature] <= Threshold.
+type Node struct {
+	Feature   int32
+	Threshold float64
+	Left      int32
+	Right     int32
+	Dist      []float32
+}
+
+// Tree is one CART tree in flat-array form.
+type Tree struct {
+	Nodes []Node
+}
+
+// predict accumulates the leaf distribution for x into out.
+func (t *Tree) predict(x []float64, out []float64) {
+	i := int32(0)
+	for {
+		n := &t.Nodes[i]
+		if n.Feature == leafMark {
+			for c, p := range n.Dist {
+				out[c] += float64(p)
+			}
+			return
+		}
+		if x[n.Feature] <= n.Threshold {
+			i = n.Left
+		} else {
+			i = n.Right
+		}
+	}
+}
+
+// Forest is a trained random forest.
+type Forest struct {
+	Trees   []Tree
+	Classes []string
+}
+
+// Train fits a forest on the dataset. Trees are trained in parallel, each
+// from a deterministic per-tree stream, so results do not depend on
+// scheduling.
+func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("forest: %w", err)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("forest: empty training set")
+	}
+	cfg = cfg.withDefaults(d.Len(), d.Dim())
+	f := &Forest{Trees: make([]Tree, cfg.Trees), Classes: d.Classes}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, cfg.Workers)
+	for t := 0; t < cfg.Trees; t++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(t int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			f.Trees[t] = growTree(d, cfg, treeRNG(cfg.Seed, t))
+		}(t)
+	}
+	wg.Wait()
+	return f, nil
+}
+
+// PredictProba returns the soft-voted class distribution for x.
+func (f *Forest) PredictProba(x []float64) []float64 {
+	out := make([]float64, len(f.Classes))
+	for i := range f.Trees {
+		f.Trees[i].predict(x, out)
+	}
+	total := 0.0
+	for _, v := range out {
+		total += v
+	}
+	if total > 0 {
+		for i := range out {
+			out[i] /= total
+		}
+	}
+	return out
+}
+
+// Predict returns the most probable class index for x.
+func (f *Forest) Predict(x []float64) int {
+	p := f.PredictProba(x)
+	best, bv := 0, p[0]
+	for i, v := range p {
+		if v > bv {
+			best, bv = i, v
+		}
+	}
+	return best
+}
+
+// treeRNG derives tree t's deterministic random stream. OOBError relies on
+// this to reconstruct each tree's bootstrap sample, so the derivation must
+// stay in lock-step with growTree's draw order.
+func treeRNG(seed uint64, t int) *sim.RNG {
+	return sim.NewRNG(seed*0x100000001b3 + uint64(t) + 1)
+}
+
+// grower carries per-tree training state.
+type grower struct {
+	d       *dataset.Dataset
+	cfg     Config
+	rng     *sim.RNG
+	classes int
+	nodes   []Node
+	// scratch buffers reused across nodes
+	vals  []float64
+	order []int
+}
+
+func growTree(d *dataset.Dataset, cfg Config, rng *sim.RNG) Tree {
+	g := &grower{d: d, cfg: cfg, rng: rng, classes: len(d.Classes)}
+	idx := make([]int, cfg.SubsampleSize)
+	for i := range idx {
+		idx[i] = rng.IntN(d.Len())
+	}
+	g.build(idx, 0)
+	return Tree{Nodes: g.nodes}
+}
+
+// build grows the subtree over idx and returns its node index.
+func (g *grower) build(idx []int, depth int) int32 {
+	counts := make([]int, g.classes)
+	for _, i := range idx {
+		counts[g.d.Y[i]]++
+	}
+	pure := 0
+	for _, c := range counts {
+		if c > 0 {
+			pure++
+		}
+	}
+	if pure <= 1 || depth >= g.cfg.MaxDepth || len(idx) < 2*g.cfg.MinLeaf {
+		return g.leaf(counts, len(idx))
+	}
+	feat, thr, ok := g.bestSplit(idx, counts)
+	if !ok {
+		return g.leaf(counts, len(idx))
+	}
+	// Partition in place.
+	lo, hi := 0, len(idx)
+	for lo < hi {
+		if g.d.X[idx[lo]][feat] <= thr {
+			lo++
+		} else {
+			hi--
+			idx[lo], idx[hi] = idx[hi], idx[lo]
+		}
+	}
+	if lo == 0 || lo == len(idx) {
+		return g.leaf(counts, len(idx))
+	}
+	self := int32(len(g.nodes))
+	g.nodes = append(g.nodes, Node{Feature: int32(feat), Threshold: thr})
+	left := g.build(idx[:lo], depth+1)
+	right := g.build(idx[lo:], depth+1)
+	g.nodes[self].Left = left
+	g.nodes[self].Right = right
+	return self
+}
+
+func (g *grower) leaf(counts []int, n int) int32 {
+	dist := make([]float32, g.classes)
+	if n > 0 {
+		for c, v := range counts {
+			dist[c] = float32(v) / float32(n)
+		}
+	}
+	self := int32(len(g.nodes))
+	g.nodes = append(g.nodes, Node{Feature: leafMark, Dist: dist})
+	return self
+}
+
+// bestSplit searches FeaturesPerSplit random features for the exact
+// Gini-optimal threshold.
+func (g *grower) bestSplit(idx []int, counts []int) (feat int, thr float64, ok bool) {
+	n := len(idx)
+	dim := g.d.Dim()
+	if cap(g.vals) < n {
+		g.vals = make([]float64, n)
+		g.order = make([]int, n)
+	}
+	vals := g.vals[:n]
+	order := g.order[:n]
+
+	parentGini := giniFromCounts(counts, n)
+	bestGain := 1e-9
+	perm := g.rng.Perm(dim)
+
+	left := make([]int, g.classes)
+	for _, f := range perm[:g.cfg.FeaturesPerSplit] {
+		for i, row := range idx {
+			vals[i] = g.d.X[row][f]
+			order[i] = i
+		}
+		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+		for c := range left {
+			left[c] = 0
+		}
+		nl := 0
+		for pos := 0; pos < n-1; pos++ {
+			row := idx[order[pos]]
+			left[g.d.Y[row]]++
+			nl++
+			v, next := vals[order[pos]], vals[order[pos+1]]
+			if v == next {
+				continue
+			}
+			if nl < g.cfg.MinLeaf || n-nl < g.cfg.MinLeaf {
+				continue
+			}
+			gl := giniFromCounts(left, nl)
+			gr := giniRight(counts, left, n-nl)
+			gain := parentGini - (float64(nl)*gl+float64(n-nl)*gr)/float64(n)
+			if gain > bestGain {
+				bestGain = gain
+				feat = f
+				thr = v + (next-v)/2
+				ok = true
+			}
+		}
+	}
+	return feat, thr, ok
+}
+
+func giniFromCounts(counts []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	fn := float64(n)
+	for _, c := range counts {
+		p := float64(c) / fn
+		s += p * p
+	}
+	return 1 - s
+}
+
+// giniRight computes Gini of (total - left) without materialising it.
+func giniRight(total, left []int, n int) float64 {
+	if n == 0 {
+		return 0
+	}
+	s := 0.0
+	fn := float64(n)
+	for c := range total {
+		p := float64(total[c]-left[c]) / fn
+		s += p * p
+	}
+	return 1 - s
+}

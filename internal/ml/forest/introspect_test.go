@@ -1,0 +1,108 @@
+package forest_test
+
+import (
+	"math"
+	"testing"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/sim"
+)
+
+func TestFeatureImportanceFindsSignal(t *testing.T) {
+	g := sim.NewRNG(1)
+	ds := dataset.New([]string{"a", "b"}, nil)
+	// Only feature 2 carries label information.
+	for i := 0; i < 600; i++ {
+		y := i % 2
+		x := make([]float64, 5)
+		for j := range x {
+			x[j] = g.Normal(0, 1)
+		}
+		x[2] += float64(6 * y)
+		ds.Add(x, y)
+	}
+	f, err := forest.Train(ds, forest.Config{Trees: 20, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	imp := f.FeatureImportance(5)
+	sum := 0.0
+	best := 0
+	for j, v := range imp {
+		if v < 0 {
+			t.Fatalf("negative importance %v", v)
+		}
+		sum += v
+		if v > imp[best] {
+			best = j
+		}
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Fatalf("importances sum to %v", sum)
+	}
+	if best != 2 {
+		t.Fatalf("most important feature = %d, want 2 (importances %v)", best, imp)
+	}
+}
+
+func TestRankFeatures(t *testing.T) {
+	g := sim.NewRNG(2)
+	ds := dataset.New([]string{"a", "b"}, nil)
+	for i := 0; i < 300; i++ {
+		y := i % 2
+		ds.Add([]float64{g.Normal(float64(4*y), 1), g.Normal(0, 1)}, y)
+	}
+	f, err := forest.Train(ds, forest.Config{Trees: 10, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := f.RankFeatures([]string{"signal", "noise"})
+	if len(ranked) != 2 {
+		t.Fatalf("%d ranked features", len(ranked))
+	}
+	if ranked[0].Name != "signal" {
+		t.Fatalf("top feature = %s", ranked[0].Name)
+	}
+	if ranked[0].Importance < ranked[1].Importance {
+		t.Fatal("ranking not descending")
+	}
+}
+
+func TestOOBErrorTracksGeneralisation(t *testing.T) {
+	g := sim.NewRNG(3)
+	easy := dataset.New([]string{"a", "b"}, nil)
+	hard := dataset.New([]string{"a", "b"}, nil)
+	for i := 0; i < 400; i++ {
+		y := i % 2
+		easy.Add([]float64{g.Normal(float64(8*y), 1)}, y)
+		hard.Add([]float64{g.Normal(float64(y), 4)}, y) // heavy overlap
+	}
+	cfg := forest.Config{Trees: 25, Seed: 1}
+	easyErr, err := forest.OOBError(easy, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hardErr, err := forest.OOBError(hard, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easyErr > 0.05 {
+		t.Fatalf("OOB error on separable data = %.3f", easyErr)
+	}
+	if hardErr <= easyErr {
+		t.Fatalf("OOB error did not grow with class overlap: easy %.3f, hard %.3f", easyErr, hardErr)
+	}
+	if hardErr < 0.15 || hardErr > 0.6 {
+		t.Fatalf("OOB error on overlapping data = %.3f, expected a substantial rate", hardErr)
+	}
+}
+
+func TestOOBErrorRejectsBadData(t *testing.T) {
+	bad := dataset.New([]string{"a"}, nil)
+	bad.Add([]float64{1}, 0)
+	bad.Y[0] = 3
+	if _, err := forest.OOBError(bad, forest.Config{Trees: 2}); err == nil {
+		t.Fatal("invalid dataset accepted")
+	}
+}

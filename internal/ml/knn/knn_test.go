@@ -1,0 +1,91 @@
+package knn_test
+
+import (
+	"testing"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/ml/knn"
+	"ltefp/internal/sim"
+)
+
+func TestExactNeighbours(t *testing.T) {
+	ds := dataset.New([]string{"left", "right"}, nil)
+	// Clearly separated clusters on one axis.
+	for i := 0; i < 10; i++ {
+		ds.Add([]float64{float64(i) / 10, 0}, 0)
+		ds.Add([]float64{10 + float64(i)/10, 0}, 1)
+	}
+	m, err := knn.Train(ds, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Predict([]float64{0.5, 0}); got != 0 {
+		t.Fatalf("Predict(left point) = %d", got)
+	}
+	if got := m.Predict([]float64{10.5, 0}); got != 1 {
+		t.Fatalf("Predict(right point) = %d", got)
+	}
+}
+
+func TestKClamped(t *testing.T) {
+	ds := dataset.New([]string{"a"}, nil)
+	ds.Add([]float64{0}, 0)
+	ds.Add([]float64{1}, 0)
+	m, err := knn.Train(ds, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K != 2 {
+		t.Fatalf("K = %d, want clamped to 2", m.K)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ds := dataset.New([]string{"a"}, nil)
+	if _, err := knn.Train(ds, 1); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+	ds.Add([]float64{1}, 0)
+	if _, err := knn.Train(ds, 0); err == nil {
+		t.Fatal("k = 0 accepted")
+	}
+}
+
+func TestSeparableAccuracy(t *testing.T) {
+	g := sim.NewRNG(1)
+	ds := dataset.New([]string{"a", "b", "c"}, nil)
+	for i := 0; i < 900; i++ {
+		y := i % 3
+		ds.Add([]float64{g.Normal(float64(4*y), 1), g.Normal(-float64(2*y), 1)}, y)
+	}
+	train, test := ds.Split(0.8, sim.NewRNG(2))
+	m, err := knn.Train(train, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range test.X {
+		if m.Predict(x) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.9 {
+		t.Fatalf("accuracy = %.3f", acc)
+	}
+}
+
+func TestSelectK(t *testing.T) {
+	g := sim.NewRNG(3)
+	ds := dataset.New([]string{"a", "b"}, nil)
+	for i := 0; i < 200; i++ {
+		y := i % 2
+		ds.Add([]float64{g.Normal(float64(3*y), 1)}, y)
+	}
+	k, err := knn.SelectK(ds, 6, 4, sim.NewRNG(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k < 1 || k > 6 {
+		t.Fatalf("SelectK = %d outside the searched range", k)
+	}
+}

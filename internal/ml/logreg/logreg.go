@@ -1,0 +1,150 @@
+// Package logreg implements multinomial logistic regression (softmax
+// regression) trained by mini-batch gradient descent with L2
+// regularisation. The paper uses it twice: as a Table VIII baseline
+// (C = 1, the inverse regularisation strength) and as the decision layer of
+// the correlation attack, which classifies DTW similarity evidence into
+// contact / no-contact (Table VII).
+package logreg
+
+import (
+	"fmt"
+	"math"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/sim"
+)
+
+// Config controls training. Zero values select the noted defaults.
+type Config struct {
+	// C is the inverse regularisation strength (default 1, paper setting).
+	C float64
+	// LearningRate is the SGD step size (default 0.1).
+	LearningRate float64
+	// Epochs is the number of passes over the data (default 60).
+	Epochs int
+	// BatchSize is the mini-batch size (default 32).
+	BatchSize int
+	// Seed drives shuffling.
+	Seed uint64
+}
+
+func (c Config) withDefaults() Config {
+	if c.C <= 0 {
+		c.C = 1
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.1
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 60
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+// Model is a fitted softmax regression classifier. It stores its own
+// feature scaler.
+type Model struct {
+	Classes []string
+	// W is [class][feature] weights; B the per-class bias.
+	W [][]float64
+	B []float64
+
+	scaler *dataset.Scaler
+}
+
+// Train fits the model.
+func Train(d *dataset.Dataset, cfg Config) (*Model, error) {
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("logreg: %w", err)
+	}
+	if d.Len() == 0 {
+		return nil, fmt.Errorf("logreg: empty training set")
+	}
+	cfg = cfg.withDefaults()
+	sc := dataset.FitScaler(d)
+	scaled := sc.TransformAll(d)
+
+	nc, dim, n := len(d.Classes), d.Dim(), d.Len()
+	m := &Model{Classes: d.Classes, W: make([][]float64, nc), B: make([]float64, nc), scaler: sc}
+	for c := range m.W {
+		m.W[c] = make([]float64, dim)
+	}
+	lambda := 1 / (cfg.C * float64(n))
+	rng := sim.NewRNG(cfg.Seed + 0x5bd1e995)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	probs := make([]float64, nc)
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		rng.Shuffle(n, func(i, j int) { order[i], order[j] = order[j], order[i] })
+		lr := cfg.LearningRate / (1 + 0.02*float64(epoch))
+		for start := 0; start < n; start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			for _, i := range order[start:end] {
+				x, y := scaled.X[i], scaled.Y[i]
+				m.softmax(x, probs)
+				for c := 0; c < nc; c++ {
+					g := probs[c]
+					if c == y {
+						g -= 1
+					}
+					w := m.W[c]
+					for j, xv := range x {
+						w[j] -= lr * (g*xv + lambda*w[j])
+					}
+					m.B[c] -= lr * g
+				}
+			}
+		}
+	}
+	return m, nil
+}
+
+// softmax fills out with class probabilities for a *standardised* x.
+func (m *Model) softmax(x []float64, out []float64) {
+	maxZ := math.Inf(-1)
+	for c := range m.W {
+		z := m.B[c]
+		for j, xv := range x {
+			z += m.W[c][j] * xv
+		}
+		out[c] = z
+		if z > maxZ {
+			maxZ = z
+		}
+	}
+	sum := 0.0
+	for c := range out {
+		out[c] = math.Exp(out[c] - maxZ)
+		sum += out[c]
+	}
+	for c := range out {
+		out[c] /= sum
+	}
+}
+
+// PredictProba returns class probabilities for a raw (unscaled) x.
+func (m *Model) PredictProba(x []float64) []float64 {
+	out := make([]float64, len(m.Classes))
+	m.softmax(m.scaler.Transform(x), out)
+	return out
+}
+
+// Predict returns the most probable class index.
+func (m *Model) Predict(x []float64) int {
+	p := m.PredictProba(x)
+	best, bv := 0, p[0]
+	for c, v := range p {
+		if v > bv {
+			best, bv = c, v
+		}
+	}
+	return best
+}

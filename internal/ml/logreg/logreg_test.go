@@ -1,0 +1,113 @@
+package logreg_test
+
+import (
+	"math"
+	"testing"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/ml/logreg"
+	"ltefp/internal/sim"
+)
+
+func linearBlobs(n int, seed uint64) *dataset.Dataset {
+	g := sim.NewRNG(seed)
+	ds := dataset.New([]string{"a", "b", "c"}, nil)
+	for i := 0; i < n; i++ {
+		y := i % 3
+		ds.Add([]float64{
+			g.Normal(float64(5*y), 1),
+			g.Normal(float64(-3*y), 1),
+		}, y)
+	}
+	return ds
+}
+
+func TestLinearlySeparable(t *testing.T) {
+	ds := linearBlobs(1200, 1)
+	train, test := ds.Split(0.8, sim.NewRNG(2))
+	m, err := logreg.Train(train, logreg.Config{C: 1, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct := 0
+	for i, x := range test.X {
+		if m.Predict(x) == test.Y[i] {
+			correct++
+		}
+	}
+	if acc := float64(correct) / float64(test.Len()); acc < 0.95 {
+		t.Fatalf("accuracy on linear blobs = %.3f", acc)
+	}
+}
+
+func TestProbabilities(t *testing.T) {
+	ds := linearBlobs(300, 3)
+	m, err := logreg.Train(ds, logreg.Config{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range ds.X[:50] {
+		p := m.PredictProba(x)
+		sum := 0.0
+		for _, v := range p {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				t.Fatalf("probability %v out of range", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("probabilities sum to %v", sum)
+		}
+	}
+}
+
+func TestRegularisationShrinksWeights(t *testing.T) {
+	ds := linearBlobs(400, 4)
+	loose, err := logreg.Train(ds, logreg.Config{C: 100, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := logreg.Train(ds, logreg.Config{C: 0.001, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	norm := func(m *logreg.Model) float64 {
+		s := 0.0
+		for _, row := range m.W {
+			for _, w := range row {
+				s += w * w
+			}
+		}
+		return s
+	}
+	if norm(tight) >= norm(loose) {
+		t.Fatalf("heavy regularisation did not shrink weights: %v >= %v",
+			norm(tight), norm(loose))
+	}
+}
+
+func TestErrors(t *testing.T) {
+	empty := dataset.New([]string{"a"}, nil)
+	if _, err := logreg.Train(empty, logreg.Config{}); err == nil {
+		t.Fatal("empty training set accepted")
+	}
+}
+
+func TestDeterministic(t *testing.T) {
+	ds := linearBlobs(200, 5)
+	a, err := logreg.Train(ds, logreg.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := logreg.Train(ds, logreg.Config{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.W {
+		for j := range a.W[i] {
+			if a.W[i][j] != b.W[i][j] {
+				t.Fatal("same seed produced different weights")
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package sim
+
+import "time"
+
+// TTI is the LTE transmission time interval: one subframe, 1 ms.
+const TTI = time.Millisecond
+
+// Clock tracks simulated time at subframe granularity.
+type Clock struct {
+	now time.Duration
+}
+
+// Now returns the current simulated time.
+func (c *Clock) Now() time.Duration { return c.now }
+
+// Subframe returns the absolute subframe index (1 ms ticks since start).
+func (c *Clock) Subframe() int64 { return int64(c.now / TTI) }
+
+// SFN returns the system frame number (10 ms frames, modulo 1024 as on the
+// air interface) and the subframe number within the frame.
+func (c *Clock) SFN() (frame int, subframe int) {
+	sf := c.Subframe()
+	return int((sf / 10) % 1024), int(sf % 10)
+}
+
+// Tick advances the clock by one TTI.
+func (c *Clock) Tick() { c.now += TTI }
+
+// AdvanceTo moves the clock forward to t. It panics if t is in the past:
+// simulated time never rewinds.
+func (c *Clock) AdvanceTo(t time.Duration) {
+	if t < c.now {
+		panic("sim: clock moving backwards")
+	}
+	c.now = t
+}

@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"container/heap"
+	"time"
+)
+
+// Event is an item scheduled for execution at a simulated instant.
+type Event struct {
+	// At is the simulated time at which the event fires, measured from the
+	// start of the simulation.
+	At time.Duration
+	// Fire is invoked when the event is due.
+	Fire func()
+
+	seq int // tie-breaker preserving scheduling order at equal times
+}
+
+// Queue is a time-ordered event queue. Events scheduled for the same instant
+// fire in the order they were pushed, which keeps the simulation
+// deterministic. The zero value is ready to use.
+type Queue struct {
+	h   eventHeap
+	seq int
+}
+
+// Push schedules an event.
+func (q *Queue) Push(at time.Duration, fire func()) {
+	q.seq++
+	heap.Push(&q.h, &Event{At: at, Fire: fire, seq: q.seq})
+}
+
+// Len reports the number of pending events.
+func (q *Queue) Len() int { return len(q.h) }
+
+// PeekTime returns the time of the earliest pending event. The second return
+// is false when the queue is empty.
+func (q *Queue) PeekTime() (time.Duration, bool) {
+	if len(q.h) == 0 {
+		return 0, false
+	}
+	return q.h[0].At, true
+}
+
+// PopDue removes and fires every event due at or before now, in time order.
+// It returns the number of events fired.
+func (q *Queue) PopDue(now time.Duration) int {
+	n := 0
+	for len(q.h) > 0 && q.h[0].At <= now {
+		ev, ok := heap.Pop(&q.h).(*Event)
+		if !ok {
+			panic("sim: event heap holds a non-event")
+		}
+		ev.Fire()
+		n++
+	}
+	return n
+}
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) {
+	ev, ok := x.(*Event)
+	if !ok {
+		panic("sim: pushing a non-event")
+	}
+	*h = append(*h, ev)
+}
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}

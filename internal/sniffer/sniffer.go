@@ -1,0 +1,244 @@
+// Package sniffer implements the attacker's capture equipment: a passive
+// PDCCH observer that blind-decodes every DCI it receives by re-computing
+// the CRC16 over the payload and XOR-ing it with the received parity bits,
+// recovering the addressed RNTI without any key material — the same
+// technique the OWL and FALCON tools use and the paper's data-acquisition
+// step ② relies on. The sniffer additionally reads the handful of plaintext
+// pre-security messages (random access responses, RRC connection setup
+// with its contention-resolution identity, paging records), which feed the
+// identity-mapping step ①.
+//
+// The sniffer is honest: it sees only phy.Subframe contents, never
+// simulator-internal state, and its capture is degraded by a configurable
+// loss and corruption model standing in for real-world decode failures.
+package sniffer
+
+import (
+	"time"
+
+	"ltefp/internal/lte/crc"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/phy"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/lte/rrc"
+	"ltefp/internal/sim"
+	"ltefp/internal/trace"
+)
+
+// Config controls a sniffer's capture fidelity and coverage.
+type Config struct {
+	// LossProb is the probability a PDCCH message is missed entirely.
+	LossProb float64
+	// CorruptProb is the probability a captured payload is bit-corrupted,
+	// producing a bogus RNTI/DCI that the plausibility filter must reject.
+	CorruptProb float64
+	// Downlink and Uplink select which scheduling directions the sniffer
+	// records. The paper's threat model needs one sniffer per channel; a
+	// default-constructed config with both false records both (the lab
+	// Down+Up setting).
+	DownlinkOnly bool
+	UplinkOnly   bool
+}
+
+// IdentityEvent is an RNTI↔TMSI binding observed in plaintext during
+// connection establishment (msg4's contention resolution identity).
+type IdentityEvent struct {
+	At     time.Duration
+	CellID int
+	RNTI   rnti.RNTI
+	TMSI   uint32
+	// HasTMSI is false when the UE connected with a random identity, which
+	// yields no stable mapping.
+	HasTMSI bool
+}
+
+// PagingEvent is a TMSI observed on the paging channel.
+type PagingEvent struct {
+	At     time.Duration
+	CellID int
+	TMSI   uint32
+}
+
+// Sniffer captures one cell's PDCCH. It implements enb.Observer.
+type Sniffer struct {
+	cfg Config
+	rng *sim.RNG
+
+	records  trace.Trace
+	ids      []IdentityEvent
+	pagings  []PagingEvent
+	activity map[rnti.RNTI]*Activity
+
+	captured int64
+	dropped  int64
+}
+
+// Activity summarises how often and when an RNTI was seen — the OWL-style
+// table used to filter decode artefacts from real users.
+type Activity struct {
+	First, Last time.Duration
+	Count       int
+}
+
+// New returns a sniffer with the given capture configuration, using rng
+// for its loss and corruption draws.
+func New(cfg Config, rng *sim.RNG) *Sniffer {
+	return &Sniffer{
+		cfg:      cfg,
+		rng:      rng,
+		activity: make(map[rnti.RNTI]*Activity),
+	}
+}
+
+// Observe ingests one subframe. It implements enb.Observer.
+func (s *Sniffer) Observe(cellID int, sf *phy.Subframe) {
+	at := time.Duration(sf.Index) * sim.TTI
+	for i := range sf.PDCCH {
+		tx := &sf.PDCCH[i]
+		if s.cfg.LossProb > 0 && s.rng.Bool(s.cfg.LossProb) {
+			s.dropped++
+			continue
+		}
+		payload := tx.Payload
+		maskedCRC := tx.MaskedCRC
+		corrupted := s.cfg.CorruptProb > 0 && s.rng.Bool(s.cfg.CorruptProb)
+		if corrupted {
+			payload = s.corrupt(payload)
+		}
+		r := rnti.RNTI(crc.RecoverRNTI(payload, maskedCRC))
+		msg, err := dci.Parse(payload)
+		if err != nil {
+			continue // undecodable candidate, as a real blind decoder skips
+		}
+		// Plaintext pre-security content rides on uncorrupted frames only.
+		if !corrupted {
+			s.inspectPlaintext(at, cellID, r, tx.Plaintext)
+		}
+		if !r.IsC() {
+			continue // paging / RAR / SI scheduling, not user traffic
+		}
+		dir := msg.Format.Direction()
+		if s.cfg.DownlinkOnly && dir != dci.Downlink {
+			continue
+		}
+		if s.cfg.UplinkOnly && dir != dci.Uplink {
+			continue
+		}
+		bytes, err := msg.TransportBlockBytes()
+		if err != nil {
+			continue
+		}
+		s.captured++
+		s.records = append(s.records, trace.Record{
+			At:     at,
+			CellID: cellID,
+			RNTI:   r,
+			Dir:    dir,
+			Bytes:  bytes,
+		})
+		a := s.activity[r]
+		if a == nil {
+			a = &Activity{First: at}
+			s.activity[r] = a
+		}
+		a.Last = at
+		a.Count++
+	}
+}
+
+// inspectPlaintext extracts identity-relevant plaintext. Two messages bind
+// an RNTI to an identity: msg3 (the RRC connection request, on the uplink
+// shared channel — visible only when the sniffer covers the uplink) and
+// msg4 (the connection setup echoing the contention-resolution identity on
+// the downlink). Reading both halves the chance a capture loss costs the
+// attacker the binding.
+func (s *Sniffer) inspectPlaintext(at time.Duration, cellID int, r rnti.RNTI, plaintext any) {
+	switch m := plaintext.(type) {
+	case rrc.ConnectionRequest:
+		if s.cfg.DownlinkOnly {
+			return // msg3 content rides on the PUSCH
+		}
+		s.ids = append(s.ids, IdentityEvent{
+			At:      at,
+			CellID:  cellID,
+			RNTI:    r,
+			TMSI:    m.Identity.TMSI,
+			HasTMSI: m.Identity.HasTMSI,
+		})
+	case rrc.ConnectionSetup:
+		if s.cfg.UplinkOnly {
+			return // msg4 rides on the PDSCH
+		}
+		s.ids = append(s.ids, IdentityEvent{
+			At:      at,
+			CellID:  cellID,
+			RNTI:    r,
+			TMSI:    m.ContentionResolution.TMSI,
+			HasTMSI: m.ContentionResolution.HasTMSI,
+		})
+	case rrc.Paging:
+		if s.cfg.UplinkOnly {
+			return
+		}
+		for _, rec := range m.Records {
+			s.pagings = append(s.pagings, PagingEvent{At: at, CellID: cellID, TMSI: rec.TMSI})
+		}
+	}
+}
+
+// corrupt flips a couple of random bits in a copy of the payload.
+func (s *Sniffer) corrupt(payload []byte) []byte {
+	out := make([]byte, len(payload))
+	copy(out, payload)
+	for flips := 1 + s.rng.IntN(2); flips > 0; flips-- {
+		out[s.rng.IntN(len(out))] ^= 1 << s.rng.IntN(8)
+	}
+	return out
+}
+
+// Records returns everything captured so far, time-ordered.
+func (s *Sniffer) Records() trace.Trace { return s.records }
+
+// ValidatedRecords returns captured records whose RNTI was seen at least
+// minCount times — the plausibility filter that removes ghost RNTIs
+// produced by corrupted decodes.
+func (s *Sniffer) ValidatedRecords(minCount int) trace.Trace {
+	out := make(trace.Trace, 0, len(s.records))
+	for _, r := range s.records {
+		if a := s.activity[r.RNTI]; a != nil && a.Count >= minCount {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// IdentityEvents returns the observed RNTI↔TMSI bindings.
+func (s *Sniffer) IdentityEvents() []IdentityEvent { return s.ids }
+
+// PagingEvents returns the observed paging records.
+func (s *Sniffer) PagingEvents() []PagingEvent { return s.pagings }
+
+// ActiveRNTIs returns the RNTIs seen within the window ending at now,
+// mirroring OWL's live user list.
+func (s *Sniffer) ActiveRNTIs(now, window time.Duration) []rnti.RNTI {
+	var out []rnti.RNTI
+	for r, a := range s.activity {
+		if now-a.Last <= window {
+			out = append(out, r)
+		}
+	}
+	sortRNTIs(out)
+	return out
+}
+
+// Stats reports capture counters: decoded user-plane records and messages
+// lost to the capture model.
+func (s *Sniffer) Stats() (captured, dropped int64) { return s.captured, s.dropped }
+
+func sortRNTIs(rs []rnti.RNTI) {
+	for i := 1; i < len(rs); i++ {
+		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
+			rs[j], rs[j-1] = rs[j-1], rs[j]
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/rnti"
+)
+
+// csvHeader is the column layout of the trace interchange format, matching
+// the fields srsLTE-based captures export: timestamp (microseconds), cell,
+// RNTI, direction (1 = downlink, 0 = uplink), transport block bytes.
+var csvHeader = []string{"time_us", "cell", "rnti", "direction", "bytes"}
+
+// WriteCSV serialises the trace.
+func WriteCSV(w io.Writer, t Trace) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return fmt.Errorf("trace: writing header: %w", err)
+	}
+	row := make([]string, 5)
+	for _, r := range t {
+		row[0] = strconv.FormatInt(r.At.Microseconds(), 10)
+		row[1] = strconv.Itoa(r.CellID)
+		row[2] = strconv.FormatUint(uint64(r.RNTI), 10)
+		row[3] = strconv.Itoa(r.Dir.Value())
+		row[4] = strconv.Itoa(r.Bytes)
+		if err := cw.Write(row); err != nil {
+			return fmt.Errorf("trace: writing record: %w", err)
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return fmt.Errorf("trace: flushing: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV deserialises a trace written by WriteCSV.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if header[i] != h {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, header[i], h)
+		}
+	}
+	var out Trace
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, rec)
+	}
+}
+
+func parseRow(row []string) (Record, error) {
+	us, err := strconv.ParseInt(row[0], 10, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("time_us: %w", err)
+	}
+	cell, err := strconv.Atoi(row[1])
+	if err != nil {
+		return Record{}, fmt.Errorf("cell: %w", err)
+	}
+	r, err := strconv.ParseUint(row[2], 10, 16)
+	if err != nil {
+		return Record{}, fmt.Errorf("rnti: %w", err)
+	}
+	dirVal, err := strconv.Atoi(row[3])
+	if err != nil {
+		return Record{}, fmt.Errorf("direction: %w", err)
+	}
+	dir := dci.Uplink
+	if dirVal == 1 {
+		dir = dci.Downlink
+	}
+	bytes, err := strconv.Atoi(row[4])
+	if err != nil {
+		return Record{}, fmt.Errorf("bytes: %w", err)
+	}
+	return Record{
+		At:     time.Duration(us) * time.Microsecond,
+		CellID: cell,
+		RNTI:   rnti.RNTI(r),
+		Dir:    dir,
+		Bytes:  bytes,
+	}, nil
+}

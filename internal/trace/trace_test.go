@@ -1,0 +1,212 @@
+package trace_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/sim"
+	"ltefp/internal/trace"
+)
+
+func mkTrace(n int, seed uint64) trace.Trace {
+	g := sim.NewRNG(seed)
+	t := make(trace.Trace, n)
+	at := time.Duration(0)
+	for i := range t {
+		at += time.Duration(g.IntN(50)) * time.Millisecond
+		dir := dci.Downlink
+		if g.Bool(0.3) {
+			dir = dci.Uplink
+		}
+		t[i] = trace.Record{
+			At:     at,
+			CellID: 1 + g.IntN(3),
+			RNTI:   rnti.RNTI(0x100 + g.IntN(4)),
+			Dir:    dir,
+			Bytes:  1 + g.IntN(4000),
+		}
+	}
+	return t
+}
+
+func TestSortAndDuration(t *testing.T) {
+	tr := trace.Trace{
+		{At: 3 * time.Second}, {At: time.Second}, {At: 2 * time.Second},
+	}
+	tr.Sort()
+	if tr[0].At != time.Second || tr[2].At != 3*time.Second {
+		t.Fatal("Sort did not order by time")
+	}
+	if tr.Duration() != 2*time.Second {
+		t.Fatalf("Duration = %v", tr.Duration())
+	}
+	var empty trace.Trace
+	if empty.Duration() != 0 {
+		t.Fatal("empty Duration != 0")
+	}
+}
+
+func TestFilters(t *testing.T) {
+	tr := mkTrace(500, 1)
+	dl := tr.FilterDirection(dci.Downlink)
+	ul := tr.FilterDirection(dci.Uplink)
+	if len(dl)+len(ul) != len(tr) {
+		t.Fatal("direction filters lose records")
+	}
+	for _, r := range dl {
+		if r.Dir != dci.Downlink {
+			t.Fatal("FilterDirection leaked uplink")
+		}
+	}
+	one := tr.FilterRNTI(0x101)
+	for _, r := range one {
+		if r.RNTI != 0x101 {
+			t.Fatal("FilterRNTI leaked")
+		}
+	}
+	span := tr.FilterSpan(time.Second, 2*time.Second)
+	for _, r := range span {
+		if r.At < time.Second || r.At >= 2*time.Second {
+			t.Fatal("FilterSpan out of range")
+		}
+	}
+	groups := tr.ByRNTI()
+	total := 0
+	for r, g := range groups {
+		total += len(g)
+		for _, rec := range g {
+			if rec.RNTI != r {
+				t.Fatal("ByRNTI misgrouped")
+			}
+		}
+	}
+	if total != len(tr) {
+		t.Fatal("ByRNTI lost records")
+	}
+}
+
+func TestSplitSessions(t *testing.T) {
+	tr := trace.Trace{
+		{At: 0}, {At: 100 * time.Millisecond},
+		{At: 20 * time.Second}, {At: 20100 * time.Millisecond},
+	}
+	sessions := tr.SplitSessions(10 * time.Second)
+	if len(sessions) != 2 {
+		t.Fatalf("%d sessions, want 2", len(sessions))
+	}
+	if len(sessions[0]) != 2 || len(sessions[1]) != 2 {
+		t.Fatalf("session sizes %d/%d", len(sessions[0]), len(sessions[1]))
+	}
+	if got := trace.Trace(nil).SplitSessions(time.Second); got != nil {
+		t.Fatal("empty trace should split to nil")
+	}
+}
+
+// TestWindowsPartition: with stride == width every record lands in exactly
+// one window, and windows tile the span.
+func TestWindowsPartition(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := mkTrace(300, seed)
+		ws := tr.Windows(100*time.Millisecond, 100*time.Millisecond)
+		count := 0
+		for i, w := range ws {
+			if i > 0 && w.Start != ws[i-1].Start+100*time.Millisecond {
+				return false
+			}
+			for _, r := range w.Records {
+				if r.At < w.Start || r.At >= w.Start+100*time.Millisecond {
+					return false
+				}
+				count++
+			}
+		}
+		return count == len(tr)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowsOverlapping(t *testing.T) {
+	tr := mkTrace(200, 7)
+	ws := tr.Windows(200*time.Millisecond, 100*time.Millisecond)
+	// Overlapping windows must each contain exactly the records in their
+	// span.
+	for _, w := range ws {
+		want := tr.FilterSpan(w.Start, w.Start+200*time.Millisecond)
+		if len(want) != len(w.Records) {
+			t.Fatalf("window at %v has %d records, span-filter says %d",
+				w.Start, len(w.Records), len(want))
+		}
+	}
+}
+
+func TestWindowsPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Windows(0, 0) did not panic")
+		}
+	}()
+	mkTrace(3, 1).Windows(0, 0)
+}
+
+func TestNonEmptyWindows(t *testing.T) {
+	tr := trace.Trace{{At: 0, Bytes: 1}, {At: time.Second, Bytes: 1}}
+	ws := tr.Windows(100*time.Millisecond, 100*time.Millisecond)
+	ne := trace.NonEmptyWindows(ws)
+	if len(ne) != 2 {
+		t.Fatalf("%d non-empty windows, want 2", len(ne))
+	}
+	if len(ws) <= len(ne) {
+		t.Fatal("expected empty windows between the two records")
+	}
+}
+
+// TestCSVRoundTrip: WriteCSV then ReadCSV is the identity.
+func TestCSVRoundTrip(t *testing.T) {
+	f := func(seed uint64) bool {
+		tr := mkTrace(100, seed)
+		var buf bytes.Buffer
+		if err := trace.WriteCSV(&buf, tr); err != nil {
+			return false
+		}
+		got, err := trace.ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got) != len(tr) {
+			return false
+		}
+		for i := range tr {
+			if got[i] != tr[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadCSVRejectsGarbage(t *testing.T) {
+	if _, err := trace.ReadCSV(strings.NewReader("not,a,trace\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+	bad := "time_us,cell,rnti,direction,bytes\nxyz,1,2,1,3\n"
+	if _, err := trace.ReadCSV(strings.NewReader(bad)); err == nil {
+		t.Fatal("bad field accepted")
+	}
+}
+
+func TestTotalBytes(t *testing.T) {
+	tr := trace.Trace{{Bytes: 5}, {Bytes: 7}}
+	if tr.TotalBytes() != 12 {
+		t.Fatalf("TotalBytes = %d", tr.TotalBytes())
+	}
+}

@@ -1,0 +1,26 @@
+package ltefp
+
+import (
+	"fmt"
+	"io"
+)
+
+import internaltrace "ltefp/internal/trace"
+
+// WriteCSV serialises records in the trace interchange format
+// (time_us, cell, rnti, direction, bytes).
+func WriteCSV(w io.Writer, records []Record) error {
+	if err := internaltrace.WriteCSV(w, toTrace(records)); err != nil {
+		return fmt.Errorf("ltefp: %w", err)
+	}
+	return nil
+}
+
+// ReadCSV deserialises records written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Record, error) {
+	t, err := internaltrace.ReadCSV(r)
+	if err != nil {
+		return nil, fmt.Errorf("ltefp: %w", err)
+	}
+	return fromTrace(t), nil
+}

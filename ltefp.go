@@ -1,0 +1,125 @@
+// Package ltefp is a pure-Go reproduction of "Targeted Privacy Attacks by
+// Fingerprinting Mobile Apps in LTE Radio Layer" (DSN 2023): a simulated
+// LTE radio substrate, a passive PDCCH sniffer, and the paper's three
+// attacks — mobile-app fingerprinting, the history attack, and the
+// correlation attack — with every machine-learning component implemented
+// from scratch on the standard library.
+//
+// The package is a facade over the implementation in internal/: it exposes
+// the workflows a user of the attack framework actually runs.
+//
+//	// 1. Record a victim's radio-layer traffic (simulated capture).
+//	cap, _ := ltefp.Capture(ltefp.CaptureOptions{
+//	    Network: "T-Mobile", App: "YouTube", Duration: time.Minute, Seed: 7,
+//	})
+//
+//	// 2. Train the hierarchical fingerprinting classifier.
+//	td, _ := ltefp.CollectTraining(ltefp.TrainingOptions{Network: "T-Mobile", Seed: 1})
+//	fp, _ := ltefp.TrainFingerprinter(td, 1)
+//
+//	// 3. Identify what the victim was running.
+//	id := fp.Identify(cap.Victim)
+//	fmt.Println(id.App, id.Confidence)
+//
+// Everything is deterministic in the seeds supplied; see DESIGN.md for the
+// substitutions that stand in for SDR hardware and live carrier networks,
+// and EXPERIMENTS.md for the paper-versus-measured comparison.
+package ltefp
+
+import (
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/trace"
+)
+
+// Record is one decoded DCI observation: everything a passive sniffer
+// learns about one scheduled transport block.
+type Record struct {
+	// At is the capture timestamp relative to the start of the capture.
+	At time.Duration
+	// CellID identifies the observing sniffer's cell.
+	CellID int
+	// RNTI is the radio identifier the message was addressed to.
+	RNTI uint16
+	// Downlink reports the scheduled direction (false = uplink).
+	Downlink bool
+	// Bytes is the transport block size.
+	Bytes int
+}
+
+// IdentityBinding is an RNTI-to-TMSI mapping observed in plaintext during
+// connection establishment.
+type IdentityBinding struct {
+	At     time.Duration
+	CellID int
+	RNTI   uint16
+	TMSI   uint32
+}
+
+// AppInfo describes one fingerprintable application.
+type AppInfo struct {
+	// Name is the app's display name ("Netflix", "WhatsApp Call", ...).
+	Name string
+	// Category is the app's class ("Streaming", "Messenger", "VoIP call").
+	Category string
+}
+
+// Apps returns the nine fingerprinted applications in the paper's table
+// order.
+func Apps() []AppInfo {
+	apps := appmodel.Apps()
+	out := make([]AppInfo, len(apps))
+	for i, a := range apps {
+		out[i] = AppInfo{Name: a.Name, Category: a.Category.String()}
+	}
+	return out
+}
+
+// Networks returns the available network environments: "Lab" plus the
+// three synthetic commercial carrier profiles.
+func Networks() []string {
+	out := []string{operator.Lab().Name}
+	for _, p := range operator.Commercial() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// fromTrace converts internal records to the public representation.
+func fromTrace(t trace.Trace) []Record {
+	out := make([]Record, len(t))
+	for i, r := range t {
+		out[i] = Record{
+			At:       r.At,
+			CellID:   r.CellID,
+			RNTI:     uint16(r.RNTI),
+			Downlink: r.Dir == dci.Downlink,
+			Bytes:    r.Bytes,
+		}
+	}
+	return out
+}
+
+// toTrace converts public records to the internal representation.
+func toTrace(rs []Record) trace.Trace {
+	out := make(trace.Trace, len(rs))
+	for i, r := range rs {
+		dir := dci.Uplink
+		if r.Downlink {
+			dir = dci.Downlink
+		}
+		out[i] = trace.Record{
+			At:     r.At,
+			CellID: r.CellID,
+			RNTI:   rnti.RNTI(r.RNTI),
+			Dir:    dir,
+			Bytes:  r.Bytes,
+		}
+	}
+	out.Sort()
+	return out
+}

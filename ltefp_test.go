@@ -1,0 +1,294 @@
+package ltefp_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"ltefp"
+)
+
+func TestAppsAndNetworks(t *testing.T) {
+	apps := ltefp.Apps()
+	if len(apps) != 9 {
+		t.Fatalf("%d apps", len(apps))
+	}
+	cats := map[string]int{}
+	for _, a := range apps {
+		cats[a.Category]++
+	}
+	if len(cats) != 3 {
+		t.Fatalf("categories = %v", cats)
+	}
+	nets := ltefp.Networks()
+	if len(nets) != 4 || nets[0] != "Lab" {
+		t.Fatalf("networks = %v", nets)
+	}
+}
+
+func TestCaptureValidation(t *testing.T) {
+	if _, err := ltefp.Capture(ltefp.CaptureOptions{App: "Snapchat"}); err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	if _, err := ltefp.Capture(ltefp.CaptureOptions{Network: "Sprint", App: "Netflix"}); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+}
+
+func TestCaptureBasics(t *testing.T) {
+	res, err := ltefp.Capture(ltefp.CaptureOptions{
+		App:      "Skype",
+		Duration: 15 * time.Second,
+		Seed:     3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Victim) == 0 || len(res.All) == 0 || len(res.Bindings) == 0 {
+		t.Fatalf("capture = %d victim / %d all / %d bindings",
+			len(res.Victim), len(res.All), len(res.Bindings))
+	}
+	var dl, ul int
+	for _, r := range res.Victim {
+		if r.Bytes <= 0 {
+			t.Fatal("non-positive record size")
+		}
+		if r.Downlink {
+			dl++
+		} else {
+			ul++
+		}
+	}
+	if dl == 0 || ul == 0 {
+		t.Fatalf("VoIP capture has dl=%d ul=%d", dl, ul)
+	}
+}
+
+func TestCaptureDownlinkOnly(t *testing.T) {
+	res, err := ltefp.Capture(ltefp.CaptureOptions{
+		App:          "Skype",
+		Duration:     10 * time.Second,
+		Seed:         3,
+		DownlinkOnly: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range res.Victim {
+		if !r.Downlink {
+			t.Fatal("downlink-only capture recorded uplink")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	res, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "WhatsApp", Duration: 20 * time.Second, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ltefp.WriteCSV(&buf, res.Victim); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ltefp.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(res.Victim) {
+		t.Fatalf("round trip: %d -> %d records", len(res.Victim), len(got))
+	}
+	for i := range got {
+		if got[i] != res.Victim[i] {
+			t.Fatalf("record %d changed in round trip", i)
+		}
+	}
+}
+
+// trainTiny builds a small lab fingerprinter once for the API tests.
+func trainTiny(t *testing.T) *ltefp.Fingerprinter {
+	t.Helper()
+	td, err := ltefp.CollectTraining(ltefp.TrainingOptions{
+		SessionsPerApp:  2,
+		SessionDuration: 30 * time.Second,
+		Seed:            1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range ltefp.Apps() {
+		if td.Count(a.Name) == 0 {
+			t.Fatalf("no training windows for %s", a.Name)
+		}
+	}
+	fp, err := ltefp.TrainFingerprinter(td, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+func TestFingerprintWorkflow(t *testing.T) {
+	fp := trainTiny(t)
+	cap, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "YouTube", Duration: 30 * time.Second, Seed: 77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := fp.Identify(cap.Victim)
+	if id.App != "YouTube" {
+		t.Fatalf("identified %q (confidence %.2f)", id.App, id.Confidence)
+	}
+	if id.Category != "Streaming" {
+		t.Fatalf("category %q", id.Category)
+	}
+	if id.Windows == 0 || id.Confidence <= 0 {
+		t.Fatalf("degenerate identification %+v", id)
+	}
+	empty := fp.Identify(nil)
+	if empty.App != "" || empty.Windows != 0 {
+		t.Fatalf("empty trace identified as %+v", empty)
+	}
+}
+
+func TestFingerprinterSaveLoad(t *testing.T) {
+	fp := trainTiny(t)
+	var buf bytes.Buffer
+	if err := fp.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ltefp.LoadFingerprinter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "Skype", Duration: 20 * time.Second, Seed: 88,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := fp.Identify(cap.Victim)
+	b := loaded.Identify(cap.Victim)
+	if a != b {
+		t.Fatalf("loaded model diverges: %+v vs %+v", a, b)
+	}
+}
+
+func TestHistoryAttackAPI(t *testing.T) {
+	fp := trainTiny(t)
+	report, err := fp.HistoryAttack(ltefp.HistoryOptions{
+		Zones: []int{1, 2},
+		Seed:  5,
+		Itinerary: []ltefp.Visit{
+			{Zone: 1, Day: 1, Start: 2 * time.Second, Duration: 30 * time.Second, App: "Netflix"},
+			{Zone: 2, Day: 1, Start: 40 * time.Second, Duration: 30 * time.Second, App: "Skype"},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Findings) != 2 {
+		t.Fatalf("%d findings", len(report.Findings))
+	}
+	if report.SuccessRate() < 0.5 {
+		t.Fatalf("lab history attack success %.2f", report.SuccessRate())
+	}
+	if _, err := fp.HistoryAttack(ltefp.HistoryOptions{
+		Zones:     []int{1},
+		Itinerary: []ltefp.Visit{{Zone: 1, Day: 1, App: "Nope", Duration: time.Second}},
+	}); err == nil {
+		t.Fatal("unknown itinerary app accepted")
+	}
+}
+
+func TestCorrelationAPI(t *testing.T) {
+	ev, err := ltefp.CollectContactPairs("Lab", "WhatsApp Call", 3, 20*time.Second, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ev) != 6 {
+		t.Fatalf("%d evidence samples", len(ev))
+	}
+	det, err := ltefp.TrainContactDetector(ev, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training-set predictions on clean lab pairs should be coherent.
+	right := 0
+	for _, e := range ev {
+		if det.Detect(e) == e.Communicating {
+			right++
+		}
+	}
+	if right < 5 {
+		t.Fatalf("detector got %d/6 on its own training data", right)
+	}
+	if _, err := ltefp.CollectContactPairs("Lab", "Netflix", 1, time.Second, 1); err == nil {
+		t.Fatal("streaming app accepted for correlation")
+	}
+}
+
+func TestDefenseOptionsAPI(t *testing.T) {
+	// Concealed identities must deny attribution through the public API.
+	open, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "WhatsApp", Duration: 20 * time.Second, Seed: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	concealed, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "WhatsApp", Duration: 20 * time.Second, Seed: 12,
+		Defenses: ltefp.DefenseOptions{ConcealIdentities: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(open.Victim) == 0 {
+		t.Fatal("baseline capture attributed nothing")
+	}
+	if len(concealed.Bindings) != 0 {
+		t.Fatalf("concealment leaked %d bindings", len(concealed.Bindings))
+	}
+	if len(concealed.Victim) != 0 {
+		t.Fatalf("concealment still attributed %d records", len(concealed.Victim))
+	}
+	// RNTI refresh: the victim's records (attributed before the first
+	// refresh) cover far less of the session than the baseline's.
+	refreshed, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "Skype", Duration: 30 * time.Second, Seed: 13,
+		Defenses: ltefp.DefenseOptions{RNTIRefresh: 2 * time.Second},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline, err := ltefp.Capture(ltefp.CaptureOptions{
+		App: "Skype", Duration: 30 * time.Second, Seed: 13,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refreshed.Victim) >= len(baseline.Victim)/2 {
+		t.Fatalf("RNTI refresh left %d of %d records attributable",
+			len(refreshed.Victim), len(baseline.Victim))
+	}
+}
+
+func TestCostAPI(t *testing.T) {
+	p := ltefp.DefaultCostParams()
+	b, err := ltefp.AttackCost(p, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Total <= b.OneOff {
+		t.Fatal("30-day total not above the one-off cost")
+	}
+	if b.RecordedInstances != p.TrainApps*p.VersionsPerApp*p.InstancesPerApp {
+		t.Fatal("A_n wrong")
+	}
+	p.TrainApps = 0
+	if _, err := ltefp.AttackCost(p, 30); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}
