@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: check check-short test build vet bench
+
+## check: vet + build + full test suite under the race detector
+check:
+	scripts/check.sh
+
+## check-short: check, skipping the multi-second golden tests
+check-short:
+	scripts/check.sh -short
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## bench: snapshot the perf-tracking benchmarks into BENCH_<n>.json
+bench:
+	scripts/bench.sh

@@ -264,6 +264,27 @@ func BenchmarkForestPredict(b *testing.B) {
 	}
 }
 
+// BenchmarkForestPredictBatch measures batched classification of a full
+// test matrix by a 100-tree forest — the evaluation loops' inference cost.
+// Reported per window, so it is directly comparable to BenchmarkForestPredict.
+func BenchmarkForestPredictBatch(b *testing.B) {
+	g := sim.NewRNG(1)
+	ds := benchDataset(g)
+	f, err := forest.Train(ds, forest.Config{Trees: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int, ds.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchInto(ds.X, out)
+	}
+	b.StopTimer()
+	// Normalise to per-window cost for comparison with BenchmarkForestPredict.
+	perWindow := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(ds.Len())
+	b.ReportMetric(perWindow, "ns/window")
+}
+
 // BenchmarkForestTrain measures fitting the paper's forest configuration.
 func BenchmarkForestTrain(b *testing.B) {
 	g := sim.NewRNG(2)
@@ -289,6 +310,24 @@ func BenchmarkDTW(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = dtw.Similarity(x, y)
+	}
+}
+
+// BenchmarkDTWAligner is BenchmarkDTW through a reused Aligner — the
+// correlation attack's actual pairwise loop, which amortises the
+// normalization and DP-row buffers across comparisons.
+func BenchmarkDTWAligner(b *testing.B) {
+	g := sim.NewRNG(3)
+	x := make([]float64, 600)
+	y := make([]float64, 600)
+	for i := range x {
+		x[i] = g.Uniform(0, 50)
+		y[i] = g.Uniform(0, 50)
+	}
+	al := dtw.NewAligner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = al.Similarity(x, y)
 	}
 }
 

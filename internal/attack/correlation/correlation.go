@@ -89,6 +89,13 @@ var featureNames = []string{"dtw_rate", "dtw_bytes", "cross_ud", "volume_ratio"}
 // PairEvidence computes the evidence for two users' traces over the common
 // span [start, end).
 func PairEvidence(a, b trace.Trace, bin, start, end time.Duration) Evidence {
+	return PairEvidenceWith(dtw.NewAligner(), a, b, bin, start, end)
+}
+
+// PairEvidenceWith is PairEvidence reusing a caller-owned DTW aligner, so
+// pairwise sweeps amortise the normalization and DP-row buffers across
+// every comparison. The aligner must not be shared between goroutines.
+func PairEvidenceWith(al *dtw.Aligner, a, b trace.Trace, bin, start, end time.Duration) Evidence {
 	ra := RateSeries(a, bin, start, end)
 	rb := RateSeries(b, bin, start, end)
 	ba := ByteRateSeries(a, bin, start, end)
@@ -107,8 +114,8 @@ func PairEvidence(a, b trace.Trace, bin, start, end time.Duration) Evidence {
 		ratio = math.Min(volA, volB) / math.Max(volA, volB)
 	}
 	return Evidence{
-		Similarity:     dtw.Similarity(ra, rb),
-		ByteSimilarity: dtw.Similarity(ba, bb),
+		Similarity:     al.Similarity(ra, rb),
+		ByteSimilarity: al.Similarity(ba, bb),
 		CrossUD:        cross,
 		VolumeRatio:    ratio,
 	}
@@ -126,24 +133,32 @@ func peakCrossCorr(x, y []float64, maxLag int) float64 {
 	return best
 }
 
-// corrAtLag computes Pearson correlation of x[i] against y[i+lag].
+// corrAtLag computes Pearson correlation of x[i] against y[i+lag]. Two
+// passes over the overlap replace the old paired-slice copies, keeping the
+// float accumulation order (and therefore the result bits) identical.
 func corrAtLag(x, y []float64, lag int) float64 {
-	var xs, ys []float64
+	var sumX, sumY float64
+	n := 0
 	for i := range x {
 		j := i + lag
 		if j < 0 || j >= len(y) {
 			continue
 		}
-		xs = append(xs, x[i])
-		ys = append(ys, y[j])
+		sumX += x[i]
+		sumY += y[j]
+		n++
 	}
-	if len(xs) < 3 {
+	if n < 3 {
 		return 0
 	}
-	mx, my := mean(xs), mean(ys)
+	mx, my := sumX/float64(n), sumY/float64(n)
 	var num, dx, dy float64
-	for i := range xs {
-		a, b := xs[i]-mx, ys[i]-my
+	for i := range x {
+		j := i + lag
+		if j < 0 || j >= len(y) {
+			continue
+		}
+		a, b := x[i]-mx, y[j]-my
 		num += a * b
 		dx += a * a
 		dy += b * b
@@ -152,13 +167,6 @@ func corrAtLag(x, y []float64, lag int) float64 {
 		return 0
 	}
 	return num / math.Sqrt(dx*dy)
-}
-
-func mean(v []float64) float64 {
-	if len(v) == 0 {
-		return 0
-	}
-	return sum(v) / float64(len(v))
 }
 
 func sum(v []float64) float64 {

@@ -59,24 +59,30 @@ func Defenses(scale Scale, seed uint64) (*DefensesResult, error) {
 		{"refresh + morphing", withBoth},
 	}
 
-	res := &DefensesResult{}
-	var baselineBytes float64
-	var baselineWindows int
-	for i, cfg := range configs {
+	// Configurations run in parallel; normalisation against the row-0
+	// baseline happens serially afterwards.
+	type cellResult struct {
+		f1        float64
+		windows   int
+		perWindow float64
+	}
+	cellResults := make([]cellResult, len(configs))
+	err := forEach(len(configs), func(i int) error {
+		cfg := configs[i]
 		// The same seed across configurations keeps the victims' traffic
 		// programs identical, so the rows differ only by the defense.
 		data, err := collectSetting(cfg.prof, scale, 1, seed+27644437,
 			sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: defenses (%s): %w", cfg.name, err)
+			return fmt.Errorf("experiments: defenses (%s): %w", cfg.name, err)
 		}
 		clf, test, err := buildClassifier(data, seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: defenses (%s): %w", cfg.name, err)
+			return fmt.Errorf("experiments: defenses (%s): %w", cfg.name, err)
 		}
 		conf, err := clf.Evaluate(test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: defenses (%s): %w", cfg.name, err)
+			return fmt.Errorf("experiments: defenses (%s): %w", cfg.name, err)
 		}
 		windows := 0
 		var bytes float64
@@ -92,21 +98,29 @@ func Defenses(scale Scale, seed uint64) (*DefensesResult, error) {
 		if windows > 0 {
 			perWindow = bytes / float64(windows)
 		}
-		if i == 0 {
-			baselineBytes = perWindow
-			baselineWindows = windows
-		}
+		cellResults[i] = cellResult{f1: conf.WeightedF1(), windows: windows, perWindow: perWindow}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &DefensesResult{}
+	baselineBytes := cellResults[0].perWindow
+	baselineWindows := cellResults[0].windows
+	for i, cfg := range configs {
+		c := cellResults[i]
 		overhead, attribution := 0.0, 0.0
 		if baselineBytes > 0 {
-			overhead = perWindow/baselineBytes - 1
+			overhead = c.perWindow/baselineBytes - 1
 		}
 		if baselineWindows > 0 {
-			attribution = float64(windows) / float64(baselineWindows)
+			attribution = float64(c.windows) / float64(baselineWindows)
 		}
 		res.Rows = append(res.Rows, DefenseRow{
 			Name:             cfg.name,
-			WeightedF1:       conf.WeightedF1(),
-			Windows:          windows,
+			WeightedF1:       c.f1,
+			Windows:          c.windows,
 			PaddingOverhead:  overhead,
 			AttributionRatio: attribution,
 		})

@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// tinyScale is the smallest campaign that still exercises every app
+// category, sized so the serial/parallel comparison stays fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:            "tiny",
+		StreamSessions:  2,
+		VoipSessions:    2,
+		MsgSessions:     3,
+		StreamDur:       15 * time.Second,
+		VoipDur:         15 * time.Second,
+		MsgDur:          20 * time.Second,
+		PairsPerSetting: 2,
+		PairDur:         20 * time.Second,
+		Fig8Days:        3,
+		Fig8Step:        2,
+		HistoryFactor:   0.2,
+	}
+}
+
+// TestTableIIISerialParallelIdentical proves the parallel runner is
+// byte-identical to serial execution: every cell derives its own seed, so
+// the worker schedule must not be able to influence any metric.
+func TestTableIIISerialParallelIdentical(t *testing.T) {
+	restore := SetWorkers(1)
+	serial, err := TableIII(tinyScale(), 3)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	restore = SetWorkers(8)
+	parallel, err := TableIII(tinyScale(), 3)
+	restore()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s, p := serial.String(), parallel.String(); s != p {
+		t.Errorf("parallel Table III diverged from serial:\nserial:\n%s\nparallel:\n%s", s, p)
+	}
+}
+
+// TestTableIIIQuickGolden pins the Quick-scale Table III output to the
+// rendering recorded from the pre-overhaul serial implementation — the
+// end-to-end determinism guarantee over collection, training, and batched
+// evaluation. Regenerate testdata/tableiii_quick_seed1.golden only for an
+// intentional semantic change.
+func TestTableIIIQuickGolden(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale table III takes several seconds; skipped with -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "tableiii_quick_seed1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := TableIII(Quick(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != string(want) {
+		t.Errorf("Table III (quick, seed 1) diverged from golden output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}

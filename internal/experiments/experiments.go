@@ -154,7 +154,8 @@ func (d appData) trainTest() (train, test [][]float64) {
 func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64, cfg sniffer.Config) ([]appData, error) {
 	apps := appmodel.Apps()
 	out := make([]appData, len(apps))
-	for i, app := range apps {
+	err := forEach(len(apps), func(i int) error {
+		app := apps[i]
 		sessions, dur := scale.sessionsFor(app)
 		perSession, err := fingerprint.CollectPerSession(fingerprint.CollectSpec{
 			Profile:          profile,
@@ -167,9 +168,13 @@ func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64,
 			ApplyProfileLoss: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: collecting %s on %s: %w", app.Name, profile.Name, err)
+			return fmt.Errorf("experiments: collecting %s on %s: %w", app.Name, profile.Name, err)
 		}
 		out[i] = appData{app: app, sessions: perSession}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,9 @@
+package experiments
+
+// SetWorkers pins the experiment worker pool size and returns a restore
+// function, letting tests compare serial and parallel execution.
+func SetWorkers(n int) (restore func()) {
+	old := experimentWorkers
+	experimentWorkers = n
+	return func() { experimentWorkers = old }
+}

@@ -62,12 +62,17 @@ func Figure8(scale Scale, seed uint64) (*Figure8Result, error) {
 	for i, n := range names {
 		idx[n] = i
 	}
-	res := &Figure8Result{}
 	step := scale.Fig8Step
 	if step < 1 {
 		step = 1
 	}
+	var days []int
 	for day := 1; day <= scale.Fig8Days; day += step {
+		days = append(days, day)
+	}
+	points := make([]Figure8Point, len(days))
+	err = forEach(len(days), func(di int) error {
+		day := days[di]
 		conf := metrics.NewConfusion(names)
 		for ai, app := range streaming {
 			sessions := scale.StreamSessions
@@ -85,16 +90,19 @@ func Figure8(scale Scale, seed uint64) (*Figure8Result, error) {
 				ApplyProfileLoss: true,
 			})
 			if err != nil {
-				return nil, fmt.Errorf("experiments: figure 8 day %d: %w", day, err)
+				return fmt.Errorf("experiments: figure 8 day %d: %w", day, err)
 			}
-			for _, x := range vecs {
-				pred, _ := clf.PredictVector(x)
+			for _, pred := range clf.PredictBatch(vecs) {
 				conf.Add(idx[app.Name], idx[pred])
 			}
 		}
-		res.Points = append(res.Points, Figure8Point{Day: day, F1: conf.F1(idx["YouTube"])})
+		points[di] = Figure8Point{Day: day, F1: conf.F1(idx["YouTube"])}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure8Result{Points: points}, nil
 }
 
 // String renders the series with an ASCII trend.

@@ -64,8 +64,10 @@ func Figure9(scale Scale, seed uint64) (*Figure9Result, error) {
 		counter[d.app.Name] = held
 	}
 
-	res := &Figure9Result{}
-	for _, bg := range []int{0, 2, 4, 6, 8, 10} {
+	levels := []int{0, 2, 4, 6, 8, 10}
+	points := make([]Figure9Point, len(levels))
+	err = forEach(len(levels), func(li int) error {
+		bg := levels[li]
 		sessions := scale.StreamSessions + 2
 
 		noisy, err := fingerprint.Collect(fingerprint.CollectSpec{
@@ -79,26 +81,28 @@ func Figure9(scale Scale, seed uint64) (*Figure9Result, error) {
 			BackgroundApps:   bg,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: figure 9 (%d bg): %w", bg, err)
+			return fmt.Errorf("experiments: figure 9 (%d bg): %w", bg, err)
 		}
 		conf := metrics.NewConfusion(names)
-		for _, x := range noisy {
-			pred, _ := clf.PredictVector(x)
+		for _, pred := range clf.PredictBatch(noisy) {
 			conf.Add(idx[youtube.Name], idx[pred])
 		}
 		for app, vecs := range counter {
-			for _, x := range vecs {
-				pred, _ := clf.PredictVector(x)
+			for _, pred := range clf.PredictBatch(vecs) {
 				conf.Add(idx[app], idx[pred])
 			}
 		}
-		res.Points = append(res.Points, Figure9Point{
+		points[li] = Figure9Point{
 			BackgroundApps: bg,
 			Instances:      len(noisy),
 			F1:             conf.F1(idx[youtube.Name]),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &Figure9Result{Points: points}, nil
 }
 
 // String renders the series with an ASCII trend.

@@ -62,8 +62,23 @@ func Retraining(scale Scale, seed uint64) (*RetrainingResult, error) {
 		idx[n] = i
 	}
 	streaming := appmodel.ByCategory(appmodel.Streaming)
-	evalDay := func(clf *fingerprint.Classifier, day int) (float64, error) {
-		conf := metrics.NewConfusion(names)
+
+	step := scale.Fig8Step
+	if step < 1 {
+		step = 1
+	}
+	var days []int
+	for day := 1; day <= scale.Fig8Days; day += step {
+		days = append(days, day)
+	}
+
+	// Both attackers are scored against the same day traces (identical
+	// seeds), so each day's evaluation campaign is collected once up front —
+	// in parallel across days — and shared between them.
+	dayVecs := make([][][][]float64, len(days)) // [day][streaming app][window][feature]
+	err = forEach(len(days), func(di int) error {
+		day := days[di]
+		perApp := make([][][]float64, len(streaming))
 		for ai, app := range streaming {
 			sessions := scale.StreamSessions
 			if sessions < 3 {
@@ -80,23 +95,30 @@ func Retraining(scale Scale, seed uint64) (*RetrainingResult, error) {
 				ApplyProfileLoss: true,
 			})
 			if err != nil {
-				return 0, err
+				return fmt.Errorf("experiments: retraining day %d: %w", day, err)
 			}
-			for _, x := range vecs {
-				pred, _ := clf.PredictVector(x)
+			perApp[ai] = vecs
+		}
+		dayVecs[di] = perApp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	evalDay := func(clf *fingerprint.Classifier, di int) float64 {
+		conf := metrics.NewConfusion(names)
+		for ai, app := range streaming {
+			for _, pred := range clf.PredictBatch(dayVecs[di][ai]) {
 				conf.Add(idx[app.Name], idx[pred])
 			}
 		}
-		return conf.F1(idx["YouTube"]), nil
+		return conf.F1(idx["YouTube"])
 	}
 
+	// The retrain decisions chain day to day, so this loop stays sequential.
 	res := &RetrainingResult{}
-	step := scale.Fig8Step
-	if step < 1 {
-		step = 1
-	}
 	needRetrain := false
-	for day := 1; day <= scale.Fig8Days; day += step {
+	for di, day := range days {
 		retrained := false
 		if needRetrain {
 			// The attacker re-runs its collection campaign against the
@@ -110,14 +132,8 @@ func Retraining(scale Scale, seed uint64) (*RetrainingResult, error) {
 			retrained = true
 			needRetrain = false
 		}
-		staticF1, err := evalDay(static, day)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: retraining day %d: %w", day, err)
-		}
-		maintainedF1, err := evalDay(maintained, day)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: retraining day %d: %w", day, err)
-		}
+		staticF1 := evalDay(static, di)
+		maintainedF1 := evalDay(maintained, di)
 		if maintainedF1 < 0.70 {
 			needRetrain = true
 		}

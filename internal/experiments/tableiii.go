@@ -53,8 +53,9 @@ type TableIIIResult struct {
 func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 	lab := operator.Lab()
 	apps := appmodel.Apps()
-	traces := make(map[string][]trace.Trace, len(apps))
-	for i, app := range apps {
+	traces := make([][]trace.Trace, len(apps))
+	err := forEach(len(apps), func(i int) error {
+		app := apps[i]
 		sessions, dur := scale.sessionsFor(app)
 		tr, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
 			Profile:          lab,
@@ -66,21 +67,23 @@ func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 			ApplyProfileLoss: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table III: %s: %w", app.Name, err)
+			return fmt.Errorf("experiments: table III: %s: %w", app.Name, err)
 		}
-		traces[app.Name] = tr
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	res := &TableIIIResult{Confusions: make(map[Variant]*metrics.Confusion)}
-	rows := make(map[string]*TableIIIRow, len(apps))
-	for _, app := range apps {
-		rows[app.Name] = &TableIIIRow{App: app.Name, Category: app.Category, Cells: make(map[Variant]PRF)}
-	}
-	for _, v := range Variants() {
+	variants := Variants()
+	confs := make([]*metrics.Confusion, len(variants))
+	err = forEach(len(variants), func(vi int) error {
+		v := variants[vi]
 		data := make([]appData, len(apps))
 		for i, app := range apps {
 			d := appData{app: app}
-			for _, t := range traces[app.Name] {
+			for _, t := range traces[i] {
 				ft := filterVariant(t, v)
 				d.sessions = append(d.sessions, fingerprint.WindowVectors(ft, fingerprint.DefaultWindow, fingerprint.DefaultWindow))
 			}
@@ -88,19 +91,28 @@ func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 		}
 		clf, test, err := buildClassifier(data, seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table III %s: %w", v, err)
+			return fmt.Errorf("experiments: table III %s: %w", v, err)
 		}
 		conf, err := clf.Evaluate(test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table III %s: %w", v, err)
+			return fmt.Errorf("experiments: table III %s: %w", v, err)
 		}
-		res.Confusions[v] = conf
-		for i, app := range apps {
-			rows[app.Name].Cells[v] = prfFor(conf, i)
-		}
+		confs[vi] = conf
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	res := &TableIIIResult{Confusions: make(map[Variant]*metrics.Confusion)}
 	for _, app := range apps {
-		res.Rows = append(res.Rows, *rows[app.Name])
+		res.Rows = append(res.Rows, TableIIIRow{App: app.Name, Category: app.Category, Cells: make(map[Variant]PRF)})
+	}
+	for vi, v := range variants {
+		res.Confusions[v] = confs[vi]
+		for i := range apps {
+			res.Rows[i].Cells[v] = prfFor(confs[vi], i)
+		}
 	}
 	return res, nil
 }

@@ -29,34 +29,40 @@ type TableIVResult struct {
 // TableIV runs the real-world fingerprinting evaluation.
 func TableIV(scale Scale, seed uint64) (*TableIVResult, error) {
 	carriers := operator.Commercial()
-	res := &TableIVResult{Confusions: make(map[string]*metrics.Confusion)}
 	apps := appmodel.Apps()
-	rows := make(map[string]*TableIVRow, len(apps))
-	for _, app := range apps {
-		rows[app.Name] = &TableIVRow{App: app.Name, Category: app.Category, Cells: make(map[string]PRF)}
-	}
-	for ci, prof := range carriers {
-		res.Carriers = append(res.Carriers, prof.Name)
+	confs := make([]*metrics.Confusion, len(carriers))
+	err := forEach(len(carriers), func(ci int) error {
+		prof := carriers[ci]
 		data, err := collectSetting(prof, scale, 1, seed+uint64(ci+1)*104729,
 			sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table IV: %w", err)
+			return fmt.Errorf("experiments: table IV: %w", err)
 		}
 		clf, test, err := buildClassifier(data, seed)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table IV %s: %w", prof.Name, err)
+			return fmt.Errorf("experiments: table IV %s: %w", prof.Name, err)
 		}
 		conf, err := clf.Evaluate(test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table IV %s: %w", prof.Name, err)
+			return fmt.Errorf("experiments: table IV %s: %w", prof.Name, err)
 		}
-		res.Confusions[prof.Name] = conf
-		for i, app := range apps {
-			rows[app.Name].Cells[prof.Name] = prfFor(conf, i)
-		}
+		confs[ci] = conf
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
+
+	res := &TableIVResult{Confusions: make(map[string]*metrics.Confusion)}
 	for _, app := range apps {
-		res.Rows = append(res.Rows, *rows[app.Name])
+		res.Rows = append(res.Rows, TableIVRow{App: app.Name, Category: app.Category, Cells: make(map[string]PRF)})
+	}
+	for ci, prof := range carriers {
+		res.Carriers = append(res.Carriers, prof.Name)
+		res.Confusions[prof.Name] = confs[ci]
+		for i := range apps {
+			res.Rows[i].Cells[prof.Name] = prfFor(confs[ci], i)
+		}
 	}
 	return res, nil
 }

@@ -57,8 +57,12 @@ func TableVIII(scale Scale, seed uint64) (*TableVIIIResult, error) {
 	for i, c := range cats {
 		catNames[i] = c.String()
 	}
-	ds := dataset.New(catNames, features.Names())
-	for ai, app := range appmodel.Apps() {
+	// Campaigns run in parallel; rows are appended serially in app order so
+	// the dataset layout matches the serial runner's exactly.
+	apps := appmodel.Apps()
+	collected := make([][][]float64, len(apps))
+	err := forEach(len(apps), func(ai int) error {
+		app := apps[ai]
 		sessions, dur := scale.sessionsFor(app)
 		vecs, err := fingerprint.Collect(fingerprint.CollectSpec{
 			Profile:          prof,
@@ -70,15 +74,23 @@ func TableVIII(scale Scale, seed uint64) (*TableVIIIResult, error) {
 			ApplyProfileLoss: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: table VIII: %s: %w", app.Name, err)
+			return fmt.Errorf("experiments: table VIII: %s: %w", app.Name, err)
 		}
+		collected[ai] = vecs
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	ds := dataset.New(catNames, features.Names())
+	for ai, app := range apps {
 		y := 0
 		for i, c := range cats {
 			if c == app.Category {
 				y = i
 			}
 		}
-		ds.AddAll(vecs, y)
+		ds.AddAll(collected[ai], y)
 	}
 	rng := sim.NewRNG(seed + 5381)
 	train, test := ds.Split(0.8, rng)
@@ -98,50 +110,77 @@ func TableVIII(scale Scale, seed uint64) (*TableVIIIResult, error) {
 		res.ClassCounts[catNames[i]] = c
 	}
 
-	type learner struct {
-		name    string
-		predict func(x []float64) int
-	}
-	var learners []learner
-
-	lrModel, err := logreg.Train(train, logreg.Config{C: 1, Seed: seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table VIII LR: %w", err)
-	}
-	learners = append(learners, learner{AlgLR, lrModel.Predict})
-
 	// kNN memorises the training set; cap it so prediction stays tractable
-	// at full scale without changing the comparison's shape.
+	// at full scale without changing the comparison's shape. The sample is
+	// drawn before the parallel cells so the rng stream stays in serial
+	// order.
 	knnTrain := train.SamplePerClass(3000, rng)
-	knnModel, err := knn.Train(knnTrain, 4)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table VIII kNN: %w", err)
-	}
-	learners = append(learners, learner{AlgKNN, knnModel.Predict})
 
-	cnnModel, err := cnn.Train(train, cnn.Config{Seed: seed})
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table VIII CNN: %w", err)
-	}
-	learners = append(learners, learner{AlgCNN, cnnModel.Predict})
-
-	rfModel, err := forest.Train(train, forestConfig(1))
-	if err != nil {
-		return nil, fmt.Errorf("experiments: table VIII RF: %w", err)
-	}
-	learners = append(learners, learner{AlgRF, rfModel.Predict})
-
-	for _, l := range learners {
+	evalPredict := func(predict func(x []float64) int) *metrics.Confusion {
 		conf := metrics.NewConfusion(catNames)
 		for i, x := range test.X {
-			conf.Add(test.Y[i], l.predict(x))
+			conf.Add(test.Y[i], predict(x))
 		}
+		return conf
+	}
+	type cell struct {
+		name string
+		run  func() (*metrics.Confusion, error)
+	}
+	cells := []cell{
+		{AlgLR, func() (*metrics.Confusion, error) {
+			m, err := logreg.Train(train, logreg.Config{C: 1, Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table VIII LR: %w", err)
+			}
+			return evalPredict(m.Predict), nil
+		}},
+		{AlgKNN, func() (*metrics.Confusion, error) {
+			m, err := knn.Train(knnTrain, 4)
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table VIII kNN: %w", err)
+			}
+			return evalPredict(m.Predict), nil
+		}},
+		{AlgCNN, func() (*metrics.Confusion, error) {
+			m, err := cnn.Train(train, cnn.Config{Seed: seed})
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table VIII CNN: %w", err)
+			}
+			return evalPredict(m.Predict), nil
+		}},
+		{AlgRF, func() (*metrics.Confusion, error) {
+			m, err := forest.Train(train, forestConfig(1))
+			if err != nil {
+				return nil, fmt.Errorf("experiments: table VIII RF: %w", err)
+			}
+			conf := metrics.NewConfusion(catNames)
+			for i, p := range m.PredictBatch(test.X) {
+				conf.Add(test.Y[i], p)
+			}
+			return conf, nil
+		}},
+	}
+	confs := make([]*metrics.Confusion, len(cells))
+	err = forEach(len(cells), func(i int) error {
+		conf, err := cells[i].run()
+		if err != nil {
+			return err
+		}
+		confs[i] = conf
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		conf := confs[i]
 		per := make(map[string]float64, len(catNames))
 		for ci, cn := range catNames {
 			per[cn] = conf.Recall(ci) // per-class accuracy
 		}
-		res.PerClass[l.name] = per
-		res.Average[l.name] = conf.Accuracy()
+		res.PerClass[c.name] = per
+		res.Average[c.name] = conf.Accuracy()
 	}
 	return res, nil
 }

@@ -8,6 +8,7 @@ import (
 	"ltefp/internal/appmodel"
 	"ltefp/internal/attack/correlation"
 	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/dtw"
 	"ltefp/internal/sniffer"
 	"ltefp/internal/trace"
 )
@@ -62,8 +63,8 @@ func TwSweep(scale Scale, seed uint64) (*TwSweepResult, error) {
 	prof := operator.TMobile()
 	n := scale.PairsPerSetting
 	collect := func(communicating bool, offset uint64) ([]pairTraces, error) {
-		out := make([]pairTraces, 0, n)
-		for i := 0; i < n; i++ {
+		out := make([]pairTraces, n)
+		err := forEach(n, func(i int) error {
 			a, b, start, end, err := correlation.CollectPairTraces(correlation.PairSpec{
 				Profile:          prof,
 				App:              app,
@@ -74,9 +75,13 @@ func TwSweep(scale Scale, seed uint64) (*TwSweepResult, error) {
 				ApplyProfileLoss: true,
 			})
 			if err != nil {
-				return nil, err
+				return err
 			}
-			out = append(out, pairTraces{a: a, b: b, start: start, end: end})
+			out[i] = pairTraces{a: a, b: b, start: start, end: end}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
 		return out, nil
 	}
@@ -89,29 +94,38 @@ func TwSweep(scale Scale, seed uint64) (*TwSweepResult, error) {
 		return nil, fmt.Errorf("experiments: Tw sweep: %w", err)
 	}
 
-	res := &TwSweepResult{App: app.Name}
-	for _, tw := range []time.Duration{
+	windows := []time.Duration{
 		250 * time.Millisecond,
 		500 * time.Millisecond,
 		time.Second,
 		2 * time.Second,
 		4 * time.Second,
-	} {
+	}
+	points := make([]TwSweepPoint, len(windows))
+	err = forEach(len(windows), func(wi int) error {
+		tw := windows[wi]
+		// One aligner per cell: the scratch buffers are reused across the
+		// whole population at this T_w.
+		al := dtw.NewAligner()
 		mean := func(pop []pairTraces) float64 {
 			var sum float64
 			for _, p := range pop {
-				e := correlation.PairEvidence(p.a, p.b, tw, p.start, p.end)
+				e := correlation.PairEvidenceWith(al, p.a, p.b, tw, p.start, p.end)
 				sum += e.Similarity
 			}
 			return sum / float64(len(pop))
 		}
-		res.Points = append(res.Points, TwSweepPoint{
+		points[wi] = TwSweepPoint{
 			Tw:            tw,
 			Communicating: mean(talking),
 			Independent:   mean(apart),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &TwSweepResult{App: app.Name, Points: points}, nil
 }
 
 // String renders the sweep.

@@ -46,9 +46,14 @@ func (r *WindowSweepResult) Best() WindowSweepPoint {
 func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
 	prof := operator.TMobile()
 	apps := appmodel.Apps()
-	traces := make(map[string][]trace.Trace, len(apps))
+	traces := make([][]trace.Trace, len(apps))
 	var totalSpan time.Duration
-	for i, app := range apps {
+	for _, app := range apps {
+		sessions, dur := scale.sessionsFor(app)
+		totalSpan += time.Duration(sessions) * dur
+	}
+	err := forEach(len(apps), func(i int) error {
+		app := apps[i]
 		sessions, dur := scale.sessionsFor(app)
 		tr, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
 			Profile:          prof,
@@ -60,26 +65,31 @@ func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
 			ApplyProfileLoss: true,
 		})
 		if err != nil {
-			return nil, fmt.Errorf("experiments: window sweep: %s: %w", app.Name, err)
+			return fmt.Errorf("experiments: window sweep: %s: %w", app.Name, err)
 		}
-		traces[app.Name] = tr
-		totalSpan += time.Duration(sessions) * dur
+		traces[i] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 
-	res := &WindowSweepResult{}
-	for _, w := range []time.Duration{
+	widths := []time.Duration{
 		25 * time.Millisecond,
 		50 * time.Millisecond,
 		100 * time.Millisecond,
 		200 * time.Millisecond,
 		400 * time.Millisecond,
 		800 * time.Millisecond,
-	} {
+	}
+	points := make([]WindowSweepPoint, len(widths))
+	err = forEach(len(widths), func(wi int) error {
+		w := widths[wi]
 		data := make([]appData, len(apps))
 		windows := 0
 		for i, app := range apps {
 			d := appData{app: app}
-			for _, tr := range traces[app.Name] {
+			for _, tr := range traces[i] {
 				vecs := fingerprint.WindowVectors(tr, w, w)
 				windows += len(vecs)
 				d.sessions = append(d.sessions, vecs)
@@ -88,19 +98,23 @@ func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
 		}
 		clf, test, err := buildClassifierWindowed(data, seed, w)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: window sweep %v: %w", w, err)
+			return fmt.Errorf("experiments: window sweep %v: %w", w, err)
 		}
 		conf, err := clf.Evaluate(test)
 		if err != nil {
-			return nil, fmt.Errorf("experiments: window sweep %v: %w", w, err)
+			return fmt.Errorf("experiments: window sweep %v: %w", w, err)
 		}
-		res.Points = append(res.Points, WindowSweepPoint{
+		points[wi] = WindowSweepPoint{
 			Window:           w,
 			WeightedF1:       conf.WeightedF1(),
 			WindowsPerMinute: float64(windows) / totalSpan.Minutes(),
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return res, nil
+	return &WindowSweepResult{Points: points}, nil
 }
 
 // buildClassifierWindowed is buildClassifier with an explicit window size.

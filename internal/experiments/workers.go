@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// experimentWorkers bounds the goroutines used for the embarrassingly-
+// parallel outer loops of the experiment runners (per-app campaigns,
+// per-variant cells, per-day drift points). Every cell derives its own
+// seed, so the schedule never influences results; tests pin this to 1 to
+// prove serial/parallel equivalence.
+var experimentWorkers = runtime.GOMAXPROCS(0)
+
+// forEach runs fn(0..n-1) over a bounded worker pool. fn must write its
+// results to index-addressed storage; shared maps and append targets must
+// be filled serially afterwards. When several indices fail, the lowest
+// one's error is returned — the same error a serial loop would have hit
+// first.
+func forEach(n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers := experimentWorkers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

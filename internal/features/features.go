@@ -8,6 +8,7 @@ package features
 
 import (
 	"math"
+	"math/bits"
 	"time"
 
 	"ltefp/internal/lte/dci"
@@ -78,10 +79,28 @@ func BaseNames() []string {
 // activity" for the first window).
 const gapCapMilliseconds = 10000
 
+// Extractor computes feature vectors while reusing its internal scratch
+// buffers (size sort space, occupancy bitsets) across calls, so sustained
+// window extraction does not allocate beyond the returned vectors. An
+// Extractor is not safe for concurrent use; callers that extract in
+// parallel create one per goroutine.
+type Extractor struct {
+	sizes []float64
+	occ   []uint64
+}
+
+// NewExtractor returns an Extractor with empty scratch state.
+func NewExtractor() *Extractor { return &Extractor{} }
+
 // FromTrace extracts one TotalDim feature vector per non-empty window of
 // the trace: the Dim per-window aggregates plus the ContextDim trailing
 // context features.
 func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
+	return NewExtractor().FromTrace(t, width, stride)
+}
+
+// FromTrace is the package-level FromTrace reusing the extractor's scratch.
+func (e *Extractor) FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
 	ws := t.Windows(width, stride)
 	out := make([][]float64, 0, len(ws))
 	recIdx := 0 // first record at or after the current window start
@@ -103,7 +122,7 @@ func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
 			continue
 		}
 		v := make([]float64, TotalDim)
-		copy(v, FromWindow(w, width))
+		e.fromWindowInto(v[:Dim], w, width)
 
 		gap := float64(gapCapMilliseconds)
 		if recIdx > 0 {
@@ -127,15 +146,22 @@ func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
 		// Trailing 3 s duty cycle: byte volume plus the fraction of 100 ms
 		// slots carrying any traffic. Duty cycle separates burst-and-idle
 		// delivery (Netflix-style) from near-continuous delivery
-		// (YouTube-style) robustly across channel conditions.
+		// (YouTube-style) robustly across channel conditions. The horizon
+		// spans at most 31 distinct 100 ms slots, so one uint64 bitset
+		// relative to the horizon's first slot replaces the old per-window
+		// set allocation.
 		var b3 float64
-		slots := make(map[int64]struct{}, 30)
+		var slotBits uint64
+		slotBase := (end - 3*time.Second) / (100 * time.Millisecond)
+		if slotBase < 0 {
+			slotBase = 0
+		}
 		for i := lo3; i < len(t) && t[i].At < end; i++ {
 			b3 += float64(t[i].Bytes)
-			slots[int64(t[i].At/(100*time.Millisecond))] = struct{}{}
+			slotBits |= 1 << uint(t[i].At/(100*time.Millisecond)-slotBase)
 		}
 		v[Dim+5] = b3
-		v[Dim+6] = float64(len(slots)) / 30
+		v[Dim+6] = float64(bits.OnesCount64(slotBits)) / 30
 		out = append(out, v)
 
 		prevCount = v[0]
@@ -149,15 +175,30 @@ func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
 // sparse windows). Empty windows yield the zero vector — "silence" rows
 // that let the classifier learn burst cadence.
 func FromWindow(w trace.Window, width time.Duration) []float64 {
+	return NewExtractor().FromWindow(w, width)
+}
+
+// FromWindow is the package-level FromWindow reusing the extractor's
+// scratch.
+func (e *Extractor) FromWindow(w trace.Window, width time.Duration) []float64 {
 	v := make([]float64, Dim)
+	e.fromWindowInto(v, w, width)
+	return v
+}
+
+// fromWindowInto fills v (len Dim, zeroed) with one window's features.
+func (e *Extractor) fromWindowInto(v []float64, w trace.Window, width time.Duration) {
 	recs := w.Records
 	if len(recs) == 0 {
-		return v
+		return
+	}
+	if cap(e.sizes) < len(recs) {
+		e.sizes = make([]float64, len(recs))
 	}
 	var (
 		dlCount, ulCount float64
 		dlBytes, ulBytes float64
-		sizes            = make([]float64, len(recs))
+		sizes            = e.sizes[:len(recs)]
 		sumSize, sumSq   float64
 		minSize          = math.Inf(1)
 		maxSize          float64
@@ -218,16 +259,34 @@ func FromWindow(w trace.Window, width time.Duration) []float64 {
 		burst = iatStd / iatMean
 	}
 
-	// Fraction of 1 ms bins inside the window holding at least one record.
+	// Fraction of 1 ms bins inside the window holding at least one record,
+	// counted in a reusable bitset instead of a per-window set.
 	bins := int(width / time.Millisecond)
 	if bins < 1 {
 		bins = 1
 	}
-	occupied := make(map[int64]struct{}, len(recs))
-	for _, r := range recs {
-		occupied[int64((r.At-w.Start)/time.Millisecond)] = struct{}{}
+	words := bins/64 + 1
+	if cap(e.occ) < words {
+		e.occ = make([]uint64, words)
 	}
-	active := float64(len(occupied)) / float64(bins)
+	occ := e.occ[:words]
+	for i := range occ {
+		occ[i] = 0
+	}
+	for _, r := range recs {
+		idx := int((r.At - w.Start) / time.Millisecond)
+		if idx < 0 {
+			idx = 0
+		} else if idx > bins {
+			idx = bins
+		}
+		occ[idx/64] |= 1 << uint(idx%64)
+	}
+	occupied := 0
+	for _, word := range occ {
+		occupied += bits.OnesCount64(word)
+	}
+	active := float64(occupied) / float64(bins)
 
 	v[0] = n
 	v[1] = dlCount
@@ -249,14 +308,14 @@ func FromWindow(w trace.Window, width time.Duration) []float64 {
 	v[15] = burst
 	v[16] = active
 	v[17] = median(sizes)
-	return v
 }
 
 // FromWindows extracts a feature matrix, one row per window.
 func FromWindows(ws []trace.Window, width time.Duration) [][]float64 {
+	e := NewExtractor()
 	out := make([][]float64, len(ws))
 	for i, w := range ws {
-		out[i] = FromWindow(w, width)
+		out[i] = e.FromWindow(w, width)
 	}
 	return out
 }

@@ -79,7 +79,11 @@ func (d *Dataset) ClassCounts() []int {
 	return out
 }
 
-// Subset returns a view-free copy containing the given rows.
+// Subset returns a dataset containing the given rows. The row and label
+// bookkeeping is fresh, but the feature vectors themselves are SHARED with
+// the parent — mutating a row through either dataset is visible in both.
+// Everything derived through Subset (Split, KFold, SamplePerClass)
+// inherits this sharing; use Clone before mutating rows in place.
 func (d *Dataset) Subset(idx []int) *Dataset {
 	out := New(d.Classes, d.Features)
 	out.X = make([][]float64, len(idx))
@@ -87,6 +91,22 @@ func (d *Dataset) Subset(idx []int) *Dataset {
 	for i, j := range idx {
 		out.X[i] = d.X[j]
 		out.Y[i] = d.Y[j]
+	}
+	return out
+}
+
+// Clone returns a deep copy whose feature vectors are independent of the
+// receiver's — the escape hatch from the row-sharing contract of Subset
+// and its derivatives for callers that mutate rows.
+func (d *Dataset) Clone() *Dataset {
+	out := New(d.Classes, d.Features)
+	out.X = make([][]float64, len(d.X))
+	out.Y = make([]int, len(d.Y))
+	copy(out.Y, d.Y)
+	flat := make([]float64, 0, len(d.X)*d.Dim())
+	for i, x := range d.X {
+		flat = append(flat, x...)
+		out.X[i] = flat[len(flat)-len(x) : len(flat) : len(flat)]
 	}
 	return out
 }
@@ -101,7 +121,8 @@ func (d *Dataset) Shuffle(rng *sim.RNG) {
 
 // Split partitions the dataset into train and test sets with the given
 // training fraction, stratified by class so that splits preserve class
-// proportions (the paper's 80/20 protocol).
+// proportions (the paper's 80/20 protocol). Both halves share their
+// feature vectors with the receiver (see Subset).
 func (d *Dataset) Split(trainFrac float64, rng *sim.RNG) (train, test *Dataset) {
 	if trainFrac <= 0 || trainFrac >= 1 {
 		panic(fmt.Sprintf("dataset: train fraction %.3f outside (0, 1)", trainFrac))
@@ -129,7 +150,8 @@ type Fold struct {
 	Test  *Dataset
 }
 
-// KFold returns k stratified folds.
+// KFold returns k stratified folds. Every fold shares its feature vectors
+// with the receiver (see Subset).
 func (d *Dataset) KFold(k int, rng *sim.RNG) []Fold {
 	if k < 2 {
 		panic("dataset: k-fold needs k >= 2")
@@ -160,8 +182,9 @@ func (d *Dataset) KFold(k int, rng *sim.RNG) []Fold {
 	return folds
 }
 
-// SamplePerClass returns a copy holding at most n rows of each class,
-// chosen uniformly — used to cap dataset sizes for expensive learners.
+// SamplePerClass returns a dataset holding at most n rows of each class,
+// chosen uniformly — used to cap dataset sizes for expensive learners. The
+// sampled rows share their feature vectors with the receiver (see Subset).
 func (d *Dataset) SamplePerClass(n int, rng *sim.RNG) *Dataset {
 	perClass := make(map[int][]int)
 	for i, y := range d.Y {

@@ -133,3 +133,37 @@ func TestSubsetCopies(t *testing.T) {
 		t.Fatal("Subset shares label storage with parent")
 	}
 }
+
+func TestSubsetSharesRowsCloneDoesNot(t *testing.T) {
+	ds := synthetic(10, 9)
+	orig := ds.X[0][0]
+
+	sub := ds.Subset([]int{0, 1})
+	sub.X[0][0] = orig + 100
+	if ds.X[0][0] != orig+100 {
+		t.Fatal("Subset documented as sharing rows, but mutation did not propagate")
+	}
+	ds.X[0][0] = orig
+
+	cl := ds.Clone()
+	if err := cl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Len() != ds.Len() || cl.Dim() != ds.Dim() {
+		t.Fatalf("Clone shape (%d, %d) != (%d, %d)", cl.Len(), cl.Dim(), ds.Len(), ds.Dim())
+	}
+	for i := range cl.X {
+		if cl.Y[i] != ds.Y[i] {
+			t.Fatalf("Clone label %d differs", i)
+		}
+		for j := range cl.X[i] {
+			if cl.X[i][j] != ds.X[i][j] {
+				t.Fatalf("Clone row %d differs at %d", i, j)
+			}
+		}
+	}
+	cl.X[0][0] = orig + 500
+	if ds.X[0][0] != orig {
+		t.Fatal("Clone shares row storage with parent")
+	}
+}

@@ -13,16 +13,40 @@ import (
 	"math"
 )
 
+// Aligner computes DTW scores while reusing its normalization and DP-row
+// scratch buffers across calls, so pairwise sweeps (the correlation
+// attack's O(pairs²) inner loop) allocate nothing per comparison. The
+// zero value is ready to use. An Aligner is not safe for concurrent use;
+// parallel comparers create one per goroutine.
+type Aligner struct {
+	na, nb    []float64
+	prev, cur []float64
+}
+
+// NewAligner returns an Aligner with empty scratch state.
+func NewAligner() *Aligner { return &Aligner{} }
+
 // Distance returns the unconstrained DTW distance between two series using
 // squared point distance, matching the Euclidean cost matrix of Eq. (1).
 // Empty inputs yield +Inf (nothing aligns with something).
 func Distance(a, b []float64) float64 {
-	return DistanceBand(a, b, -1)
+	return NewAligner().DistanceBand(a, b, -1)
+}
+
+// Distance is the package-level Distance reusing the aligner's scratch.
+func (al *Aligner) Distance(a, b []float64) float64 {
+	return al.DistanceBand(a, b, -1)
 }
 
 // DistanceBand returns the DTW distance constrained to a Sakoe-Chiba band
 // of the given half-width (band < 0 disables the constraint).
 func DistanceBand(a, b []float64, band int) float64 {
+	return NewAligner().DistanceBand(a, b, band)
+}
+
+// DistanceBand is the package-level DistanceBand reusing the aligner's
+// DP-row scratch.
+func (al *Aligner) DistanceBand(a, b []float64, band int) float64 {
 	n, m := len(a), len(b)
 	if n == 0 || m == 0 {
 		if n == 0 && m == 0 {
@@ -41,8 +65,12 @@ func DistanceBand(a, b []float64, band int) float64 {
 			band = d
 		}
 	}
-	prev := make([]float64, m+1)
-	cur := make([]float64, m+1)
+	if cap(al.prev) < m+1 {
+		al.prev = make([]float64, m+1)
+		al.cur = make([]float64, m+1)
+	}
+	prev, cur := al.prev[:m+1], al.cur[:m+1]
+	prev[0] = 0
 	for j := 1; j <= m; j++ {
 		prev[j] = math.Inf(1)
 	}
@@ -82,7 +110,12 @@ func DistanceBand(a, b []float64, band int) float64 {
 // Normalize z-normalises a series into a new slice. Constant series map to
 // all zeros.
 func Normalize(a []float64) []float64 {
-	out := make([]float64, len(a))
+	return normalizeInto(make([]float64, len(a)), a)
+}
+
+// normalizeInto z-normalises a into out (len(out) == len(a)), returning
+// out. Constant series map to all zeros.
+func normalizeInto(out, a []float64) []float64 {
 	if len(a) == 0 {
 		return out
 	}
@@ -98,6 +131,9 @@ func Normalize(a []float64) []float64 {
 	}
 	variance /= float64(len(a))
 	if variance < 1e-12 {
+		for i := range out {
+			out[i] = 0
+		}
 		return out
 	}
 	std := math.Sqrt(variance)
@@ -112,12 +148,25 @@ func Normalize(a []float64) []float64 {
 // the per-step alignment cost is mapped through exp(-cost). Identical
 // series score 1; unrelated series decay toward 0.
 func Similarity(a, b []float64) float64 {
+	return NewAligner().Similarity(a, b)
+}
+
+// Similarity is the package-level Similarity reusing the aligner's
+// normalization and DP-row scratch.
+func (al *Aligner) Similarity(a, b []float64) float64 {
 	if len(a) == 0 || len(b) == 0 {
 		return 0
 	}
-	na, nb := Normalize(a), Normalize(b)
+	if cap(al.na) < len(a) {
+		al.na = make([]float64, len(a))
+	}
+	if cap(al.nb) < len(b) {
+		al.nb = make([]float64, len(b))
+	}
+	na := normalizeInto(al.na[:len(a)], a)
+	nb := normalizeInto(al.nb[:len(b)], b)
 	band := (max(len(a), len(b)) + 9) / 10
-	d := DistanceBand(na, nb, band)
+	d := al.DistanceBand(na, nb, band)
 	if math.IsInf(d, 1) {
 		return 0
 	}

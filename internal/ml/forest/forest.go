@@ -4,14 +4,24 @@
 // (100 trees, seed 1) as its classifier after benchmarking it against
 // logistic regression, kNN, and a CNN (Table VIII); this package is that
 // model.
+//
+// The trainer never sorts inside a node: every feature column of the
+// dataset is sorted once per Train call, each tree derives its bootstrap
+// sample's column order from that by a counting pass, and node splits keep
+// the per-feature order intact through stable partitioning. Together with
+// the per-worker scratch buffers this makes tree growth allocation-free
+// after warm-up while producing trees bit-identical to the original
+// sort-per-node implementation (guarded by TestGoldenTrees).
 package forest
 
 import (
 	"fmt"
 	"math"
 	"runtime"
+	"slices"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"ltefp/internal/ml/dataset"
 	"ltefp/internal/sim"
@@ -103,11 +113,18 @@ func (t *Tree) predict(x []float64, out []float64) {
 type Forest struct {
 	Trees   []Tree
 	Classes []string
+
+	// packOnce guards pack, the lazily built compact traversal form used
+	// by the batch prediction path. Both are unexported so gob round-trips
+	// ignore them; a decoded Forest simply rebuilds on first batch call.
+	packOnce sync.Once
+	pack     *batchRep
 }
 
-// Train fits a forest on the dataset. Trees are trained in parallel, each
-// from a deterministic per-tree stream, so results do not depend on
-// scheduling.
+// Train fits a forest on the dataset. Trees are trained by a bounded
+// worker pool, each from a deterministic per-tree stream, so results do
+// not depend on scheduling; each worker reuses one grower's scratch
+// buffers across all the trees it grows.
 func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 	if err := d.Validate(); err != nil {
 		return nil, fmt.Errorf("forest: %w", err)
@@ -117,17 +134,27 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 	}
 	cfg = cfg.withDefaults(d.Len(), d.Dim())
 	f := &Forest{Trees: make([]Tree, cfg.Trees), Classes: d.Classes}
+	orders := columnOrders(d, cfg.Workers)
 
+	workers := cfg.Workers
+	if workers > cfg.Trees {
+		workers = cfg.Trees
+	}
+	var next atomic.Int64
 	var wg sync.WaitGroup
-	sem := make(chan struct{}, cfg.Workers)
-	for t := 0; t < cfg.Trees; t++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(t int) {
+		go func() {
 			defer wg.Done()
-			defer func() { <-sem }()
-			f.Trees[t] = growTree(d, cfg, treeRNG(cfg.Seed, t))
-		}(t)
+			g := newGrower(d, cfg, orders)
+			for {
+				t := int(next.Add(1)) - 1
+				if t >= cfg.Trees {
+					return
+				}
+				f.Trees[t] = g.grow(treeRNG(cfg.Seed, t))
+			}
+		}()
 	}
 	wg.Wait()
 	return f, nil
@@ -136,67 +163,226 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 // PredictProba returns the soft-voted class distribution for x.
 func (f *Forest) PredictProba(x []float64) []float64 {
 	out := make([]float64, len(f.Classes))
-	for i := range f.Trees {
-		f.Trees[i].predict(x, out)
-	}
-	total := 0.0
-	for _, v := range out {
-		total += v
-	}
-	if total > 0 {
-		for i := range out {
-			out[i] /= total
-		}
-	}
+	f.PredictInto(x, out)
 	return out
 }
 
 // Predict returns the most probable class index for x.
 func (f *Forest) Predict(x []float64) int {
-	p := f.PredictProba(x)
-	best, bv := 0, p[0]
-	for i, v := range p {
-		if v > bv {
-			best, bv = i, v
-		}
+	var buf [predictStackClasses]float64
+	if len(f.Classes) <= predictStackClasses {
+		return f.PredictInto(x, buf[:len(f.Classes)])
 	}
-	return best
+	return f.PredictInto(x, make([]float64, len(f.Classes)))
 }
 
 // treeRNG derives tree t's deterministic random stream. OOBError relies on
 // this to reconstruct each tree's bootstrap sample, so the derivation must
-// stay in lock-step with growTree's draw order.
+// stay in lock-step with grow's draw order.
 func treeRNG(seed uint64, t int) *sim.RNG {
 	return sim.NewRNG(seed*0x100000001b3 + uint64(t) + 1)
 }
 
-// grower carries per-tree training state.
+// columnOrders sorts every feature column of the dataset once per Train
+// call (in parallel, bounded by workers). Per-tree bootstrap column orders
+// are then derived with counting passes instead of per-node comparison
+// sorts.
+func columnOrders(d *dataset.Dataset, workers int) [][]int32 {
+	dim, n := d.Dim(), d.Len()
+	out := make([][]int32, dim)
+	if dim == 0 {
+		return out
+	}
+	backing := make([]int32, dim*n)
+	sortCol := func(f int) {
+		ord := backing[f*n : (f+1)*n : (f+1)*n]
+		for i := range ord {
+			ord[i] = int32(i)
+		}
+		slices.SortFunc(ord, func(a, b int32) int {
+			va, vb := d.X[a][f], d.X[b][f]
+			switch {
+			case va < vb:
+				return -1
+			case va > vb:
+				return 1
+			}
+			return 0
+		})
+		out[f] = ord
+	}
+	if workers <= 1 || dim == 1 {
+		for f := 0; f < dim; f++ {
+			sortCol(f)
+		}
+		return out
+	}
+	if workers > dim {
+		workers = dim
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				f := int(next.Add(1)) - 1
+				if f >= dim {
+					return
+				}
+				sortCol(f)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}
+
+// distArenaChunk sizes the leaf-distribution arena allocations.
+const distArenaChunk = 4096
+
+// grower carries per-worker training state. All scratch is sized once in
+// newGrower and reused for every tree the worker grows; the only per-tree
+// allocations left are the returned node slice and, occasionally, a fresh
+// leaf-distribution arena chunk (both escape into the trained forest).
 type grower struct {
 	d       *dataset.Dataset
 	cfg     Config
-	rng     *sim.RNG
 	classes int
-	nodes   []Node
-	// scratch buffers reused across nodes
-	vals  []float64
-	order []int
+	dim     int
+	S       int       // bootstrap sample size
+	orders  [][]int32 // shared read-only per-feature dataset row order
+
+	rng   *sim.RNG
+	nodes []Node // scratch; copied into the returned tree
+
+	idx      []int32   // bootstrap row per sample position
+	y        []int32   // label per sample position
+	rowStart []int32   // dataset row -> offset into posByRow (len n+1)
+	rowCur   []int32   // scatter cursors (len n+1)
+	posByRow []int32   // sample positions grouped by dataset row
+	colVal   []float64 // dim*S feature values, sorted within node segments
+	colPos   []int32   // dim*S sample positions, parallel to colVal
+	tmpVal   []float64 // stable-partition scratch
+	tmpPos   []int32
+	side     []bool  // per-position goes-left flag during partitioning
+	left     []int   // split-search left class counts
+	counts   [][]int // per-depth class-count buffers
+	perm     []int   // feature subsample permutation
+	dist     []float32
 }
 
-func growTree(d *dataset.Dataset, cfg Config, rng *sim.RNG) Tree {
-	g := &grower{d: d, cfg: cfg, rng: rng, classes: len(d.Classes)}
-	idx := make([]int, cfg.SubsampleSize)
-	for i := range idx {
-		idx[i] = rng.IntN(d.Len())
+func newGrower(d *dataset.Dataset, cfg Config, orders [][]int32) *grower {
+	n, dim, S := d.Len(), d.Dim(), cfg.SubsampleSize
+	return &grower{
+		d:       d,
+		cfg:     cfg,
+		classes: len(d.Classes),
+		dim:     dim,
+		S:       S,
+		orders:  orders,
+
+		idx:      make([]int32, S),
+		y:        make([]int32, S),
+		rowStart: make([]int32, n+1),
+		rowCur:   make([]int32, n+1),
+		posByRow: make([]int32, S),
+		colVal:   make([]float64, dim*S),
+		colPos:   make([]int32, dim*S),
+		tmpVal:   make([]float64, S),
+		tmpPos:   make([]int32, S),
+		side:     make([]bool, S),
+		left:     make([]int, len(d.Classes)),
+		perm:     make([]int, dim),
 	}
-	g.build(idx, 0)
-	return Tree{Nodes: g.nodes}
 }
 
-// build grows the subtree over idx and returns its node index.
-func (g *grower) build(idx []int, depth int) int32 {
-	counts := make([]int, g.classes)
-	for _, i := range idx {
-		counts[g.d.Y[i]]++
+// grow fits one tree from its deterministic stream. The draw order —
+// SubsampleSize bootstrap draws, then one feature permutation per internal
+// node in depth-first order — matches the original implementation exactly,
+// which OOBError and the golden-tree test rely on.
+func (g *grower) grow(rng *sim.RNG) Tree {
+	g.rng = rng
+	n := g.d.Len()
+	for i := range g.idx {
+		g.idx[i] = int32(rng.IntN(n))
+	}
+	for p, r := range g.idx {
+		g.y[p] = int32(g.d.Y[r])
+	}
+
+	// Group sample positions by dataset row (counting sort), then derive
+	// each feature column's sorted bootstrap order from the dataset-wide
+	// order in one O(n + S) pass per feature.
+	rs := g.rowStart
+	for i := range rs {
+		rs[i] = 0
+	}
+	for _, r := range g.idx {
+		rs[r+1]++
+	}
+	for i := 0; i < n; i++ {
+		rs[i+1] += rs[i]
+	}
+	copy(g.rowCur, rs)
+	for p, r := range g.idx {
+		g.posByRow[g.rowCur[r]] = int32(p)
+		g.rowCur[r]++
+	}
+	for f := 0; f < g.dim; f++ {
+		cv := g.colVal[f*g.S : (f+1)*g.S]
+		cp := g.colPos[f*g.S : (f+1)*g.S]
+		j := 0
+		for _, r := range g.orders[f] {
+			lo, hi := rs[r], rs[r+1]
+			if lo == hi {
+				continue
+			}
+			v := g.d.X[r][f]
+			for t := lo; t < hi; t++ {
+				cp[j] = g.posByRow[t]
+				cv[j] = v
+				j++
+			}
+		}
+	}
+
+	g.nodes = g.nodes[:0]
+	if g.dim == 0 {
+		// No feature columns to carry positions: the tree is one leaf.
+		counts := g.countsAt(0)
+		for _, c := range g.y {
+			counts[c]++
+		}
+		g.leaf(counts, g.S)
+	} else {
+		g.build(0, g.S, 0)
+	}
+	nodes := make([]Node, len(g.nodes))
+	copy(nodes, g.nodes)
+	return Tree{Nodes: nodes}
+}
+
+// countsAt returns the reusable class-count buffer for one recursion depth.
+func (g *grower) countsAt(depth int) []int {
+	for len(g.counts) <= depth {
+		g.counts = append(g.counts, make([]int, g.classes))
+	}
+	c := g.counts[depth]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+// build grows the subtree over column segment [lo, hi) and returns its
+// node index.
+func (g *grower) build(lo, hi, depth int) int32 {
+	n := hi - lo
+	counts := g.countsAt(depth)
+	for _, p := range g.colPos[lo:hi] { // column 0 holds the node's positions
+		counts[g.y[p]]++
 	}
 	pure := 0
 	for _, c := range counts {
@@ -204,37 +390,73 @@ func (g *grower) build(idx []int, depth int) int32 {
 			pure++
 		}
 	}
-	if pure <= 1 || depth >= g.cfg.MaxDepth || len(idx) < 2*g.cfg.MinLeaf {
-		return g.leaf(counts, len(idx))
+	if pure <= 1 || depth >= g.cfg.MaxDepth || n < 2*g.cfg.MinLeaf {
+		return g.leaf(counts, n)
 	}
-	feat, thr, ok := g.bestSplit(idx, counts)
+	feat, thr, ok := g.bestSplit(lo, hi, counts)
 	if !ok {
-		return g.leaf(counts, len(idx))
+		return g.leaf(counts, n)
 	}
-	// Partition in place.
-	lo, hi := 0, len(idx)
-	for lo < hi {
-		if g.d.X[idx[lo]][feat] <= thr {
-			lo++
-		} else {
-			hi--
-			idx[lo], idx[hi] = idx[hi], idx[lo]
+
+	// The chosen feature's segment is sorted, so its left side is exactly
+	// the prefix of values <= thr; every other column is stably
+	// partitioned on that membership, which keeps all segments sorted.
+	base := feat * g.S
+	fv := g.colVal[base+lo : base+hi]
+	nl := sort.Search(n, func(i int) bool { return fv[i] > thr })
+	if nl == 0 || nl == n {
+		return g.leaf(counts, n)
+	}
+	fp := g.colPos[base+lo : base+hi]
+	for _, p := range fp[:nl] {
+		g.side[p] = true
+	}
+	for f := 0; f < g.dim; f++ {
+		if f == feat {
+			continue
 		}
+		cv := g.colVal[f*g.S+lo : f*g.S+hi]
+		cp := g.colPos[f*g.S+lo : f*g.S+hi]
+		w, t := 0, 0
+		for j := 0; j < n; j++ {
+			p := cp[j]
+			if g.side[p] {
+				cv[w], cp[w] = cv[j], p
+				w++
+			} else {
+				g.tmpVal[t], g.tmpPos[t] = cv[j], p
+				t++
+			}
+		}
+		copy(cv[nl:], g.tmpVal[:t])
+		copy(cp[nl:], g.tmpPos[:t])
 	}
-	if lo == 0 || lo == len(idx) {
-		return g.leaf(counts, len(idx))
+	for _, p := range fp[:nl] {
+		g.side[p] = false
 	}
+
 	self := int32(len(g.nodes))
 	g.nodes = append(g.nodes, Node{Feature: int32(feat), Threshold: thr})
-	left := g.build(idx[:lo], depth+1)
-	right := g.build(idx[lo:], depth+1)
+	left := g.build(lo, lo+nl, depth+1)
+	right := g.build(lo+nl, hi, depth+1)
 	g.nodes[self].Left = left
 	g.nodes[self].Right = right
 	return self
 }
 
+// leaf appends a leaf node, carving its distribution out of the arena so
+// growing a tree does not allocate per leaf.
 func (g *grower) leaf(counts []int, n int) int32 {
-	dist := make([]float32, g.classes)
+	if cap(g.dist)-len(g.dist) < g.classes {
+		size := distArenaChunk
+		if size < g.classes {
+			size = g.classes
+		}
+		g.dist = make([]float32, 0, size)
+	}
+	m := len(g.dist)
+	g.dist = g.dist[:m+g.classes]
+	dist := g.dist[m : m+g.classes : m+g.classes]
 	if n > 0 {
 		for c, v := range counts {
 			dist[c] = float32(v) / float32(n)
@@ -246,37 +468,25 @@ func (g *grower) leaf(counts []int, n int) int32 {
 }
 
 // bestSplit searches FeaturesPerSplit random features for the exact
-// Gini-optimal threshold.
-func (g *grower) bestSplit(idx []int, counts []int) (feat int, thr float64, ok bool) {
-	n := len(idx)
-	dim := g.d.Dim()
-	if cap(g.vals) < n {
-		g.vals = make([]float64, n)
-		g.order = make([]int, n)
-	}
-	vals := g.vals[:n]
-	order := g.order[:n]
-
+// Gini-optimal threshold, walking each feature's presorted segment.
+func (g *grower) bestSplit(lo, hi int, counts []int) (feat int, thr float64, ok bool) {
+	n := hi - lo
 	parentGini := giniFromCounts(counts, n)
 	bestGain := 1e-9
-	perm := g.rng.Perm(dim)
+	g.rng.PermInto(g.perm)
 
-	left := make([]int, g.classes)
-	for _, f := range perm[:g.cfg.FeaturesPerSplit] {
-		for i, row := range idx {
-			vals[i] = g.d.X[row][f]
-			order[i] = i
-		}
-		sort.Slice(order, func(a, b int) bool { return vals[order[a]] < vals[order[b]] })
+	left := g.left
+	for _, f := range g.perm[:g.cfg.FeaturesPerSplit] {
+		vals := g.colVal[f*g.S+lo : f*g.S+hi]
+		poss := g.colPos[f*g.S+lo : f*g.S+hi]
 		for c := range left {
 			left[c] = 0
 		}
 		nl := 0
 		for pos := 0; pos < n-1; pos++ {
-			row := idx[order[pos]]
-			left[g.d.Y[row]]++
+			left[g.y[poss[pos]]]++
 			nl++
-			v, next := vals[order[pos]], vals[order[pos+1]]
+			v, next := vals[pos], vals[pos+1]
 			if v == next {
 				continue
 			}

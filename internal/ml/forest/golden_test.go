@@ -1,0 +1,165 @@
+package forest_test
+
+import (
+	"hash/fnv"
+	"math"
+	"runtime"
+	"testing"
+
+	"ltefp/internal/ml/dataset"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/sim"
+)
+
+// goldenDataset is a fixed 4-class dataset with deliberate duplicate
+// feature values, so threshold tie-handling is covered.
+func goldenDataset() *dataset.Dataset {
+	g := sim.NewRNG(42)
+	ds := dataset.New([]string{"a", "b", "c", "d"}, nil)
+	for i := 0; i < 600; i++ {
+		y := i % 4
+		x := make([]float64, 12)
+		for j := range x {
+			x[j] = g.Normal(float64(y*(j%3)), 1.5)
+		}
+		if i%7 == 0 {
+			x[3] = float64(y)
+		}
+		ds.Add(x, y)
+	}
+	return ds
+}
+
+// hashForest folds every structural and numeric detail of the trained
+// trees — node order, features, threshold bits, links, distribution bits —
+// into one FNV-1a digest.
+func hashForest(f *forest.Forest) uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put32 := func(v uint32) {
+		buf[0] = byte(v)
+		buf[1] = byte(v >> 8)
+		buf[2] = byte(v >> 16)
+		buf[3] = byte(v >> 24)
+		h.Write(buf[:4])
+	}
+	put64 := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			buf[i] = byte(v >> (8 * i))
+		}
+		h.Write(buf[:8])
+	}
+	for _, t := range f.Trees {
+		put32(uint32(len(t.Nodes)))
+		for _, n := range t.Nodes {
+			put32(uint32(n.Feature))
+			put64(math.Float64bits(n.Threshold))
+			put32(uint32(n.Left))
+			put32(uint32(n.Right))
+			put32(uint32(len(n.Dist)))
+			for _, d := range n.Dist {
+				put32(math.Float32bits(d))
+			}
+		}
+	}
+	return h.Sum64()
+}
+
+// TestGoldenTrees pins the trained forests to digests recorded from the
+// original sort-per-node implementation: the presorted-column trainer must
+// produce bit-identical trees. Do not update these constants to make the
+// test pass — a mismatch means training semantics changed.
+func TestGoldenTrees(t *testing.T) {
+	ds := goldenDataset()
+	for _, tc := range []struct {
+		cfg  forest.Config
+		want uint64
+	}{
+		{forest.Config{Trees: 12, Seed: 7}, 0xfb9d31037b32f666},
+		{forest.Config{Trees: 5, Seed: 1, MaxDepth: 6, MinLeaf: 4}, 0x13baaf8f96eccade},
+		{forest.Config{Trees: 3, Seed: 99, FeaturesPerSplit: 12, SubsampleSize: 200}, 0x814cff2269fff87a},
+	} {
+		f, err := forest.Train(ds, tc.cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hashForest(f); got != tc.want {
+			t.Errorf("cfg %+v: forest hash %#x, want golden %#x", tc.cfg, got, tc.want)
+		}
+	}
+}
+
+// TestWorkersDoNotChangeTrees: the same seed yields bit-identical forests
+// at Workers=1 and Workers=GOMAXPROCS (and beyond), so parallel training
+// never leaks scheduling into the model.
+func TestWorkersDoNotChangeTrees(t *testing.T) {
+	ds := goldenDataset()
+	base, err := forest.Train(ds, forest.Config{Trees: 9, Seed: 5, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := hashForest(base)
+	for _, w := range []int{runtime.GOMAXPROCS(0), 4, 13} {
+		f, err := forest.Train(ds, forest.Config{Trees: 9, Seed: 5, Workers: w})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := hashForest(f); got != want {
+			t.Errorf("Workers=%d: forest hash %#x != Workers=1 hash %#x", w, got, want)
+		}
+	}
+}
+
+// TestPredictBatchMatchesPredict: the tree-major batched path must return
+// exactly what per-row Predict returns, including normalisation and
+// tie-break behaviour.
+func TestPredictBatchMatchesPredict(t *testing.T) {
+	ds := goldenDataset()
+	f, err := forest.Train(ds, forest.Config{Trees: 15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.PredictBatch(ds.X)
+	if len(got) != ds.Len() {
+		t.Fatalf("batch returned %d predictions for %d rows", len(got), ds.Len())
+	}
+	for i, x := range ds.X {
+		if want := f.Predict(x); got[i] != want {
+			t.Fatalf("row %d: batch predicted %d, Predict %d", i, got[i], want)
+		}
+	}
+	// Every batch size below the interleaving width takes a different
+	// remainder path through predictChunk; cover them all.
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7, 9, 15, 16, 17, 18, 19, 21, 33} {
+		sub := ds.X[:n]
+		got := f.PredictBatch(sub)
+		for i, x := range sub {
+			if want := f.Predict(x); got[i] != want {
+				t.Fatalf("size %d row %d: batch predicted %d, Predict %d", n, i, got[i], want)
+			}
+		}
+	}
+}
+
+// TestPredictIntoMatchesProba: PredictInto fills the caller's buffer with
+// the same distribution PredictProba allocates, and returns its argmax.
+func TestPredictIntoMatchesProba(t *testing.T) {
+	ds := goldenDataset()
+	f, err := forest.Train(ds, forest.Config{Trees: 10, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]float64, len(f.Classes))
+	for _, x := range ds.X[:50] {
+		best := f.PredictInto(x, buf)
+		want := f.PredictProba(x)
+		for c := range want {
+			if buf[c] != want[c] {
+				t.Fatalf("PredictInto distribution differs at class %d: %v vs %v", c, buf[c], want[c])
+			}
+		}
+		if best != f.Predict(x) {
+			t.Fatalf("PredictInto argmax %d != Predict %d", best, f.Predict(x))
+		}
+	}
+}

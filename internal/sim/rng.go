@@ -120,5 +120,16 @@ func (g *RNG) Pareto(scale, alpha float64) float64 {
 // Perm returns a random permutation of [0, n).
 func (g *RNG) Perm(n int) []int { return g.r.Perm(n) }
 
+// PermInto fills p with a random permutation of [0, len(p)) without
+// allocating. It consumes exactly the same random draws as Perm(len(p))
+// (identity fill followed by Shuffle), so callers can switch between the
+// two without perturbing downstream streams.
+func (g *RNG) PermInto(p []int) {
+	for i := range p {
+		p[i] = i
+	}
+	g.r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+}
+
 // Shuffle pseudo-randomizes the order of n elements using swap.
 func (g *RNG) Shuffle(n int, swap func(i, j int)) { g.r.Shuffle(n, swap) }

@@ -1,0 +1,46 @@
+#!/bin/sh
+# bench.sh — snapshot the performance-tracking benchmarks into BENCH_<n>.json
+# so the perf trajectory is recorded across PRs.
+#
+# The micro benchmarks need real iteration counts for stable numbers; the
+# table benchmark runs seconds per iteration, so it gets a fixed 3x.
+#
+# Usage: scripts/bench.sh [n]
+#   n  snapshot number (default: 1 + highest existing BENCH_*.json)
+set -eu
+cd "$(dirname "$0")/.."
+
+n="${1:-}"
+if [ -z "$n" ]; then
+	last=$(ls BENCH_*.json 2>/dev/null | sed 's/BENCH_\([0-9]*\)\.json/\1/' | sort -n | tail -1)
+	n=$((${last:-0} + 1))
+fi
+out="BENCH_$n.json"
+
+micro='BenchmarkForestTrain$|BenchmarkForestPredict$|BenchmarkForestPredictBatch$|BenchmarkWindowExtraction$|BenchmarkDTW$|BenchmarkDTWAligner$'
+raw=$(go test -run '^$' -bench "$micro" -benchmem -benchtime 2s .
+	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 3x .)
+echo "$raw"
+
+# One JSON object per benchmark line; go's -bench output is stable enough
+# for this awk to stay dependency-free.
+echo "$raw" | awk -v date="$(date -u +%Y-%m-%dT%H:%M:%SZ)" '
+BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n = 0 }
+/^Benchmark/ {
+	name = $1; sub(/-[0-9]+$/, "", name)
+	nsop = ""; bop = ""; allocs = ""
+	for (i = 2; i <= NF; i++) {
+		if ($(i+1) == "ns/op") nsop = $i
+		if ($(i+1) == "B/op") bop = $i
+		if ($(i+1) == "allocs/op") allocs = $i
+	}
+	if (nsop == "") next
+	if (n++) printf ",\n"
+	printf "    {\"name\": \"%s\", \"ns_per_op\": %s", name, nsop
+	if (bop != "") printf ", \"bytes_per_op\": %s", bop
+	if (allocs != "") printf ", \"allocs_per_op\": %s", allocs
+	printf "}"
+}
+END { print "\n  ]\n}" }
+' >"$out"
+echo "wrote $out"

@@ -1,0 +1,22 @@
+#!/bin/sh
+# check.sh — the repository's gate: vet, build, and the full test suite
+# under the race detector. The forest trainer, batch prediction, and the
+# experiment runners are all concurrent, so -race is not optional here.
+#
+# Usage: scripts/check.sh [-short]
+#   -short  skip the multi-second Quick-scale golden tests
+set -eu
+cd "$(dirname "$0")/.."
+
+short=""
+if [ "${1:-}" = "-short" ]; then
+	short="-short"
+fi
+
+echo "== go vet ./..."
+go vet ./...
+echo "== go build ./..."
+go build ./...
+echo "== go test -race $short ./..."
+go test -race $short ./...
+echo "check: OK"
