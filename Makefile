@@ -1,10 +1,12 @@
 GO ?= go
+FUZZTIME ?= 5s
 
-.PHONY: check check-short test build vet bench
+.PHONY: check check-short test build vet bench fuzz-smoke
 
-## check: vet + build + full test suite under the race detector
+## check: vet + build + full test suite under the race detector + fuzz smoke
 check:
 	scripts/check.sh
+	$(MAKE) fuzz-smoke
 
 ## check-short: check, skipping the multi-second golden tests
 check-short:
@@ -22,3 +24,9 @@ test:
 ## bench: snapshot the perf-tracking benchmarks into BENCH_<n>.json
 bench:
 	scripts/bench.sh
+
+## fuzz-smoke: run each fuzz target for FUZZTIME (default 5s) to catch
+## parser/decoder regressions the committed seed corpora alone would miss
+fuzz-smoke:
+	$(GO) test ./internal/lte/dci -run '^$$' -fuzz 'FuzzDCIRoundTrip' -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sniffer -run '^$$' -fuzz 'FuzzBlindDecode' -fuzztime $(FUZZTIME)

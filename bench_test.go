@@ -22,6 +22,7 @@ import (
 	"ltefp/internal/ml/dataset"
 	"ltefp/internal/ml/dtw"
 	"ltefp/internal/ml/forest"
+	"ltefp/internal/obs"
 	"ltefp/internal/sim"
 )
 
@@ -283,6 +284,50 @@ func BenchmarkForestPredictBatch(b *testing.B) {
 	// Normalise to per-window cost for comparison with BenchmarkForestPredict.
 	perWindow := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(ds.Len())
 	b.ReportMetric(perWindow, "ns/window")
+}
+
+// BenchmarkForestPredictBatchObs is BenchmarkForestPredictBatch with a live
+// metrics registry attached — the delta between the two is the observability
+// overhead on the inference hot path (budget: <2%).
+func BenchmarkForestPredictBatchObs(b *testing.B) {
+	reg := obs.NewRegistry()
+	forest.SetMetrics(reg.Scope("pipeline").Scope("forest"))
+	b.Cleanup(func() { forest.SetMetrics(obs.Scope{}) })
+	g := sim.NewRNG(1)
+	ds := benchDataset(g)
+	f, err := forest.Train(ds, forest.Config{Trees: 100, Seed: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	out := make([]int, ds.Len())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.PredictBatchInto(ds.X, out)
+	}
+	b.StopTimer()
+	perWindow := float64(b.Elapsed().Nanoseconds()) / float64(b.N) / float64(ds.Len())
+	b.ReportMetric(perWindow, "ns/window")
+}
+
+// BenchmarkCapture60sObs is BenchmarkCapture60s with a live metrics
+// registry: the per-candidate sniffer counters and per-tick scheduler
+// histograms are the densest instrumentation in the pipeline, so this pair
+// bounds the worst-case observability overhead.
+func BenchmarkCapture60sObs(b *testing.B) {
+	reg := obs.NewRegistry()
+	for i := 0; i < b.N; i++ {
+		reg.Reset()
+		_, err := ltefp.Capture(ltefp.CaptureOptions{
+			Network:  "T-Mobile",
+			App:      "YouTube",
+			Duration: time.Minute,
+			Seed:     uint64(i + 1),
+			Metrics:  reg,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkForestTrain measures fitting the paper's forest configuration.

@@ -7,6 +7,7 @@ import (
 	"ltefp/internal/appmodel"
 	"ltefp/internal/capture"
 	"ltefp/internal/lte/operator"
+	"ltefp/internal/obs"
 	"ltefp/internal/sim"
 	"ltefp/internal/sniffer"
 )
@@ -38,6 +39,9 @@ type CaptureOptions struct {
 	BackgroundApps int
 	// Defenses applies the paper's countermeasures to the network.
 	Defenses DefenseOptions
+	// Metrics, when non-nil, additionally records per-cell decode-health
+	// and scheduler metrics into the given registry (see internal/obs).
+	Metrics *obs.Registry
 }
 
 // DefenseOptions enables the countermeasures of §VIII-B/§VIII-C on a
@@ -76,6 +80,36 @@ type CaptureResult struct {
 	All []Record
 	// Bindings are the plaintext RNTI↔TMSI mappings observed.
 	Bindings []IdentityBinding
+	// Health summarises the sniffer's decode health for this capture — the
+	// numbers a fingerprinting result must be interpreted next to.
+	Health CaptureHealth
+}
+
+// CaptureHealth is the sniffer-side decode-health summary of one capture.
+type CaptureHealth struct {
+	// Candidates is the number of PDCCH candidates scanned.
+	Candidates int64
+	// Captured is the number of user-plane records decoded and kept.
+	Captured int64
+	// Dropped is the number of candidates lost to the capture-loss model.
+	Dropped int64
+	// Corrupted counts bit-corrupted payloads; CorruptCaught of those were
+	// rejected at the decode stage, CorruptLeaked decoded into ghost RNTIs
+	// left to the plausibility filter.
+	Corrupted     int64
+	CorruptCaught int64
+	CorruptLeaked int64
+	// ParseRejects is the number of candidates failing DCI validation.
+	ParseRejects int64
+}
+
+// LossRate returns the observed capture-loss fraction (0 when nothing was
+// scanned).
+func (h CaptureHealth) LossRate() float64 {
+	if h.Candidates == 0 {
+		return 0
+	}
+	return float64(h.Dropped) / float64(h.Candidates)
 }
 
 // Capture simulates and records one victim session.
@@ -105,6 +139,7 @@ func Capture(opts CaptureOptions) (*CaptureResult, error) {
 		Sessions:         []capture.Session{sess},
 		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption, DownlinkOnly: opts.DownlinkOnly},
 		ApplyProfileLoss: true,
+		Metrics:          opts.Metrics.Scope("capture"),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("ltefp: %w", err)
@@ -112,6 +147,15 @@ func Capture(opts CaptureOptions) (*CaptureResult, error) {
 	out := &CaptureResult{
 		Victim: fromTrace(res.UserTrace("victim")),
 		All:    fromTrace(res.Records),
+		Health: CaptureHealth{
+			Candidates:    res.Health.Candidates,
+			Captured:      res.Health.Captured,
+			Dropped:       res.Health.Dropped,
+			Corrupted:     res.Health.Corrupted,
+			CorruptCaught: res.Health.CorruptCaught,
+			CorruptLeaked: res.Health.CorruptLeaked,
+			ParseRejects:  res.Health.ParseRejects,
+		},
 	}
 	for _, e := range res.Events {
 		if e.HasTMSI {

@@ -6,11 +6,15 @@
 // Usage:
 //
 //	lteexperiments [-scale quick|full] [-seed N] [-only list]
+//	               [-metrics] [-debug-addr host:port]
 //
 // where -only is a comma-separated subset of
 // table3,table4,table5,table6,table7,table8,fig8,fig9,cost plus the
 // ablation/extension studies defenses,windowsweep,twsweep,retraining,
-// concealment.
+// concealment. -metrics appends a per-run pipeline health report after
+// each experiment (never part of the table rendering itself), and
+// -debug-addr serves /debug/vars, /debug/pprof/ and /metrics while the
+// experiments run.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"time"
 
 	"ltefp/internal/experiments"
+	"ltefp/internal/obs"
 )
 
 func main() {
@@ -35,6 +40,8 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	only := fs.String("only", "", "comma-separated experiment subset (default: all)")
+	metrics := fs.Bool("metrics", false, "print a pipeline metrics report after each experiment")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -55,6 +62,20 @@ func run(args []string) error {
 		}
 	}
 	selected := func(name string) bool { return len(want) == 0 || want[name] }
+
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		experiments.SetMetrics(reg)
+		if *debugAddr != "" {
+			srv, err := obs.StartDebugServer(*debugAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Fprintf(os.Stderr, "lteexperiments: debug server on http://%s/ (/debug/vars, /debug/pprof/, /metrics)\n", srv.Addr)
+		}
+	}
 
 	type experiment struct {
 		name string
@@ -95,6 +116,10 @@ func run(args []string) error {
 		if !selected(e.name) {
 			continue
 		}
+		// Reset (not replace) the registry per experiment so cached metric
+		// pointers inside the pipeline stay valid and each report covers
+		// exactly one run.
+		reg.Reset()
 		start := time.Now()
 		res, err := e.run()
 		if err != nil {
@@ -102,6 +127,9 @@ func run(args []string) error {
 		}
 		fmt.Printf("### %s (scale=%s, seed=%d, elapsed %v)\n%s\n",
 			e.name, scale.Name, *seed, time.Since(start).Round(time.Second), res)
+		if *metrics {
+			fmt.Printf("--- metrics: %s ---\n%s\n", e.name, experiments.MetricsReport(reg.Snapshot()))
+		}
 	}
 	return nil
 }

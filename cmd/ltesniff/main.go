@@ -7,6 +7,9 @@
 // Usage:
 //
 //	ltesniff -network T-Mobile -app YouTube -duration 60s -seed 7 -out trace.csv
+//
+// -metrics dumps the capture-health registry to stderr after the run, and
+// -debug-addr serves /debug/vars, /debug/pprof/ and /metrics during it.
 package main
 
 import (
@@ -16,6 +19,7 @@ import (
 	"time"
 
 	"ltefp"
+	"ltefp/internal/obs"
 )
 
 func main() {
@@ -37,6 +41,8 @@ func run(args []string) error {
 	victimOnly := fs.Bool("victim-only", true, "write only records attributed to the victim")
 	out := fs.String("out", "-", "output CSV path (- = stdout)")
 	list := fs.Bool("list", false, "list networks and apps, then exit")
+	metrics := fs.Bool("metrics", false, "dump the metrics registry to stderr after the capture")
+	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -51,6 +57,18 @@ func run(args []string) error {
 		}
 		return nil
 	}
+	var reg *obs.Registry
+	if *metrics || *debugAddr != "" {
+		reg = obs.NewRegistry()
+		if *debugAddr != "" {
+			srv, err := obs.StartDebugServer(*debugAddr, reg)
+			if err != nil {
+				return err
+			}
+			defer func() { _ = srv.Close() }()
+			fmt.Fprintf(os.Stderr, "ltesniff: debug server on http://%s/ (/debug/vars, /debug/pprof/, /metrics)\n", srv.Addr)
+		}
+	}
 	res, err := ltefp.Capture(ltefp.CaptureOptions{
 		Network:        *network,
 		App:            *app,
@@ -59,6 +77,7 @@ func run(args []string) error {
 		Seed:           *seed,
 		DownlinkOnly:   *dlOnly,
 		BackgroundApps: *background,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return err
@@ -85,5 +104,14 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "ltesniff: %d records (%d victim, %d total), %d identity bindings\n",
 		len(records), len(res.Victim), len(res.All), len(res.Bindings))
+	h := res.Health
+	fmt.Fprintf(os.Stderr, "ltesniff: health: %d candidates, %d captured, %d lost (%.2f%%), %d corrupted (%d caught, %d leaked), %d parse rejects\n",
+		h.Candidates, h.Captured, h.Dropped, 100*h.LossRate(), h.Corrupted, h.CorruptCaught, h.CorruptLeaked, h.ParseRejects)
+	if *metrics {
+		fmt.Fprintln(os.Stderr, "ltesniff: metrics:")
+		if err := reg.WriteText(os.Stderr); err != nil {
+			return err
+		}
+	}
 	return nil
 }

@@ -9,6 +9,7 @@ import (
 	"ltefp/internal/appmodel"
 	"ltefp/internal/capture"
 	"ltefp/internal/lte/operator"
+	"ltefp/internal/obs"
 	"ltefp/internal/sniffer"
 	"ltefp/internal/trace"
 )
@@ -40,6 +41,9 @@ type CollectSpec struct {
 	// Window and Stride control feature windowing (defaults as in Config).
 	Window time.Duration
 	Stride time.Duration
+	// Metrics, when enabled, receives each session capture's per-cell
+	// decode-health and scheduler metrics (see capture.Scenario.Metrics).
+	Metrics obs.Scope
 }
 
 // normalize applies the spec defaults.
@@ -138,6 +142,7 @@ func collectOne(spec CollectSpec, session int) (trace.Trace, error) {
 		Sessions:         []capture.Session{sess},
 		Sniffer:          spec.Sniffer,
 		ApplyProfileLoss: spec.ApplyProfileLoss,
+		Metrics:          spec.Metrics,
 	})
 	if err != nil {
 		return nil, err

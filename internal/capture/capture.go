@@ -17,6 +17,7 @@ import (
 	"ltefp/internal/lte/network"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/lte/ue"
+	"ltefp/internal/obs"
 	"ltefp/internal/sim"
 	"ltefp/internal/sniffer"
 	"ltefp/internal/trace"
@@ -69,6 +70,10 @@ type Scenario struct {
 	// inactivity timers expire so identity intervals close (default 2 s
 	// past the operator's inactivity timeout).
 	Settle time.Duration
+	// Metrics, when enabled, receives per-cell decode-health and scheduler
+	// metrics under cellN.sniffer.* and cellN.enb.* names. The zero Scope
+	// disables instrumentation.
+	Metrics obs.Scope
 }
 
 // Capture is the attacker-side result of a scenario run.
@@ -86,6 +91,8 @@ type Capture struct {
 	TMSIs map[string][]uint32
 	// Dropped counts sniffer capture losses (all cells).
 	Dropped int64
+	// Health aggregates every sniffer's capture-health counters.
+	Health sniffer.Stats
 }
 
 // Run executes the scenario.
@@ -105,6 +112,11 @@ func Run(sc Scenario) (*Capture, error) {
 		cfg := sc.Sniffer
 		if sc.ApplyProfileLoss {
 			cfg.LossProb = cs.Profile.CaptureLoss
+		}
+		if sc.Metrics.Enabled() {
+			cellScope := sc.Metrics.Scope(fmt.Sprintf("cell%d", cs.ID))
+			cfg.Metrics = cellScope.Scope("sniffer")
+			cell.SetMetrics(cellScope.Scope("enb"))
 		}
 		s := sniffer.New(cfg, snifRNG.Fork())
 		cell.AddObserver(s)
@@ -147,8 +159,15 @@ func Run(sc Scenario) (*Capture, error) {
 		out.Records = append(out.Records, s.ValidatedRecords(minRNTISightings)...)
 		out.Events = append(out.Events, s.IdentityEvents()...)
 		out.Pagings = append(out.Pagings, s.PagingEvents()...)
-		_, dropped := s.Stats()
-		out.Dropped += dropped
+		st := s.Stats()
+		out.Dropped += st.Dropped
+		out.Health.Candidates += st.Candidates
+		out.Health.Captured += st.Captured
+		out.Health.Dropped += st.Dropped
+		out.Health.Corrupted += st.Corrupted
+		out.Health.CorruptCaught += st.CorruptCaught
+		out.Health.CorruptLeaked += st.CorruptLeaked
+		out.Health.ParseRejects += st.ParseRejects
 	}
 	out.Records.Sort()
 	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].At < out.Events[j].At })

@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"testing"
 	"time"
+
+	"ltefp/internal/obs"
 )
 
 // tinyScale is the smallest campaign that still exercises every app
@@ -66,5 +68,46 @@ func TestTableIIIQuickGolden(t *testing.T) {
 	}
 	if got := res.String(); got != string(want) {
 		t.Errorf("Table III (quick, seed 1) diverged from golden output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestMetricsDoNotChangeOutput proves instrumentation is observation-only:
+// running the golden experiment with a live registry must not change a
+// single output byte, while the registry itself must show the pipeline was
+// actually measured (counters at zero would mean the instrumentation is
+// dead code, not that it is free).
+func TestMetricsDoNotChangeOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick-scale table III takes several seconds; skipped with -short")
+	}
+	want, err := os.ReadFile(filepath.Join("testdata", "tableiii_quick_seed1.golden"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	SetMetrics(reg)
+	defer SetMetrics(nil)
+	res, err := TableIII(Quick(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.String(); got != string(want) {
+		t.Errorf("live metrics registry changed Table III output:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+	snap := reg.Snapshot()
+	for _, name := range []string{
+		"pipeline.cell1.sniffer.candidates",
+		"pipeline.cell1.sniffer.records",
+		"pipeline.cell1.enb.grants_dl",
+		"pipeline.forest.rows_trained",
+		"pipeline.forest.rows_predicted",
+		"pipeline.workers.tasks",
+	} {
+		if snap.Counter(name) == 0 {
+			t.Errorf("metrics enabled but %s stayed zero", name)
+		}
+	}
+	if h, ok := snap.Histogram("pipeline.workers.task_ms"); !ok || h.Count == 0 {
+		t.Error("worker-pool wall-time histogram recorded nothing")
 	}
 }

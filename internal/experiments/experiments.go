@@ -166,6 +166,7 @@ func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64,
 			Seed:             seed + uint64(i+1)*7919,
 			Sniffer:          cfg,
 			ApplyProfileLoss: true,
+			Metrics:          pipelineScope(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: collecting %s on %s: %w", app.Name, profile.Name, err)

@@ -79,6 +79,7 @@ func Figure9(scale Scale, seed uint64) (*Figure9Result, error) {
 			Sniffer:          cfg,
 			ApplyProfileLoss: true,
 			BackgroundApps:   bg,
+			Metrics:          pipelineScope(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: figure 9 (%d bg): %w", bg, err)

@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"sync/atomic"
+
+	"ltefp/internal/features"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/obs"
+)
+
+// activeRegistry is the registry the experiment runners report into. It is
+// process-global because the runners are: one lteexperiments invocation
+// runs one experiment at a time and resets the registry between runs.
+var activeRegistry atomic.Pointer[obs.Registry]
+
+// SetMetrics points the whole experiment pipeline at a registry: capture
+// metrics land under pipeline.cellN.{sniffer,enb}.*, feature extraction
+// under pipeline.features.*, forest training and inference under
+// pipeline.forest.*, and the worker pool under pipeline.workers.*. Passing
+// nil disables all of it (the default).
+func SetMetrics(r *obs.Registry) {
+	activeRegistry.Store(r)
+	sc := r.Scope("pipeline")
+	features.SetMetrics(sc.Scope("features"))
+	forest.SetMetrics(sc.Scope("forest"))
+}
+
+// pipelineScope returns the active pipeline scope (disabled when no
+// registry is set).
+func pipelineScope() obs.Scope {
+	return activeRegistry.Load().Scope("pipeline")
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"ltefp/internal/obs"
+)
+
+// TestMetricsReportAggregatesCells checks that the per-run report sums
+// counters across cells and degrades to n/a for histograms never observed.
+func TestMetricsReportAggregatesCells(t *testing.T) {
+	reg := obs.NewRegistry()
+	reg.Counter("pipeline.cell1.sniffer.candidates").Add(600)
+	reg.Counter("pipeline.cell2.sniffer.candidates").Add(400)
+	reg.Counter("pipeline.cell1.sniffer.lost").Add(50)
+	reg.Counter("pipeline.cell1.enb.grants_dl").Add(7)
+	reg.Counter("pipeline.forest.rows_trained").Add(1234)
+
+	rep := MetricsReport(reg.Snapshot())
+	for _, want := range []string{
+		"1000 candidates",
+		"50 lost (5.00%)",
+		"7 DL grants",
+		"1234 rows trained",
+		"train n/a",
+		"task n/a",
+	} {
+		if !strings.Contains(rep, want) {
+			t.Errorf("report missing %q:\n%s", want, rep)
+		}
+	}
+}
+
+// TestMetricsReportEmpty checks the empty snapshot renders without panics
+// or division by zero.
+func TestMetricsReportEmpty(t *testing.T) {
+	rep := MetricsReport(obs.Snapshot{})
+	if !strings.Contains(rep, "0 candidates, 0 records, 0 lost (0.00%)") {
+		t.Errorf("unexpected empty report:\n%s", rep)
+	}
+}

@@ -65,6 +65,7 @@ func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 			Seed:             seed + uint64(i+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption},
 			ApplyProfileLoss: true,
+			Metrics:          pipelineScope(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: table III: %s: %w", app.Name, err)

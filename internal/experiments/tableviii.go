@@ -72,6 +72,7 @@ func TableVIII(scale Scale, seed uint64) (*TableVIIIResult, error) {
 			Seed:             seed + 2749 + uint64(ai+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
 			ApplyProfileLoss: true,
+			Metrics:          pipelineScope(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: table VIII: %s: %w", app.Name, err)

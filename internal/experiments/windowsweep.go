@@ -63,6 +63,7 @@ func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
 			Seed:             seed + 52289 + uint64(i+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
 			ApplyProfileLoss: true,
+			Metrics:          pipelineScope(),
 		})
 		if err != nil {
 			return fmt.Errorf("experiments: window sweep: %s: %w", app.Name, err)

@@ -22,13 +22,29 @@ func forEach(n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	// Worker-pool observability: occupancy gauge, completed-task counter,
+	// and per-task wall-time histogram (the per-cell wall time of whichever
+	// runner is executing). All no-ops when no registry is set.
+	pool := pipelineScope().Scope("workers")
+	occupancy := pool.Gauge("active")
+	tasks := pool.Counter("tasks")
+	taskMS := pool.Histogram("task_ms", nil)
+	run := func(i int) error {
+		occupancy.Add(1)
+		t := taskMS.Start()
+		err := fn(i)
+		t.Stop()
+		occupancy.Add(-1)
+		tasks.Inc()
+		return err
+	}
 	workers := experimentWorkers
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := run(i); err != nil {
 				return err
 			}
 		}
@@ -46,7 +62,7 @@ func forEach(n int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = run(i)
 			}
 		}()
 	}

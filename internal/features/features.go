@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"ltefp/internal/lte/dci"
+	"ltefp/internal/obs"
 	"ltefp/internal/trace"
 )
 
@@ -101,6 +102,11 @@ func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
 
 // FromTrace is the package-level FromTrace reusing the extractor's scratch.
 func (e *Extractor) FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
+	m := activeMetrics.Load()
+	var timer obs.Timer
+	if m != nil {
+		timer = m.extractMS.Start()
+	}
 	ws := t.Windows(width, stride)
 	out := make([][]float64, 0, len(ws))
 	recIdx := 0 // first record at or after the current window start
@@ -166,6 +172,10 @@ func (e *Extractor) FromTrace(t trace.Trace, width, stride time.Duration) [][]fl
 
 		prevCount = v[0]
 		prevBytes = v[3]
+	}
+	if m != nil {
+		m.rows.Add(int64(len(out)))
+		timer.Stop()
 	}
 	return out
 }

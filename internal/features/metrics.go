@@ -1,0 +1,31 @@
+package features
+
+import (
+	"sync/atomic"
+
+	"ltefp/internal/obs"
+)
+
+// metrics holds the package's instrumentation handles. A nil *metrics (the
+// default) disables instrumentation; FromTrace loads the pointer once per
+// call and skips everything on nil.
+type metrics struct {
+	extractMS *obs.Histogram
+	rows      *obs.Counter
+}
+
+var activeMetrics atomic.Pointer[metrics]
+
+// SetMetrics points the package's extraction instrumentation at a scope:
+// an extract_ms latency histogram per FromTrace call and a rows counter of
+// feature vectors produced. A disabled scope turns instrumentation off.
+func SetMetrics(sc obs.Scope) {
+	if !sc.Enabled() {
+		activeMetrics.Store(nil)
+		return
+	}
+	activeMetrics.Store(&metrics{
+		extractMS: sc.Histogram("extract_ms", nil),
+		rows:      sc.Counter("rows"),
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"ltefp/internal/lte/rnti"
 	"ltefp/internal/lte/rrc"
 	"ltefp/internal/lte/ue"
+	"ltefp/internal/obs"
 	"ltefp/internal/sim"
 )
 
@@ -80,6 +81,44 @@ type Cell struct {
 	// stats
 	grantsDL, grantsUL int64
 	bytesDL, bytesUL   int64
+
+	m cellMetrics
+}
+
+// cellMetrics caches the scheduler's observability handles. The zero value
+// (enabled=false) keeps the per-TTI summary computations off entirely; the
+// counters are nil-safe either way.
+type cellMetrics struct {
+	enabled       bool
+	tick          uint64 // TTIs seen, for sampling decimation
+	prbUtilDL     *obs.Histogram
+	prbUtilUL     *obs.Histogram
+	queueDepth    *obs.Gauge
+	connected     *obs.Gauge
+	grantsDL      *obs.Counter
+	grantsUL      *obs.Counter
+	paddingEvents *obs.Counter
+	pdcchBlocked  *obs.Counter
+	rntiRefreshes *obs.Counter
+}
+
+// SetMetrics points the cell's scheduler instrumentation at a scope:
+// per-TTI PRB-utilisation histograms (fraction of the cell's PRBs charged,
+// per direction), queue-depth and connected-UE gauges, and grant/padding/
+// PDCCH-blocking counters. A disabled scope turns instrumentation off.
+func (c *Cell) SetMetrics(sc obs.Scope) {
+	c.m = cellMetrics{
+		enabled:       sc.Enabled(),
+		prbUtilDL:     sc.Histogram("prb_util_dl", obs.FractionBuckets()),
+		prbUtilUL:     sc.Histogram("prb_util_ul", obs.FractionBuckets()),
+		queueDepth:    sc.Gauge("queue_depth_bytes"),
+		connected:     sc.Gauge("connected_ues"),
+		grantsDL:      sc.Counter("grants_dl"),
+		grantsUL:      sc.Counter("grants_ul"),
+		paddingEvents: sc.Counter("padding_events"),
+		pdcchBlocked:  sc.Counter("pdcch_blocked"),
+		rntiRefreshes: sc.Counter("rnti_refreshes"),
+	}
 }
 
 // NewCell returns an empty cell.

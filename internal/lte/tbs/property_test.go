@@ -1,0 +1,121 @@
+package tbs
+
+import "testing"
+
+// TestTableMonotoneOverFullRange sweeps every (I_TBS, N_PRB) cell and
+// checks the property the classifier's size feature depends on: transport
+// block size strictly increases with the PRB allocation at fixed I_TBS and
+// strictly increases with I_TBS at fixed PRB count.
+func TestTableMonotoneOverFullRange(t *testing.T) {
+	for i := 0; i <= MaxITBS; i++ {
+		prev := 0
+		for n := 1; n <= MaxPRB; n++ {
+			b, err := Bits(i, n)
+			if err != nil {
+				t.Fatalf("Bits(%d, %d): %v", i, n, err)
+			}
+			if b <= prev {
+				t.Fatalf("TBS not strictly monotone in PRB: Bits(%d, %d)=%d <= Bits(%d, %d)=%d",
+					i, n, b, i, n-1, prev)
+			}
+			if b%8 != 0 {
+				t.Fatalf("Bits(%d, %d)=%d not byte aligned", i, n, b)
+			}
+			prev = b
+		}
+	}
+	for n := 1; n <= MaxPRB; n++ {
+		prev := -1
+		for i := 0; i <= MaxITBS; i++ {
+			b, err := Bits(i, n)
+			if err != nil {
+				t.Fatalf("Bits(%d, %d): %v", i, n, err)
+			}
+			if b <= prev {
+				t.Fatalf("TBS not strictly monotone in I_TBS: Bits(%d, %d)=%d <= Bits(%d, %d)=%d",
+					i, n, b, i-1, n, prev)
+			}
+			prev = b
+		}
+	}
+}
+
+// TestForMCSMonotone checks that the MCS → I_TBS mapping is non-decreasing
+// across the full MCS range (a higher-order scheme never selects a smaller
+// transport block) and rejects out-of-range indices.
+func TestForMCSMonotone(t *testing.T) {
+	prev := -1
+	for mcs := 0; mcs <= MaxMCS; mcs++ {
+		itbs, mod, err := ForMCS(mcs)
+		if err != nil {
+			t.Fatalf("ForMCS(%d): %v", mcs, err)
+		}
+		if itbs < prev {
+			t.Fatalf("I_TBS decreases: ForMCS(%d)=%d after %d", mcs, itbs, prev)
+		}
+		if itbs < 0 || itbs > MaxITBS {
+			t.Fatalf("ForMCS(%d) = I_TBS %d out of range", mcs, itbs)
+		}
+		if mod != QPSK && mod != QAM16 && mod != QAM64 {
+			t.Fatalf("ForMCS(%d) modulation %v", mcs, mod)
+		}
+		prev = itbs
+	}
+	if _, _, err := ForMCS(-1); err == nil {
+		t.Error("ForMCS(-1) accepted")
+	}
+	if _, _, err := ForMCS(MaxMCS + 1); err == nil {
+		t.Errorf("ForMCS(%d) accepted", MaxMCS+1)
+	}
+}
+
+// TestPRBsForInvertsTheTable round-trips every (mcs, prb) cell through the
+// inverse helper: sizing a grant for exactly the TBS of n PRBs must come
+// back to n (the table is strictly monotone, so the minimal allocation is
+// unique), and one byte more must need exactly one more PRB.
+func TestPRBsForInvertsTheTable(t *testing.T) {
+	for mcs := 0; mcs <= MaxMCS; mcs++ {
+		itbs, _, err := ForMCS(mcs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for n := 1; n <= MaxPRB; n++ {
+			payload, err := Bytes(itbs, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, fits := PRBsFor(itbs, payload, MaxPRB)
+			if !fits {
+				t.Fatalf("PRBsFor(%d, %d, max): payload of its own TBS does not fit", itbs, payload)
+			}
+			if got != n {
+				t.Fatalf("PRBsFor(%d, %d, max) = %d, want %d (round-trip)", itbs, payload, got, n)
+			}
+			if n < MaxPRB {
+				over, fits := PRBsFor(itbs, payload+1, MaxPRB)
+				if !fits || over != n+1 {
+					t.Fatalf("PRBsFor(%d, %d+1, max) = %d (fits=%v), want %d", itbs, payload, over, fits, n+1)
+				}
+			}
+		}
+	}
+}
+
+// TestPRBsForCap checks the segmentation contract: a payload beyond the
+// cap's capacity reports fits=false and returns the cap itself, and
+// degenerate caps clamp into range.
+func TestPRBsForCap(t *testing.T) {
+	capacity, err := Bytes(0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, fits := PRBsFor(0, capacity+1, 10); fits || n != 10 {
+		t.Errorf("PRBsFor over cap = (%d, %v), want (10, false)", n, fits)
+	}
+	if n, fits := PRBsFor(0, 1, 0); !fits || n != 1 {
+		t.Errorf("PRBsFor with cap 0 = (%d, %v), want clamp to (1, true)", n, fits)
+	}
+	if n, _ := PRBsFor(MaxITBS, 1<<30, MaxPRB+50); n != MaxPRB {
+		t.Errorf("PRBsFor with oversized cap returned %d, want clamp to %d", n, MaxPRB)
+	}
+}

@@ -170,6 +170,10 @@ func (f *Forest) PredictBatchInto(X [][]float64, out []int) {
 	if len(X) == 0 {
 		return
 	}
+	if m := activeMetrics.Load(); m != nil {
+		defer m.batchMS.Start().Stop()
+		m.batchRows.Add(int64(len(X)))
+	}
 	if len(X[0]) == 0 {
 		// Degenerate featureless rows: every tree is a bare leaf and the
 		// packed walk's probe of x[0] would be out of range.

@@ -132,6 +132,10 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("forest: empty training set")
 	}
+	if m := activeMetrics.Load(); m != nil {
+		defer m.trainMS.Start().Stop()
+		m.trainRows.Add(int64(d.Len()))
+	}
 	cfg = cfg.withDefaults(d.Len(), d.Dim())
 	f := &Forest{Trees: make([]Tree, cfg.Trees), Classes: d.Classes}
 	orders := columnOrders(d, cfg.Workers)

@@ -1,0 +1,36 @@
+package forest
+
+import (
+	"sync/atomic"
+
+	"ltefp/internal/obs"
+)
+
+// metrics holds the package's instrumentation handles. A nil *metrics (the
+// default) disables instrumentation; the hot paths load the pointer once
+// per call and skip everything on nil.
+type metrics struct {
+	trainMS   *obs.Histogram
+	trainRows *obs.Counter
+	batchMS   *obs.Histogram
+	batchRows *obs.Counter
+}
+
+var activeMetrics atomic.Pointer[metrics]
+
+// SetMetrics points the package's training and batch-inference
+// instrumentation at a scope: train_ms / batch_ms latency histograms and
+// rows_trained / rows_predicted throughput counters. A disabled scope
+// turns instrumentation off. Safe to call concurrently with inference.
+func SetMetrics(sc obs.Scope) {
+	if !sc.Enabled() {
+		activeMetrics.Store(nil)
+		return
+	}
+	activeMetrics.Store(&metrics{
+		trainMS:   sc.Histogram("train_ms", nil),
+		trainRows: sc.Counter("rows_trained"),
+		batchMS:   sc.Histogram("batch_ms", nil),
+		batchRows: sc.Counter("rows_predicted"),
+	})
+}

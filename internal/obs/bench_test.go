@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// The hot-path budget: counters and histogram observations sit inside the
+// per-candidate sniffer loop and the per-tick scheduler loop, so they must
+// stay in the nanoseconds and allocate nothing.
+
+func BenchmarkObsCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("bench.counter")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsCounterIncParallel(b *testing.B) {
+	c := NewRegistry().Counter("bench.counter")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+func BenchmarkObsHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i % 1000))
+	}
+}
+
+func BenchmarkObsTimer(b *testing.B) {
+	h := NewRegistry().Histogram("bench.hist", LatencyBuckets())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().Stop()
+	}
+}
+
+// BenchmarkObsNilCounterInc measures the disabled path: a nil counter from
+// a scope with no registry behind it. This is what the pipeline pays when
+// metrics are off, so it should be close to free.
+func BenchmarkObsNilCounterInc(b *testing.B) {
+	var c *Counter
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}
+
+func BenchmarkObsNilTimer(b *testing.B) {
+	var h *Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Start().Stop()
+	}
+}
+
+func BenchmarkObsSnapshot(b *testing.B) {
+	r := NewRegistry()
+	for i := 0; i < 64; i++ {
+		r.Counter(fmt.Sprintf("bench.counter%02d", i))
+	}
+	r.Histogram("bench.hist", LatencyBuckets()).Observe(3)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = r.Snapshot()
+	}
+}

@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// expvarPublished guards against double expvar.Publish panics when
+// several registries (tests, repeated runs) publish under the same name.
+var expvarPublished sync.Map // name -> struct{}
+
+// PublishExpvar exposes the registry under the given name in the
+// process-wide expvar namespace (the /debug/vars JSON). Re-publishing a
+// name rebinds it to this registry instead of panicking, so tests and
+// repeated runs stay safe.
+func (r *Registry) PublishExpvar(name string) {
+	if r == nil {
+		return
+	}
+	slot := &registrySlot{}
+	slot.reg.Store(r)
+	if v, loaded := expvarPublished.LoadOrStore(name, slot); loaded {
+		v.(*registrySlot).reg.Store(r)
+		return
+	}
+	expvar.Publish(name, expvar.Func(func() any { return slot.reg.Load().Snapshot() }))
+}
+
+// registrySlot is the rebindable target behind one expvar name.
+type registrySlot struct {
+	reg atomic.Pointer[Registry]
+}
+
+// DebugServer is the -debug-addr HTTP endpoint: expvar under /debug/vars,
+// the full net/http/pprof suite under /debug/pprof/, and the registry as
+// text and JSON under /metrics and /metrics.json.
+type DebugServer struct {
+	// Addr is the bound listen address (useful with ":0").
+	Addr net.Addr
+
+	srv *http.Server
+	lis net.Listener
+}
+
+// StartDebugServer binds addr and serves the debug endpoints for r in a
+// background goroutine until Close. The registry is also published to
+// expvar as "ltefp".
+func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: debug server: %w", err)
+	}
+	r.PublishExpvar("ltefp")
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = r.Dump(w)
+	})
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	ds := &DebugServer{Addr: lis.Addr(), srv: srv, lis: lis}
+	go func() { _ = srv.Serve(lis) }()
+	return ds, nil
+}
+
+// Close stops the server and releases the listener.
+func (s *DebugServer) Close() error {
+	if s == nil || s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}

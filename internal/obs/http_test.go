@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestDebugServer(t *testing.T) {
+	r := NewRegistry()
+	r.Scope("cell1").Counter("records").Add(42)
+
+	srv, err := StartDebugServer("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	base := "http://" + srv.Addr.String()
+
+	get := func(path string) string {
+		t.Helper()
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(body)
+	}
+
+	if body := get("/metrics"); !strings.Contains(body, "counter   cell1.records 42") {
+		t.Errorf("/metrics missing counter:\n%s", body)
+	}
+	var snap Snapshot
+	if err := json.Unmarshal([]byte(get("/metrics.json")), &snap); err != nil {
+		t.Fatalf("/metrics.json not JSON: %v", err)
+	}
+	if snap.Counter("cell1.records") != 42 {
+		t.Errorf("/metrics.json counters = %+v", snap.Counters)
+	}
+	if body := get("/debug/vars"); !strings.Contains(body, "ltefp") {
+		t.Errorf("/debug/vars missing published registry:\n%.400s", body)
+	}
+	if body := get("/debug/pprof/"); !strings.Contains(body, "profile") {
+		t.Errorf("/debug/pprof/ index unexpected:\n%.400s", body)
+	}
+}
+
+func TestPublishExpvarRebinds(t *testing.T) {
+	name := fmt.Sprintf("rebind-%p", t)
+	r1 := NewRegistry()
+	r1.Counter("x").Add(1)
+	r1.PublishExpvar(name)
+	r2 := NewRegistry()
+	r2.Counter("x").Add(2)
+	r2.PublishExpvar(name) // must not panic, must rebind
+	v, ok := expvarPublished.Load(name)
+	if !ok {
+		t.Fatal("name not tracked")
+	}
+	if got := v.(*registrySlot).reg.Load().Snapshot().Counter("x"); got != 2 {
+		t.Errorf("expvar still bound to old registry (x=%d)", got)
+	}
+}

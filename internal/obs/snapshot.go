@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// MetricValue is one named counter or gauge reading.
+type MetricValue struct {
+	Name  string `json:"name"`
+	Value int64  `json:"value"`
+}
+
+// HistogramValue is one histogram reading: cumulative-free bucket counts
+// parallel to Bounds, plus the +Inf overflow count in the final slot.
+type HistogramValue struct {
+	Name   string    `json:"name"`
+	Count  int64     `json:"count"`
+	Sum    float64   `json:"sum"`
+	Bounds []float64 `json:"bounds"`
+	Counts []int64   `json:"counts"`
+}
+
+// Mean returns the mean observed value (0 when empty).
+func (h HistogramValue) Mean() float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	return h.Sum / float64(h.Count)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) by linear interpolation
+// inside the bucket containing it. Values beyond the last bound are
+// reported as the last bound — fixed-bucket histograms cannot see further.
+func (h HistogramValue) Quantile(q float64) float64 {
+	if h.Count == 0 || len(h.Bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(h.Count)
+	var cum int64
+	lower := 0.0
+	for i, c := range h.Counts {
+		if i >= len(h.Bounds) {
+			return h.Bounds[len(h.Bounds)-1]
+		}
+		upper := h.Bounds[i]
+		if float64(cum+c) >= rank {
+			if c == 0 {
+				return upper
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			return lower + (upper-lower)*frac
+		}
+		cum += c
+		lower = upper
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry, sorted
+// by name. It is plain data: safe to retain, compare, and serialise.
+type Snapshot struct {
+	Counters   []MetricValue    `json:"counters"`
+	Gauges     []MetricValue    `json:"gauges"`
+	Histograms []HistogramValue `json:"histograms"`
+}
+
+// Counter returns the named counter's value (0 when absent).
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Value
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's value (0 when absent).
+func (s Snapshot) Gauge(name string) int64 {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g.Value
+		}
+	}
+	return 0
+}
+
+// Histogram returns the named histogram's reading and whether it exists.
+func (s Snapshot) Histogram(name string) (HistogramValue, bool) {
+	for _, h := range s.Histograms {
+		if h.Name == name {
+			return h, true
+		}
+	}
+	return HistogramValue{}, false
+}
+
+// Snapshot captures the registry. Concurrent updates during the copy may
+// land in either side of the cut (each metric is read atomically); for an
+// exact cut, snapshot a quiescent registry. A nil registry yields the
+// empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var out Snapshot
+	if r == nil {
+		return out
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out.Counters = make([]MetricValue, 0, len(r.counters))
+	for name, c := range r.counters {
+		out.Counters = append(out.Counters, MetricValue{Name: name, Value: c.v.Load()})
+	}
+	out.Gauges = make([]MetricValue, 0, len(r.gauges))
+	for name, g := range r.gauges {
+		out.Gauges = append(out.Gauges, MetricValue{Name: name, Value: g.v.Load()})
+	}
+	out.Histograms = make([]HistogramValue, 0, len(r.histograms))
+	for name, h := range r.histograms {
+		hv := HistogramValue{
+			Name:   name,
+			Count:  h.count.Load(),
+			Sum:    h.sum.load(),
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: make([]int64, len(h.counts)),
+		}
+		for i := range h.counts {
+			hv.Counts[i] = h.counts[i].Load()
+		}
+		out.Histograms = append(out.Histograms, hv)
+	}
+	sort.Slice(out.Counters, func(i, j int) bool { return out.Counters[i].Name < out.Counters[j].Name })
+	sort.Slice(out.Gauges, func(i, j int) bool { return out.Gauges[i].Name < out.Gauges[j].Name })
+	sort.Slice(out.Histograms, func(i, j int) bool { return out.Histograms[i].Name < out.Histograms[j].Name })
+	return out
+}
+
+// WriteText renders the snapshot in the one-metric-per-line form the
+// per-run reports and the /metrics endpoint use:
+//
+//	counter   cell1.sniffer.candidates 843021
+//	gauge     experiments.workers_active 0
+//	histogram pipeline.forest.batch_ms count=42 sum=918.400 mean=21.867 p50=18.21 p95=49.30 p99=88.75
+func (s Snapshot) WriteText(w io.Writer) error {
+	for _, c := range s.Counters {
+		if _, err := fmt.Fprintf(w, "counter   %s %d\n", c.Name, c.Value); err != nil {
+			return err
+		}
+	}
+	for _, g := range s.Gauges {
+		if _, err := fmt.Fprintf(w, "gauge     %s %d\n", g.Name, g.Value); err != nil {
+			return err
+		}
+	}
+	for _, h := range s.Histograms {
+		if _, err := fmt.Fprintf(w, "histogram %s count=%d sum=%.3f mean=%.3f p50=%.2f p95=%.2f p99=%.2f\n",
+			h.Name, h.Count, h.Sum, h.Mean(), h.Quantile(0.50), h.Quantile(0.95), h.Quantile(0.99)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteText renders the registry's current state as text (see
+// Snapshot.WriteText).
+func (r *Registry) WriteText(w io.Writer) error { return r.Snapshot().WriteText(w) }
+
+// Dump renders the registry's current state as indented JSON.
+func (r *Registry) Dump(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}

@@ -21,6 +21,7 @@ import (
 	"ltefp/internal/lte/phy"
 	"ltefp/internal/lte/rnti"
 	"ltefp/internal/lte/rrc"
+	"ltefp/internal/obs"
 	"ltefp/internal/sim"
 	"ltefp/internal/trace"
 )
@@ -38,6 +39,10 @@ type Config struct {
 	// Down+Up setting).
 	DownlinkOnly bool
 	UplinkOnly   bool
+	// Metrics, when enabled, receives decode-health counters under this
+	// scope (candidates, crc_matches, lost, corrupt_caught, ...). The zero
+	// Scope disables instrumentation at no cost.
+	Metrics obs.Scope
 }
 
 // IdentityEvent is an RNTI↔TMSI binding observed in plaintext during
@@ -59,6 +64,29 @@ type PagingEvent struct {
 	TMSI   uint32
 }
 
+// Stats are a sniffer's capture-health counters. Candidates counts every
+// PDCCH transmission the sniffer was offered; the remaining fields
+// partition what became of them.
+type Stats struct {
+	// Candidates is the number of PDCCH candidates scanned (including ones
+	// subsequently lost or rejected).
+	Candidates int64
+	// Captured is the number of user-plane records kept.
+	Captured int64
+	// Dropped is the number of candidates lost to the capture-loss model.
+	Dropped int64
+	// Corrupted is the number of payloads the corruption model bit-flipped.
+	Corrupted int64
+	// CorruptCaught counts corrupted payloads rejected at the decode stage
+	// (CRC/format check), CorruptLeaked the ones that decoded anyway and
+	// entered the record stream as ghost RNTIs for the plausibility filter.
+	CorruptCaught int64
+	CorruptLeaked int64
+	// ParseRejects is the number of candidates (corrupted or not) that
+	// failed DCI validation.
+	ParseRejects int64
+}
+
 // Sniffer captures one cell's PDCCH. It implements enb.Observer.
 type Sniffer struct {
 	cfg Config
@@ -69,8 +97,40 @@ type Sniffer struct {
 	pagings  []PagingEvent
 	activity map[rnti.RNTI]*Activity
 
-	captured int64
-	dropped  int64
+	stats Stats
+	m     snifferMetrics
+}
+
+// snifferMetrics caches the scope's counter handles; with a disabled scope
+// every field is nil and each update is a no-op method on a nil pointer.
+type snifferMetrics struct {
+	candidates          *obs.Counter
+	crcMatches          *obs.Counter
+	lost                *obs.Counter
+	corrupted           *obs.Counter
+	corruptCaught       *obs.Counter
+	corruptLeaked       *obs.Counter
+	parseRejects        *obs.Counter
+	records             *obs.Counter
+	plausibilityRejects *obs.Counter
+	identityEvents      *obs.Counter
+	pagingEvents        *obs.Counter
+}
+
+func newSnifferMetrics(sc obs.Scope) snifferMetrics {
+	return snifferMetrics{
+		candidates:          sc.Counter("candidates"),
+		crcMatches:          sc.Counter("crc_matches"),
+		lost:                sc.Counter("lost"),
+		corrupted:           sc.Counter("corrupted"),
+		corruptCaught:       sc.Counter("corrupt_caught"),
+		corruptLeaked:       sc.Counter("corrupt_leaked"),
+		parseRejects:        sc.Counter("parse_rejects"),
+		records:             sc.Counter("records"),
+		plausibilityRejects: sc.Counter("plausibility_rejects"),
+		identityEvents:      sc.Counter("identity_events"),
+		pagingEvents:        sc.Counter("paging_events"),
+	}
 }
 
 // Activity summarises how often and when an RNTI was seen — the OWL-style
@@ -87,6 +147,7 @@ func New(cfg Config, rng *sim.RNG) *Sniffer {
 		cfg:      cfg,
 		rng:      rng,
 		activity: make(map[rnti.RNTI]*Activity),
+		m:        newSnifferMetrics(cfg.Metrics),
 	}
 }
 
@@ -95,8 +156,11 @@ func (s *Sniffer) Observe(cellID int, sf *phy.Subframe) {
 	at := time.Duration(sf.Index) * sim.TTI
 	for i := range sf.PDCCH {
 		tx := &sf.PDCCH[i]
+		s.stats.Candidates++
+		s.m.candidates.Inc()
 		if s.cfg.LossProb > 0 && s.rng.Bool(s.cfg.LossProb) {
-			s.dropped++
+			s.stats.Dropped++
+			s.m.lost.Inc()
 			continue
 		}
 		payload := tx.Payload
@@ -104,11 +168,25 @@ func (s *Sniffer) Observe(cellID int, sf *phy.Subframe) {
 		corrupted := s.cfg.CorruptProb > 0 && s.rng.Bool(s.cfg.CorruptProb)
 		if corrupted {
 			payload = s.corrupt(payload)
+			s.stats.Corrupted++
+			s.m.corrupted.Inc()
 		}
 		r := rnti.RNTI(crc.RecoverRNTI(payload, maskedCRC))
 		msg, err := dci.Parse(payload)
 		if err != nil {
-			continue // undecodable candidate, as a real blind decoder skips
+			// Undecodable candidate, as a real blind decoder skips.
+			s.stats.ParseRejects++
+			s.m.parseRejects.Inc()
+			if corrupted {
+				s.stats.CorruptCaught++
+				s.m.corruptCaught.Inc()
+			}
+			continue
+		}
+		s.m.crcMatches.Inc()
+		if corrupted {
+			s.stats.CorruptLeaked++
+			s.m.corruptLeaked.Inc()
 		}
 		// Plaintext pre-security content rides on uncorrupted frames only.
 		if !corrupted {
@@ -128,7 +206,8 @@ func (s *Sniffer) Observe(cellID int, sf *phy.Subframe) {
 		if err != nil {
 			continue
 		}
-		s.captured++
+		s.stats.Captured++
+		s.m.records.Inc()
 		s.records = append(s.records, trace.Record{
 			At:     at,
 			CellID: cellID,
@@ -158,6 +237,7 @@ func (s *Sniffer) inspectPlaintext(at time.Duration, cellID int, r rnti.RNTI, pl
 		if s.cfg.DownlinkOnly {
 			return // msg3 content rides on the PUSCH
 		}
+		s.m.identityEvents.Inc()
 		s.ids = append(s.ids, IdentityEvent{
 			At:      at,
 			CellID:  cellID,
@@ -169,6 +249,7 @@ func (s *Sniffer) inspectPlaintext(at time.Duration, cellID int, r rnti.RNTI, pl
 		if s.cfg.UplinkOnly {
 			return // msg4 rides on the PDSCH
 		}
+		s.m.identityEvents.Inc()
 		s.ids = append(s.ids, IdentityEvent{
 			At:      at,
 			CellID:  cellID,
@@ -181,6 +262,7 @@ func (s *Sniffer) inspectPlaintext(at time.Duration, cellID int, r rnti.RNTI, pl
 			return
 		}
 		for _, rec := range m.Records {
+			s.m.pagingEvents.Inc()
 			s.pagings = append(s.pagings, PagingEvent{At: at, CellID: cellID, TMSI: rec.TMSI})
 		}
 	}
@@ -207,6 +289,8 @@ func (s *Sniffer) ValidatedRecords(minCount int) trace.Trace {
 	for _, r := range s.records {
 		if a := s.activity[r.RNTI]; a != nil && a.Count >= minCount {
 			out = append(out, r)
+		} else {
+			s.m.plausibilityRejects.Inc()
 		}
 	}
 	return out
@@ -231,9 +315,8 @@ func (s *Sniffer) ActiveRNTIs(now, window time.Duration) []rnti.RNTI {
 	return out
 }
 
-// Stats reports capture counters: decoded user-plane records and messages
-// lost to the capture model.
-func (s *Sniffer) Stats() (captured, dropped int64) { return s.captured, s.dropped }
+// Stats reports the capture-health counters accumulated so far.
+func (s *Sniffer) Stats() Stats { return s.stats }
 
 func sortRNTIs(rs []rnti.RNTI) {
 	for i := 1; i < len(rs); i++ {

@@ -69,12 +69,15 @@ func TestLosslessCaptureIsComplete(t *testing.T) {
 	if bytes < 70000 {
 		t.Fatalf("captured %d bytes, want at least the 70000 delivered", bytes)
 	}
-	captured, dropped := s.Stats()
-	if dropped != 0 {
-		t.Fatalf("lossless sniffer dropped %d", dropped)
+	st := s.Stats()
+	if st.Dropped != 0 {
+		t.Fatalf("lossless sniffer dropped %d", st.Dropped)
 	}
-	if captured != int64(len(recs)) {
-		t.Fatalf("Stats captured %d != %d records", captured, len(recs))
+	if st.Captured != int64(len(recs)) {
+		t.Fatalf("Stats captured %d != %d records", st.Captured, len(recs))
+	}
+	if st.Candidates < st.Captured {
+		t.Fatalf("scanned %d candidates < %d captured", st.Candidates, st.Captured)
 	}
 }
 
@@ -125,7 +128,7 @@ func TestLossDropsRecords(t *testing.T) {
 		t.Fatalf("lossy sniffer captured %d >= lossless %d",
 			len(lossy.Records()), len(full.Records()))
 	}
-	if _, dropped := lossy.Stats(); dropped == 0 {
+	if lossy.Stats().Dropped == 0 {
 		t.Fatal("lossy sniffer reports zero drops")
 	}
 }
