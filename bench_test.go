@@ -16,6 +16,7 @@ import (
 	"ltefp/internal/appmodel"
 	"ltefp/internal/attack/fingerprint"
 	"ltefp/internal/experiments"
+	"ltefp/internal/features"
 	"ltefp/internal/lte/crc"
 	"ltefp/internal/lte/dci"
 	"ltefp/internal/lte/operator"
@@ -377,7 +378,8 @@ func BenchmarkDTWAligner(b *testing.B) {
 }
 
 // BenchmarkWindowExtraction measures trace windowing plus feature
-// extraction for one 60-second capture.
+// extraction for one 60-second capture through the reused dataset buffer
+// (features.Extractor.FromTraceInto), the steady-state extraction path.
 func BenchmarkWindowExtraction(b *testing.B) {
 	app, err := appmodel.ByName("YouTube")
 	if err != nil {
@@ -394,9 +396,11 @@ func BenchmarkWindowExtraction(b *testing.B) {
 		b.Fatal(err)
 	}
 	tr := traces[0]
+	e := features.NewExtractor()
+	var buf [][]float64
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		_ = fingerprint.WindowVectors(tr, fingerprint.DefaultWindow, fingerprint.DefaultWindow)
+		buf = e.FromTraceInto(buf[:0], tr, fingerprint.DefaultWindow, fingerprint.DefaultWindow)
 	}
 }
 

@@ -122,7 +122,23 @@ func Collect(spec CollectSpec) ([][]float64, error) {
 	return out, nil
 }
 
-// collectOne records a single session and returns the victim's trace.
+// CollectTrace records the campaign's single numbered session and returns
+// the victim's trace. It is the unit of work CollectTraces parallelises;
+// experiment runners that already fan campaigns out over a worker pool
+// call it directly, one task per (campaign, session) pair, instead of
+// nesting a second layer of goroutines.
+func CollectTrace(spec CollectSpec, session int) (trace.Trace, error) {
+	spec, err := spec.normalize()
+	if err != nil {
+		return nil, err
+	}
+	return collectOne(spec, session)
+}
+
+// collectOne records a single session and returns the victim's trace. The
+// capture behind it is memoized (capture.RunCached), so replaying the same
+// campaign — a re-run benchmark, a sweep re-using a setting's captures —
+// skips the simulation and re-reads the immutable cached capture.
 func collectOne(spec CollectSpec, session int) (trace.Trace, error) {
 	seed := spec.Seed*0x9E3779B9 + uint64(session)*0x85EBCA77 + 1
 	sess := capture.Session{
@@ -136,7 +152,7 @@ func collectOne(spec CollectSpec, session int) (trace.Trace, error) {
 	if spec.BackgroundApps > 0 {
 		sess.Arrivals = mergedArrivals(spec, seed)
 	}
-	res, err := capture.Run(capture.Scenario{
+	res, err := capture.RunCached(capture.Scenario{
 		Seed:             seed,
 		Cells:            []capture.Cell{{ID: 1, Profile: spec.Profile}},
 		Sessions:         []capture.Session{sess},

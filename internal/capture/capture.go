@@ -27,6 +27,23 @@ import (
 // an RNTI seen fewer times is treated as a decode artefact.
 const minRNTISightings = 3
 
+// cellScopeNames pre-renders the metric scope names of small cell IDs so
+// metrics-enabled runs do not Sprintf per capture.
+var cellScopeNames = func() [32]string {
+	var out [32]string
+	for i := range out {
+		out[i] = fmt.Sprintf("cell%d", i)
+	}
+	return out
+}()
+
+func cellScopeName(id int) string {
+	if id >= 0 && id < len(cellScopeNames) {
+		return cellScopeNames[id]
+	}
+	return fmt.Sprintf("cell%d", id)
+}
+
 // Session is one application run by one UE in one cell.
 type Session struct {
 	// UE names the user equipment; UEs are created on first mention.
@@ -114,7 +131,7 @@ func Run(sc Scenario) (*Capture, error) {
 			cfg.LossProb = cs.Profile.CaptureLoss
 		}
 		if sc.Metrics.Enabled() {
-			cellScope := sc.Metrics.Scope(fmt.Sprintf("cell%d", cs.ID))
+			cellScope := sc.Metrics.Scope(cellScopeName(cs.ID))
 			cfg.Metrics = cellScope.Scope("sniffer")
 			cell.SetMetrics(cellScope.Scope("enb"))
 		}
@@ -155,8 +172,13 @@ func Run(sc Scenario) (*Capture, error) {
 	n.Run(end + settle)
 
 	out := &Capture{TMSIs: make(map[string][]uint32, len(ues))}
+	total := 0
 	for _, s := range sniffers {
-		out.Records = append(out.Records, s.ValidatedRecords(minRNTISightings)...)
+		total += len(s.Records())
+	}
+	out.Records = make(trace.Trace, 0, total)
+	for _, s := range sniffers {
+		out.Records = s.AppendValidated(out.Records, minRNTISightings)
 		out.Events = append(out.Events, s.IdentityEvents()...)
 		out.Pagings = append(out.Pagings, s.PagingEvents()...)
 		st := s.Stats()

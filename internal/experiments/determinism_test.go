@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"ltefp/internal/capture"
 	"ltefp/internal/obs"
 )
 
@@ -32,12 +33,17 @@ func tinyScale() Scale {
 // byte-identical to serial execution: every cell derives its own seed, so
 // the worker schedule must not be able to influence any metric.
 func TestTableIIISerialParallelIdentical(t *testing.T) {
+	capture.ResetCache()
 	restore := SetWorkers(1)
 	serial, err := TableIII(tinyScale(), 3)
 	restore()
 	if err != nil {
 		t.Fatal(err)
 	}
+	// Drop the memoized captures so the parallel run actually re-simulates;
+	// otherwise it would just re-read the serial run's cached captures and
+	// the comparison would prove nothing about the worker schedule.
+	capture.ResetCache()
 	restore = SetWorkers(8)
 	parallel, err := TableIII(tinyScale(), 3)
 	restore()

@@ -21,6 +21,7 @@ import (
 	"ltefp/internal/ml/metrics"
 	"ltefp/internal/sim"
 	"ltefp/internal/sniffer"
+	"ltefp/internal/trace"
 )
 
 // Scale sizes the data-collection campaigns behind the experiments.
@@ -149,17 +150,49 @@ func (d appData) trainTest() (train, test [][]float64) {
 	return all[:cut], all[cut:]
 }
 
+// collectAppTraces records one campaign per app, fanning the individual
+// session captures out over the experiment worker pool as one flat
+// (app, session) task list. The runners' outer loops previously handed a
+// whole campaign to fingerprint's own goroutine pool, stacking two layers
+// of GOMAXPROCS-wide parallelism; flattening keeps generation parallel
+// while bounding it to the one shared pool. Results are index-addressed,
+// so output is independent of the worker schedule.
+func collectAppTraces(label string, apps []appmodel.App, specFor func(i int) fingerprint.CollectSpec) ([][]trace.Trace, error) {
+	specs := make([]fingerprint.CollectSpec, len(apps))
+	out := make([][]trace.Trace, len(apps))
+	type task struct{ app, session int }
+	var tasks []task
+	for i := range apps {
+		specs[i] = specFor(i)
+		out[i] = make([]trace.Trace, specs[i].Sessions)
+		for j := 0; j < specs[i].Sessions; j++ {
+			tasks = append(tasks, task{app: i, session: j})
+		}
+	}
+	err := forEach(len(tasks), func(k int) error {
+		t := tasks[k]
+		tr, err := fingerprint.CollectTrace(specs[t.app], t.session)
+		if err != nil {
+			return fmt.Errorf("experiments: %s: %s session %d: %w", label, apps[t.app].Name, t.session, err)
+		}
+		out[t.app][t.session] = tr
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // collectSetting records the full nine-app campaign for one network
 // setting and sniffer configuration.
 func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64, cfg sniffer.Config) ([]appData, error) {
 	apps := appmodel.Apps()
-	out := make([]appData, len(apps))
-	err := forEach(len(apps), func(i int) error {
-		app := apps[i]
-		sessions, dur := scale.sessionsFor(app)
-		perSession, err := fingerprint.CollectPerSession(fingerprint.CollectSpec{
+	traces, err := collectAppTraces("collecting on "+profile.Name, apps, func(i int) fingerprint.CollectSpec {
+		sessions, dur := scale.sessionsFor(apps[i])
+		return fingerprint.CollectSpec{
 			Profile:          profile,
-			App:              app,
+			App:              apps[i],
 			Sessions:         sessions,
 			SessionDur:       dur,
 			Day:              day,
@@ -167,15 +200,18 @@ func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64,
 			Sniffer:          cfg,
 			ApplyProfileLoss: true,
 			Metrics:          pipelineScope(),
-		})
-		if err != nil {
-			return fmt.Errorf("experiments: collecting %s on %s: %w", app.Name, profile.Name, err)
 		}
-		out[i] = appData{app: app, sessions: perSession}
-		return nil
 	})
 	if err != nil {
 		return nil, err
+	}
+	out := make([]appData, len(apps))
+	for i, app := range apps {
+		perSession := make([][][]float64, len(traces[i]))
+		for j, t := range traces[i] {
+			perSession[j] = fingerprint.WindowVectors(t, fingerprint.DefaultWindow, fingerprint.DefaultWindow)
+		}
+		out[i] = appData{app: app, sessions: perSession}
 	}
 	return out, nil
 }

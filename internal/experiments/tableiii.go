@@ -53,25 +53,18 @@ type TableIIIResult struct {
 func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 	lab := operator.Lab()
 	apps := appmodel.Apps()
-	traces := make([][]trace.Trace, len(apps))
-	err := forEach(len(apps), func(i int) error {
-		app := apps[i]
-		sessions, dur := scale.sessionsFor(app)
-		tr, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
+	traces, err := collectAppTraces("table III", apps, func(i int) fingerprint.CollectSpec {
+		sessions, dur := scale.sessionsFor(apps[i])
+		return fingerprint.CollectSpec{
 			Profile:          lab,
-			App:              app,
+			App:              apps[i],
 			Sessions:         sessions,
 			SessionDur:       dur,
 			Seed:             seed + uint64(i+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption},
 			ApplyProfileLoss: true,
 			Metrics:          pipelineScope(),
-		})
-		if err != nil {
-			return fmt.Errorf("experiments: table III: %s: %w", app.Name, err)
 		}
-		traces[i] = tr
-		return nil
 	})
 	if err != nil {
 		return nil, err

@@ -9,7 +9,6 @@ import (
 	"ltefp/internal/attack/fingerprint"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/sniffer"
-	"ltefp/internal/trace"
 )
 
 // WindowSweepPoint is one candidate window size's outcome.
@@ -46,30 +45,23 @@ func (r *WindowSweepResult) Best() WindowSweepPoint {
 func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
 	prof := operator.TMobile()
 	apps := appmodel.Apps()
-	traces := make([][]trace.Trace, len(apps))
 	var totalSpan time.Duration
 	for _, app := range apps {
 		sessions, dur := scale.sessionsFor(app)
 		totalSpan += time.Duration(sessions) * dur
 	}
-	err := forEach(len(apps), func(i int) error {
-		app := apps[i]
-		sessions, dur := scale.sessionsFor(app)
-		tr, err := fingerprint.CollectTraces(fingerprint.CollectSpec{
+	traces, err := collectAppTraces("window sweep", apps, func(i int) fingerprint.CollectSpec {
+		sessions, dur := scale.sessionsFor(apps[i])
+		return fingerprint.CollectSpec{
 			Profile:          prof,
-			App:              app,
+			App:              apps[i],
 			Sessions:         sessions,
 			SessionDur:       dur,
 			Seed:             seed + 52289 + uint64(i+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
 			ApplyProfileLoss: true,
 			Metrics:          pipelineScope(),
-		})
-		if err != nil {
-			return fmt.Errorf("experiments: window sweep: %s: %w", app.Name, err)
 		}
-		traces[i] = tr
-		return nil
 	})
 	if err != nil {
 		return nil, err

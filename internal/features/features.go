@@ -88,6 +88,7 @@ const gapCapMilliseconds = 10000
 type Extractor struct {
 	sizes []float64
 	occ   []uint64
+	wins  []trace.Window
 }
 
 // NewExtractor returns an Extractor with empty scratch state.
@@ -102,13 +103,28 @@ func FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
 
 // FromTrace is the package-level FromTrace reusing the extractor's scratch.
 func (e *Extractor) FromTrace(t trace.Trace, width, stride time.Duration) [][]float64 {
+	return e.FromTraceInto(nil, t, width, stride)
+}
+
+// FromTraceInto is FromTrace appending into dst. Pass the previous call's
+// return value resliced to zero length (buf = e.FromTraceInto(buf[:0], ...))
+// and the extractor recycles both dst's row slices and its internal window
+// scratch, making sustained extraction of same-sized traces allocation-free.
+// Rows still owned by dst's backing array beyond its length are reused in
+// place, so callers must not retain rows across reuse cycles.
+func (e *Extractor) FromTraceInto(dst [][]float64, t trace.Trace, width, stride time.Duration) [][]float64 {
 	m := activeMetrics.Load()
 	var timer obs.Timer
 	if m != nil {
 		timer = m.extractMS.Start()
 	}
-	ws := t.Windows(width, stride)
-	out := make([][]float64, 0, len(ws))
+	ws := t.WindowsInto(e.wins[:0], width, stride)
+	e.wins = ws
+	out := dst
+	if out == nil {
+		out = make([][]float64, 0, len(ws))
+	}
+	base := len(out)
 	recIdx := 0 // first record at or after the current window start
 	lo := 0     // first record inside the trailing 1 s horizon
 	lo3 := 0    // first record inside the trailing 3 s horizon
@@ -127,7 +143,20 @@ func (e *Extractor) FromTrace(t trace.Trace, width, stride time.Duration) [][]fl
 		if len(w.Records) == 0 {
 			continue
 		}
-		v := make([]float64, TotalDim)
+		// Recycle the row slice parked past dst's length by an earlier
+		// cycle, if there is one; otherwise allocate a fresh row.
+		var v []float64
+		if n := len(out); n < cap(out) {
+			if r := out[:n+1][n]; cap(r) >= TotalDim {
+				v = r[:TotalDim]
+				for i := range v {
+					v[i] = 0
+				}
+			}
+		}
+		if v == nil {
+			v = make([]float64, TotalDim)
+		}
 		e.fromWindowInto(v[:Dim], w, width)
 
 		gap := float64(gapCapMilliseconds)
@@ -174,7 +203,7 @@ func (e *Extractor) FromTrace(t trace.Trace, width, stride time.Duration) [][]fl
 		prevBytes = v[3]
 	}
 	if m != nil {
-		m.rows.Add(int64(len(out)))
+		m.rows.Add(int64(len(out) - base))
 		timer.Stop()
 	}
 	return out

@@ -139,3 +139,60 @@ func TestFromWindowsMatrix(t *testing.T) {
 		t.Fatalf("matrix rows %d, windows %d", len(m), len(ws))
 	}
 }
+
+// synthTrace builds a deterministic busy trace spanning roughly n*spacing.
+func synthTrace(n int, spacing time.Duration) trace.Trace {
+	tr := make(trace.Trace, n)
+	for i := 0; i < n; i++ {
+		dir := dci.Downlink
+		if i%3 == 0 {
+			dir = dci.Uplink
+		}
+		tr[i] = trace.Record{At: time.Duration(i) * spacing, Dir: dir, Bytes: 100 + i%700}
+	}
+	return tr
+}
+
+func TestFromTraceIntoMatchesFromTrace(t *testing.T) {
+	tr := synthTrace(5000, 7*ms)
+	want := features.FromTrace(tr, 100*ms, 100*ms)
+
+	e := features.NewExtractor()
+	var buf [][]float64
+	// Two cycles: the second reuses the first's rows, and must still be
+	// identical to the fresh extraction.
+	for cycle := 0; cycle < 2; cycle++ {
+		buf = e.FromTraceInto(buf[:0], tr, 100*ms, 100*ms)
+		if len(buf) != len(want) {
+			t.Fatalf("cycle %d: %d rows, want %d", cycle, len(buf), len(want))
+		}
+		for i := range buf {
+			for j := range buf[i] {
+				if buf[i][j] != want[i][j] {
+					t.Fatalf("cycle %d: row %d feature %d = %v, want %v",
+						cycle, i, j, buf[i][j], want[i][j])
+				}
+			}
+		}
+	}
+}
+
+// TestFromTraceIntoAllocationFree is the regression guard for the reused
+// dataset buffer: once warmed, re-extracting a same-sized trace must not
+// allocate at all (window scratch, row slices, and size/occupancy scratch
+// are all recycled).
+func TestFromTraceIntoAllocationFree(t *testing.T) {
+	tr := synthTrace(5000, 7*ms)
+	e := features.NewExtractor()
+	var buf [][]float64
+	buf = e.FromTraceInto(buf[:0], tr, 100*ms, 100*ms) // warm the scratch
+	if len(buf) == 0 {
+		t.Fatal("synthetic trace produced no windows")
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		buf = e.FromTraceInto(buf[:0], tr, 100*ms, 100*ms)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state FromTraceInto allocates %v objects/run, want 0", allocs)
+	}
+}

@@ -171,8 +171,22 @@ func unriv(v uint32) (rbStart, nprb int, err error) {
 // flag=0 selects format 0, flag=1 selects format 1A, mirroring the real
 // format 0/1A differentiation bit.
 func (m *Message) Pack() ([]byte, error) {
-	if err := m.Validate(); err != nil {
+	out := make([]byte, PayloadLen)
+	if err := m.PackInto(out); err != nil {
 		return nil, err
+	}
+	return out, nil
+}
+
+// PackInto serialises the message into out, which must be exactly
+// PayloadLen bytes. It produces the same bytes as Pack without allocating,
+// for schedulers that pack into a reused payload arena.
+func (m *Message) PackInto(out []byte) error {
+	if len(out) != PayloadLen {
+		return fmt.Errorf("dci: pack buffer length %d, want %d", len(out), PayloadLen)
+	}
+	if err := m.Validate(); err != nil {
+		return err
 	}
 	var bits uint32
 	if m.Format == Format1A {
@@ -189,12 +203,11 @@ func (m *Message) Pack() ([]byte, error) {
 	bits = bits<<2 | uint32(m.RV)&0x3
 	bits = bits<<2 | uint32(m.TPC)&0x3
 	bits <<= 5 // padding to 32 bits
-	out := make([]byte, PayloadLen)
 	out[0] = byte(bits >> 24)
 	out[1] = byte(bits >> 16)
 	out[2] = byte(bits >> 8)
 	out[3] = byte(bits)
-	return out, nil
+	return nil
 }
 
 // Parse deserialises a payload produced by Pack.

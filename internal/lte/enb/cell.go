@@ -64,7 +64,10 @@ type Cell struct {
 	rng   *sim.RNG
 	alloc *rnti.Allocator
 
-	byRNTI map[rnti.RNTI]*ueCtx
+	// byRNTI is a dense RNTI-indexed context table (the RNTI space is
+	// 16-bit): per-connection lookups and releases touch one slot instead
+	// of churning a map.
+	byRNTI []*ueCtx
 	byUE   map[*ue.UE]*ueCtx
 	order  []*ueCtx // deterministic scheduling order
 	rrPtr  int      // round-robin rotation pointer
@@ -77,6 +80,16 @@ type Cell struct {
 	observers []Observer
 
 	cur *builder // subframe under assembly; valid only inside Tick
+
+	// Per-TTI scratch, reused across Ticks so steady-state subframe
+	// assembly does not allocate: the subframe returned by Tick, the CCE
+	// occupancy map, the builder, and the arena backing DCI payloads. All
+	// of it is invalidated by the next Tick, which is why observers must
+	// not retain subframes.
+	sf    phy.Subframe
+	cce   phy.CCEMap
+	bld   builder
+	arena []byte
 
 	// stats
 	grantsDL, grantsUL int64
@@ -106,11 +119,16 @@ type cellMetrics struct {
 // per-TTI PRB-utilisation histograms (fraction of the cell's PRBs charged,
 // per direction), queue-depth and connected-UE gauges, and grant/padding/
 // PDCCH-blocking counters. A disabled scope turns instrumentation off.
+// fracBuckets is the shared bucket layout of the PRB-utilisation
+// histograms; registration copies it, so sharing one slice across cells
+// keeps repeated SetMetrics calls allocation-free.
+var fracBuckets = obs.FractionBuckets()
+
 func (c *Cell) SetMetrics(sc obs.Scope) {
 	c.m = cellMetrics{
 		enabled:       sc.Enabled(),
-		prbUtilDL:     sc.Histogram("prb_util_dl", obs.FractionBuckets()),
-		prbUtilUL:     sc.Histogram("prb_util_ul", obs.FractionBuckets()),
+		prbUtilDL:     sc.Histogram("prb_util_dl", fracBuckets),
+		prbUtilUL:     sc.Histogram("prb_util_ul", fracBuckets),
 		queueDepth:    sc.Gauge("queue_depth_bytes"),
 		connected:     sc.Gauge("connected_ues"),
 		grantsDL:      sc.Counter("grants_dl"),
@@ -132,7 +150,7 @@ func NewCell(id int, p operator.Profile, core *epc.Core, rng *sim.RNG) (*Cell, e
 		core:      core,
 		rng:       rng,
 		alloc:     rnti.NewAllocator(rng),
-		byRNTI:    make(map[rnti.RNTI]*ueCtx),
+		byRNTI:    make([]*ueCtx, 1<<16),
 		byUE:      make(map[*ue.UE]*ueCtx),
 		dlPending: make(map[*ue.UE]int),
 	}, nil
@@ -370,7 +388,7 @@ func (c *Cell) release(ctx *ueCtx, withMessage bool) {
 		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
 	}
 	ctx.state = ctxReleased
-	delete(c.byRNTI, ctx.rnti)
+	c.byRNTI[ctx.rnti] = nil
 	delete(c.byUE, ctx.ue)
 	c.alloc.Release(ctx.rnti)
 	if ctx.ue.CellID == c.ID {

@@ -14,13 +14,20 @@ import (
 	"ltefp/internal/sim"
 )
 
-// recorder captures every subframe a cell transmits.
+// recorder captures every subframe a cell transmits. Tick's subframe is
+// cell-owned scratch, so the recorder deep-copies what it wants to keep.
 type recorder struct {
 	subframes []*phy.Subframe
 }
 
 func (r *recorder) Observe(_ int, sf *phy.Subframe) {
-	r.subframes = append(r.subframes, sf)
+	cp := &phy.Subframe{Index: sf.Index}
+	for _, tx := range sf.PDCCH {
+		tx.Payload = append([]byte(nil), tx.Payload...)
+		cp.PDCCH = append(cp.PDCCH, tx)
+	}
+	cp.RACH = append(cp.RACH, sf.RACH...)
+	r.subframes = append(r.subframes, cp)
 }
 
 // plaintexts returns the non-nil plaintext payloads in transmission order.

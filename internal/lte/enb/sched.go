@@ -26,11 +26,20 @@ type builder struct {
 
 // Tick advances the cell by one subframe and returns everything it put on
 // the air. The caller must invoke Tick exactly once per TTI in time order.
+// The returned subframe (including the DCI payload bytes it references) is
+// scratch owned by the cell and is overwritten by the next Tick; observers
+// needing it longer must deep-copy it.
 func (c *Cell) Tick(now time.Duration) *phy.Subframe {
-	b := &builder{
-		sf:        &phy.Subframe{Index: int64(now / sim.TTI)},
+	c.sf.Index = int64(now / sim.TTI)
+	c.sf.PDCCH = c.sf.PDCCH[:0]
+	c.sf.RACH = c.sf.RACH[:0]
+	c.cce.Reset(c.Profile.NCCE)
+	c.arena = c.arena[:0]
+	b := &c.bld
+	*b = builder{
+		sf:        &c.sf,
 		now:       now,
-		cce:       phy.NewCCEMap(c.Profile.NCCE),
+		cce:       &c.cce,
 		dlPRBLeft: c.Profile.PRBs,
 		ulPRBLeft: c.Profile.PRBs,
 	}
@@ -128,8 +137,15 @@ func (b *builder) tryEmit(c *Cell, r rnti.RNTI, f dci.Format, agg, nprb, mcs int
 		NDI:     true,
 		TPC:     1,
 	}
-	payload, err := msg.Pack()
-	if err != nil {
+	// Pack into the cell-owned payload arena: slices into it stay valid for
+	// the rest of the tick even if a later append regrows the arena, and
+	// the whole arena is reused next tick.
+	off := len(c.arena)
+	for i := 0; i < dci.PayloadLen; i++ {
+		c.arena = append(c.arena, 0)
+	}
+	payload := c.arena[off : off+dci.PayloadLen : off+dci.PayloadLen]
+	if err := msg.PackInto(payload); err != nil {
 		// A packing failure is a scheduler bug, not a runtime condition.
 		panic("enb: packing DCI: " + err.Error())
 	}
@@ -342,7 +358,7 @@ func (c *Cell) refreshRNTIs(now time.Duration) {
 		}
 		// Encrypted RRCConnectionReconfiguration on the old identity.
 		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
-		delete(c.byRNTI, ctx.rnti)
+		c.byRNTI[ctx.rnti] = nil
 		c.alloc.Release(ctx.rnti)
 		ctx.rnti = fresh
 		ctx.rntiAge = now

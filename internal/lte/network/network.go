@@ -145,10 +145,7 @@ func (n *Network) ScheduleSession(u *ue.UE, cellID int, app appmodel.App, start,
 		// Adaptive apps see the session's channel: quality is derived
 		// from the UE's channel state at session start.
 		env := appmodel.Env{Quality: (u.CQI - 1) / 14}
-		for _, a := range app.SessionEnv(g, dur, day, env) {
-			arr := a
-			n.queue.Push(start+arr.At, func() { n.route(u, arr) })
-		}
+		n.pushArrivals(u, app.SessionEnv(g, dur, day, env), start)
 	})
 }
 
@@ -159,11 +156,29 @@ func (n *Network) ScheduleArrivals(u *ue.UE, cellID int, arrivals []appmodel.Arr
 		if u.CellID != cellID {
 			n.Camp(u, cellID)
 		}
-		for _, a := range arrivals {
-			arr := a
-			n.queue.Push(start+arr.At, func() { n.route(u, arr) })
-		}
+		n.pushArrivals(u, arrivals, start)
 	})
+}
+
+// arrivalEvent is one application arrival bound for the radio stack. It is
+// scheduled as a sim.Firer so a whole session's arrivals cost one slice
+// allocation instead of one closure each.
+type arrivalEvent struct {
+	n *Network
+	u *ue.UE
+	a appmodel.Arrival
+}
+
+// Fire implements sim.Firer.
+func (e *arrivalEvent) Fire() { e.n.route(e.u, e.a) }
+
+// pushArrivals schedules a batch of arrivals relative to start, in order.
+func (n *Network) pushArrivals(u *ue.UE, arrivals []appmodel.Arrival, start time.Duration) {
+	evs := make([]arrivalEvent, len(arrivals))
+	for i, a := range arrivals {
+		evs[i] = arrivalEvent{n: n, u: u, a: a}
+		n.queue.PushFirer(start+a.At, &evs[i])
+	}
 }
 
 // transportOverhead approximates the IP/transport headers wrapped around
@@ -195,10 +210,7 @@ func (n *Network) startBackground(u *ue.UE) {
 		app := pool[g.IntN(len(pool))]
 		dur := time.Duration(g.Uniform(15, 45) * float64(time.Second))
 		base := n.clock.Now()
-		for _, a := range app.Session(g, dur, 1) {
-			arr := a
-			n.queue.Push(base+arr.At, func() { n.route(u, arr) })
-		}
+		n.pushArrivals(u, app.Session(g, dur, 1), base)
 		// A think-time gap before the next app keeps background UEs
 		// cycling through idle and connected states.
 		n.queue.Push(base+dur+time.Duration(g.Uniform(2, 20)*float64(time.Second)), step)

@@ -125,16 +125,32 @@ func Candidates(r rnti.RNTI, aggLevel int, subframe int64, ncce int) ([]int, err
 	y := searchSpaceHash(r, subframe)
 	slots := ncce / aggLevel
 	out := make([]int, 0, numCand)
-	seen := make(map[int]struct{}, numCand)
 	for m := 0; m < numCand; m++ {
 		c := int((y+uint64(m))%uint64(slots)) * aggLevel
-		if _, dup := seen[c]; dup {
+		if containsInt(out, c) {
 			continue
 		}
-		seen[c] = struct{}{}
 		out = append(out, c)
 	}
 	return out, nil
+}
+
+func containsInt(s []int, v int) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func candidateCount(aggLevel int) int {
+	switch aggLevel {
+	case 1, 2:
+		return 6
+	default:
+		return 2
+	}
 }
 
 func validAgg(l int) bool {
@@ -158,16 +174,53 @@ func NewCCEMap(ncce int) *CCEMap {
 	return &CCEMap{used: make([]bool, ncce)}
 }
 
+// Reset clears the map and resizes it to ncce elements, reusing the
+// backing storage. It makes a zero-value CCEMap usable and lets a
+// scheduler keep one map per cell instead of allocating one per TTI.
+func (m *CCEMap) Reset(ncce int) {
+	if cap(m.used) < ncce {
+		m.used = make([]bool, ncce)
+		return
+	}
+	m.used = m.used[:ncce]
+	for i := range m.used {
+		m.used[i] = false
+	}
+}
+
 // Place finds the first free candidate for the RNTI at the aggregation
 // level and marks it used. The boolean reports whether a slot was found;
 // when all candidates are occupied the caller must defer the grant to a
-// later subframe (PDCCH congestion).
+// later subframe (PDCCH congestion). Candidate positions and order are
+// exactly those of Candidates; the search runs without allocating.
 func (m *CCEMap) Place(r rnti.RNTI, aggLevel int, subframe int64) (firstCCE int, ok bool) {
-	cands, err := Candidates(r, aggLevel, subframe, len(m.used))
-	if err != nil {
+	ncce := len(m.used)
+	if !validAgg(aggLevel) || ncce < aggLevel {
 		return 0, false
 	}
-	for _, c := range cands {
+	if !r.IsC() {
+		if aggLevel < 4 {
+			return 0, false
+		}
+		span := commonSearchSpaceCCEs
+		if span > ncce {
+			span = ncce
+		}
+		for c := 0; c+aggLevel <= span; c += aggLevel {
+			if m.free(c, aggLevel) {
+				m.mark(c, aggLevel)
+				return c, true
+			}
+		}
+		return 0, false
+	}
+	y := searchSpaceHash(r, subframe)
+	slots := uint64(ncce / aggLevel)
+	// Duplicate candidates (the hash wraps within few slots) are probed
+	// again instead of skipped: a repeated probe of an occupied slot fails
+	// identically, so the outcome matches the deduplicated candidate list.
+	for mIdx := 0; mIdx < candidateCount(aggLevel); mIdx++ {
+		c := int((y+uint64(mIdx))%slots) * aggLevel
 		if m.free(c, aggLevel) {
 			m.mark(c, aggLevel)
 			return c, true

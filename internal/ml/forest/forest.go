@@ -132,13 +132,16 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 	if d.Len() == 0 {
 		return nil, fmt.Errorf("forest: empty training set")
 	}
+	if len(d.Classes) > 1<<16 {
+		return nil, fmt.Errorf("forest: %d classes exceeds the trainer's uint16 label limit", len(d.Classes))
+	}
 	if m := activeMetrics.Load(); m != nil {
 		defer m.trainMS.Start().Stop()
 		m.trainRows.Add(int64(d.Len()))
 	}
 	cfg = cfg.withDefaults(d.Len(), d.Dim())
 	f := &Forest{Trees: make([]Tree, cfg.Trees), Classes: d.Classes}
-	orders := columnOrders(d, cfg.Workers)
+	cols := columnOrders(d, cfg.Workers)
 
 	workers := cfg.Workers
 	if workers > cfg.Trees {
@@ -150,7 +153,7 @@ func Train(d *dataset.Dataset, cfg Config) (*Forest, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			g := newGrower(d, cfg, orders)
+			g := newGrower(d, cfg, cols)
 			for {
 				t := int(next.Add(1)) - 1
 				if t >= cfg.Trees {
@@ -187,17 +190,32 @@ func treeRNG(seed uint64, t int) *sim.RNG {
 	return sim.NewRNG(seed*0x100000001b3 + uint64(t) + 1)
 }
 
+// sortedCols is the per-Train shared, read-only sorted view of the dataset:
+// for every feature, the dataset rows in ascending value order plus the
+// value and class label of each position in that order. Growers stream
+// these flat arrays sequentially instead of chasing d.X row pointers.
+type sortedCols struct {
+	orders [][]int32 // per-feature dataset row order
+	vals   []float64 // dim*n values, vals[f*n+i] = X[orders[f][i]][f]
+	y16    []uint16  // dataset labels by row, compact for cache residency
+}
+
 // columnOrders sorts every feature column of the dataset once per Train
 // call (in parallel, bounded by workers). Per-tree bootstrap column orders
 // are then derived with counting passes instead of per-node comparison
 // sorts.
-func columnOrders(d *dataset.Dataset, workers int) [][]int32 {
+func columnOrders(d *dataset.Dataset, workers int) *sortedCols {
 	dim, n := d.Dim(), d.Len()
-	out := make([][]int32, dim)
+	out := &sortedCols{orders: make([][]int32, dim)}
 	if dim == 0 {
 		return out
 	}
 	backing := make([]int32, dim*n)
+	out.vals = make([]float64, dim*n)
+	out.y16 = make([]uint16, n)
+	for r, c := range d.Y {
+		out.y16[r] = uint16(c)
+	}
 	sortCol := func(f int) {
 		ord := backing[f*n : (f+1)*n : (f+1)*n]
 		for i := range ord {
@@ -213,7 +231,11 @@ func columnOrders(d *dataset.Dataset, workers int) [][]int32 {
 			}
 			return 0
 		})
-		out[f] = ord
+		out.orders[f] = ord
+		vals := out.vals[f*n : (f+1)*n]
+		for i, r := range ord {
+			vals[i] = d.X[r][f]
+		}
 	}
 	if workers <= 1 || dim == 1 {
 		for f := 0; f < dim; f++ {
@@ -255,29 +277,33 @@ type grower struct {
 	cfg     Config
 	classes int
 	dim     int
-	S       int       // bootstrap sample size
-	orders  [][]int32 // shared read-only per-feature dataset row order
+	S       int         // bootstrap sample size
+	cols    *sortedCols // shared read-only sorted dataset view
 
 	rng   *sim.RNG
 	nodes []Node // scratch; copied into the returned tree
 
-	idx      []int32   // bootstrap row per sample position
-	y        []int32   // label per sample position
-	rowStart []int32   // dataset row -> offset into posByRow (len n+1)
-	rowCur   []int32   // scatter cursors (len n+1)
-	posByRow []int32   // sample positions grouped by dataset row
-	colVal   []float64 // dim*S feature values, sorted within node segments
-	colPos   []int32   // dim*S sample positions, parallel to colVal
-	tmpVal   []float64 // stable-partition scratch
-	tmpPos   []int32
-	side     []bool  // per-position goes-left flag during partitioning
-	left     []int   // split-search left class counts
-	counts   [][]int // per-depth class-count buffers
-	perm     []int   // feature subsample permutation
-	dist     []float32
+	idx  []int32 // bootstrap row per sample position
+	y    []int32 // label per sample position
+	mult []int32 // dataset row -> bootstrap multiplicity
+
+	// Column state double-buffers: a node's segments live in one buffer and
+	// each partition writes both children into the other, so every element
+	// is stored exactly once per split with no scratch or copy-back. Only
+	// values and rows are carried; labels and weights are row lookups into
+	// the small cols.y16 and mult arrays.
+	colVal [2][]float64 // dim*U feature values, sorted within node segments
+	colRow [2][]int32   // dim*U dataset rows, parallel to colVal
+
+	side    []uint8 // per-dataset-row goes-left flag (1 = left) during partitioning
+	left    []int   // split-search left class counts
+	lcounts [][]int // per-depth left-child count buffers
+	counts  [][]int // per-depth class-count buffers
+	perm    []int   // feature subsample permutation
+	dist    []float32
 }
 
-func newGrower(d *dataset.Dataset, cfg Config, orders [][]int32) *grower {
+func newGrower(d *dataset.Dataset, cfg Config, cols *sortedCols) *grower {
 	n, dim, S := d.Len(), d.Dim(), cfg.SubsampleSize
 	return &grower{
 		d:       d,
@@ -285,20 +311,20 @@ func newGrower(d *dataset.Dataset, cfg Config, orders [][]int32) *grower {
 		classes: len(d.Classes),
 		dim:     dim,
 		S:       S,
-		orders:  orders,
+		cols:    cols,
 
-		idx:      make([]int32, S),
-		y:        make([]int32, S),
-		rowStart: make([]int32, n+1),
-		rowCur:   make([]int32, n+1),
-		posByRow: make([]int32, S),
-		colVal:   make([]float64, dim*S),
-		colPos:   make([]int32, dim*S),
-		tmpVal:   make([]float64, S),
-		tmpPos:   make([]int32, S),
-		side:     make([]bool, S),
-		left:     make([]int, len(d.Classes)),
-		perm:     make([]int, dim),
+		idx:  make([]int32, S),
+		y:    make([]int32, S),
+		mult: make([]int32, n),
+		colVal: [2][]float64{
+			make([]float64, dim*S), make([]float64, dim*S),
+		},
+		colRow: [2][]int32{
+			make([]int32, dim*S), make([]int32, dim*S),
+		},
+		side: make([]uint8, n),
+		left: make([]int, len(d.Classes)),
+		perm: make([]int, dim),
 	}
 }
 
@@ -316,52 +342,50 @@ func (g *grower) grow(rng *sim.RNG) Tree {
 		g.y[p] = int32(g.d.Y[r])
 	}
 
-	// Group sample positions by dataset row (counting sort), then derive
-	// each feature column's sorted bootstrap order from the dataset-wide
-	// order in one O(n + S) pass per feature.
-	rs := g.rowStart
-	for i := range rs {
-		rs[i] = 0
+	// Count each dataset row's bootstrap multiplicity, then derive each
+	// feature column's sorted bootstrap order from the dataset-wide order in
+	// one O(n) pass per feature. Duplicate draws of the same row share every
+	// feature value, so they can never land on different sides of a split;
+	// the columns therefore carry one weighted entry per unique drawn row
+	// (~63% of S for a full bootstrap), and all class counts downstream add
+	// multiplicities instead of ones — sample-exact, but every partition and
+	// split scan touches only unique rows. The fill writes every position
+	// unconditionally and advances only past drawn rows, keeping the loop
+	// free of the unpredictable w==0 branch.
+	mult := g.mult
+	for i := range mult {
+		mult[i] = 0
 	}
 	for _, r := range g.idx {
-		rs[r+1]++
+		mult[r]++
 	}
-	for i := 0; i < n; i++ {
-		rs[i+1] += rs[i]
-	}
-	copy(g.rowCur, rs)
-	for p, r := range g.idx {
-		g.posByRow[g.rowCur[r]] = int32(p)
-		g.rowCur[r]++
-	}
+	U := 0
 	for f := 0; f < g.dim; f++ {
-		cv := g.colVal[f*g.S : (f+1)*g.S]
-		cp := g.colPos[f*g.S : (f+1)*g.S]
+		cv := g.colVal[0][f*g.S : (f+1)*g.S]
+		cr := g.colRow[0][f*g.S : (f+1)*g.S]
+		vals := g.cols.vals[f*n : (f+1)*n]
 		j := 0
-		for _, r := range g.orders[f] {
-			lo, hi := rs[r], rs[r+1]
-			if lo == hi {
-				continue
-			}
-			v := g.d.X[r][f]
-			for t := lo; t < hi; t++ {
-				cp[j] = g.posByRow[t]
-				cv[j] = v
-				j++
-			}
+		for i, r := range g.cols.orders[f] {
+			w := mult[r]
+			cv[j] = vals[i]
+			cr[j] = r
+			j += int(uint32(-w) >> 31) // 1 iff w > 0
 		}
+		U = j
 	}
 
+	// Root class counts stream the bootstrap labels once; every deeper
+	// node's counts are derived by its parent during split bookkeeping.
 	g.nodes = g.nodes[:0]
+	counts := g.countsAt(0)
+	for _, c := range g.y {
+		counts[c]++
+	}
 	if g.dim == 0 {
-		// No feature columns to carry positions: the tree is one leaf.
-		counts := g.countsAt(0)
-		for _, c := range g.y {
-			counts[c]++
-		}
+		// No feature columns to carry rows: the tree is one leaf.
 		g.leaf(counts, g.S)
 	} else {
-		g.build(0, g.S, 0)
+		g.build(0, U, 0, counts, g.S, 0)
 	}
 	nodes := make([]Node, len(g.nodes))
 	copy(nodes, g.nodes)
@@ -380,13 +404,24 @@ func (g *grower) countsAt(depth int) []int {
 	return c
 }
 
-// build grows the subtree over column segment [lo, hi) and returns its
-// node index.
-func (g *grower) build(lo, hi, depth int) int32 {
-	n := hi - lo
-	counts := g.countsAt(depth)
-	for _, p := range g.colPos[lo:hi] { // column 0 holds the node's positions
-		counts[g.y[p]]++
+// lcountsAt returns the reusable left-child count buffer for one depth.
+func (g *grower) lcountsAt(depth int) []int {
+	for len(g.lcounts) <= depth {
+		g.lcounts = append(g.lcounts, make([]int, g.classes))
+	}
+	c := g.lcounts[depth]
+	for i := range c {
+		c[i] = 0
+	}
+	return c
+}
+
+// isLeaf reports whether a node with these class counts must terminate
+// (mirrors build's stopping rule; a false here may still become a leaf if
+// no split with positive gain exists).
+func (g *grower) isLeaf(counts []int, n, depth int) bool {
+	if depth >= g.cfg.MaxDepth || n < 2*g.cfg.MinLeaf {
+		return true
 	}
 	pure := 0
 	for _, c := range counts {
@@ -394,55 +429,119 @@ func (g *grower) build(lo, hi, depth int) int32 {
 			pure++
 		}
 	}
-	if pure <= 1 || depth >= g.cfg.MaxDepth || n < 2*g.cfg.MinLeaf {
-		return g.leaf(counts, n)
+	return pure <= 1
+}
+
+// build grows the subtree over column element segment [lo, hi) of buffer b
+// — one entry per unique bootstrap row, weighted by multiplicity — and
+// returns its node index. counts/ns describe the node's class distribution
+// in samples (derived by the parent, so nodes never re-count their
+// segments), exactly as if every bootstrap draw were carried individually.
+// build owns the counts buffer from the moment it is called and may clobber
+// it.
+func (g *grower) build(lo, hi, depth int, counts []int, ns, b int) int32 {
+	m := hi - lo
+	pure := 0
+	for _, c := range counts {
+		if c > 0 {
+			pure++
+		}
 	}
-	feat, thr, ok := g.bestSplit(lo, hi, counts)
+	if pure <= 1 || depth >= g.cfg.MaxDepth || ns < 2*g.cfg.MinLeaf {
+		return g.leaf(counts, ns)
+	}
+	feat, thr, ok := g.bestSplit(lo, hi, counts, ns, b)
 	if !ok {
-		return g.leaf(counts, n)
+		return g.leaf(counts, ns)
 	}
 
 	// The chosen feature's segment is sorted, so its left side is exactly
-	// the prefix of values <= thr; every other column is stably
-	// partitioned on that membership, which keeps all segments sorted.
+	// the prefix of values <= thr.
 	base := feat * g.S
-	fv := g.colVal[base+lo : base+hi]
-	nl := sort.Search(n, func(i int) bool { return fv[i] > thr })
-	if nl == 0 || nl == n {
-		return g.leaf(counts, n)
+	fv := g.colVal[b][base+lo : base+hi]
+	ml := sort.Search(m, func(i int) bool { return fv[i] > thr })
+	if ml == 0 || ml == m {
+		return g.leaf(counts, ns)
 	}
-	fp := g.colPos[base+lo : base+hi]
-	for _, p := range fp[:nl] {
-		g.side[p] = true
+
+	// Split the class counts between the children using the split feature's
+	// own sorted segment: lcounts gets the left prefix, counts (no longer
+	// needed for this node) is reduced in place to the right child's.
+	lcounts := g.lcountsAt(depth)
+	nl := 0 // left child size in samples
+	fr := g.colRow[b][base+lo : base+hi]
+	for _, r := range fr[:ml] {
+		w := int(g.mult[r])
+		lcounts[g.cols.y16[r]] += w
+		nl += w
 	}
-	for f := 0; f < g.dim; f++ {
-		if f == feat {
-			continue
+	for c := range counts {
+		counts[c] -= lcounts[c]
+	}
+
+	// A child whose counts already satisfy the stopping rule becomes a leaf
+	// fully determined by those counts: its column segments are never read,
+	// so its side of the partition need not be materialised. Emission order
+	// (self, left, right) and leaf distributions are identical to the full
+	// path either way.
+	leftLeaf := g.isLeaf(lcounts, nl, depth+1)
+	rightLeaf := g.isLeaf(counts, ns-nl, depth+1)
+	if !leftLeaf || !rightLeaf {
+		// Partition every other column on left-side membership into the
+		// other column buffer, stably, so all segments stay sorted. Reads
+		// are sequential, each element is written exactly once (lefts at
+		// the advancing w cursor, rights at the advancing t cursor), and
+		// the destination index is computed arithmetically — branch-free,
+		// because the side flag is data-dependent and unpredictable. When
+		// one child is a leaf its side's cursor just parks on the leaf
+		// region, which is left as garbage that nothing ever reads. The
+		// split feature's own column is partitioned trivially: its segment
+		// is sorted, so the children are literal prefix/suffix copies.
+		for _, r := range fr[:ml] {
+			g.side[r] = 1
 		}
-		cv := g.colVal[f*g.S+lo : f*g.S+hi]
-		cp := g.colPos[f*g.S+lo : f*g.S+hi]
-		w, t := 0, 0
-		for j := 0; j < n; j++ {
-			p := cp[j]
-			if g.side[p] {
-				cv[w], cp[w] = cv[j], p
-				w++
-			} else {
-				g.tmpVal[t], g.tmpPos[t] = cv[j], p
-				t++
+		nb := 1 - b
+		for f := 0; f < g.dim; f++ {
+			o := f*g.S + lo
+			if f == feat {
+				copy(g.colVal[nb][o:o+m], g.colVal[b][o:o+m])
+				copy(g.colRow[nb][o:o+m], g.colRow[b][o:o+m])
+				continue
+			}
+			cv := g.colVal[b][o : o+m]
+			cr := g.colRow[b][o : o+m]
+			dv := g.colVal[nb][o : o+m]
+			dr := g.colRow[nb][o : o+m]
+			w, t := 0, ml
+			for j := 0; j < m; j++ {
+				r := cr[j]
+				v := cv[j]
+				s := int(g.side[r])
+				d := t + s*(w-t)
+				dv[d], dr[d] = v, r
+				w += s
+				t += 1 - s
 			}
 		}
-		copy(cv[nl:], g.tmpVal[:t])
-		copy(cp[nl:], g.tmpPos[:t])
-	}
-	for _, p := range fp[:nl] {
-		g.side[p] = false
+		for _, r := range fr[:ml] {
+			g.side[r] = 0
+		}
+		b = nb
 	}
 
 	self := int32(len(g.nodes))
 	g.nodes = append(g.nodes, Node{Feature: int32(feat), Threshold: thr})
-	left := g.build(lo, lo+nl, depth+1)
-	right := g.build(lo+nl, hi, depth+1)
+	var left, right int32
+	if leftLeaf {
+		left = g.leaf(lcounts, nl)
+	} else {
+		left = g.build(lo, lo+ml, depth+1, lcounts, nl, b)
+	}
+	if rightLeaf {
+		right = g.leaf(counts, ns-nl)
+	} else {
+		right = g.build(lo+ml, hi, depth+1, counts, ns-nl, b)
+	}
 	g.nodes[self].Left = left
 	g.nodes[self].Right = right
 	return self
@@ -471,35 +570,70 @@ func (g *grower) leaf(counts []int, n int) int32 {
 	return self
 }
 
+// giniGuard bounds how far the integer-sum gain screen can sit below the
+// exact per-class computation. Both formulas agree to ~1e-15 absolute (the
+// integer sums are exact, the class-loop sum accumulates a few ulps), so a
+// candidate whose screened gain is more than giniGuard under the incumbent
+// can never win the exact comparison.
+const giniGuard = 1e-12
+
 // bestSplit searches FeaturesPerSplit random features for the exact
 // Gini-optimal threshold, walking each feature's presorted segment.
-func (g *grower) bestSplit(lo, hi int, counts []int) (feat int, thr float64, ok bool) {
-	n := hi - lo
-	parentGini := giniFromCounts(counts, n)
+//
+// Candidate boundaries are screened by Gini impurities derived from integer
+// sums of squared class counts, maintained incrementally in O(1) per
+// position. Only candidates within giniGuard of the incumbent best recompute
+// the per-class float Gini of the original implementation, and the winner is
+// always chosen by that exact arithmetic — so the selected splits (and the
+// golden trees) are bit-identical to screening-free search while skipping
+// the O(classes) loops and divisions almost everywhere.
+func (g *grower) bestSplit(lo, hi int, counts []int, ns, b int) (feat int, thr float64, ok bool) {
+	m := hi - lo
+	parentGini := giniFromCounts(counts, ns)
 	bestGain := 1e-9
 	g.rng.PermInto(g.perm)
 
+	sumT := 0
+	for _, c := range counts {
+		sumT += c * c
+	}
+	fn := float64(ns)
 	left := g.left
+	y16, mult := g.cols.y16, g.mult
 	for _, f := range g.perm[:g.cfg.FeaturesPerSplit] {
-		vals := g.colVal[f*g.S+lo : f*g.S+hi]
-		poss := g.colPos[f*g.S+lo : f*g.S+hi]
+		vals := g.colVal[b][f*g.S+lo : f*g.S+hi]
+		rows := g.colRow[b][f*g.S+lo : f*g.S+hi]
 		for c := range left {
 			left[c] = 0
 		}
+		suml2, sumr2 := 0, sumT
 		nl := 0
-		for pos := 0; pos < n-1; pos++ {
-			left[g.y[poss[pos]]]++
-			nl++
+		for pos := 0; pos < m-1; pos++ {
+			r := rows[pos]
+			c := y16[r]
+			w := int(mult[r])
+			lc := left[c]
+			left[c] = lc + w
+			// left[c]: lc -> lc+w adds w*(2*lc+w) to sum(left^2); the right
+			// count drops from counts[c]-lc by w symmetrically.
+			suml2 += w * (2*lc + w)
+			sumr2 -= w * (2*(counts[c]-lc) - w)
+			nl += w
 			v, next := vals[pos], vals[pos+1]
 			if v == next {
 				continue
 			}
-			if nl < g.cfg.MinLeaf || n-nl < g.cfg.MinLeaf {
+			if nl < g.cfg.MinLeaf || ns-nl < g.cfg.MinLeaf {
+				continue
+			}
+			fnl, fnr := float64(nl), float64(ns-nl)
+			screened := parentGini - (fnl*(1-float64(suml2)/(fnl*fnl))+fnr*(1-float64(sumr2)/(fnr*fnr)))/fn
+			if screened <= bestGain-giniGuard {
 				continue
 			}
 			gl := giniFromCounts(left, nl)
-			gr := giniRight(counts, left, n-nl)
-			gain := parentGini - (float64(nl)*gl+float64(n-nl)*gr)/float64(n)
+			gr := giniRight(counts, left, ns-nl)
+			gain := parentGini - (fnl*gl+fnr*gr)/fn
 			if gain > bestGain {
 				bestGain = gain
 				feat = f

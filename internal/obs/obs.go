@@ -219,6 +219,12 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]*Gauge
 	histograms map[string]*Histogram
+	names      map[nameKey]string // interned "prefix.name" joins
+}
+
+// nameKey identifies one scoped-name join.
+type nameKey struct {
+	prefix, name string
 }
 
 // NewRegistry returns an empty registry.
@@ -227,7 +233,32 @@ func NewRegistry() *Registry {
 		counters:   make(map[string]*Counter),
 		gauges:     make(map[string]*Gauge),
 		histograms: make(map[string]*Histogram),
+		names:      make(map[nameKey]string),
 	}
+}
+
+// joinName returns prefix + "." + name, interning the result so repeated
+// scoped lookups (instrumentation re-attached per capture run) stop
+// allocating after the first join.
+func (r *Registry) joinName(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	if r == nil {
+		return prefix + "." + name
+	}
+	k := nameKey{prefix: prefix, name: name}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.names == nil {
+		r.names = make(map[nameKey]string)
+	}
+	if s, ok := r.names[k]; ok {
+		return s
+	}
+	s := prefix + "." + name
+	r.names[k] = s
+	return s
 }
 
 // Counter returns the named counter, creating it if needed (nil for a nil
@@ -356,8 +387,5 @@ func (s Scope) Histogram(name string, bounds []float64) *Histogram {
 }
 
 func (s Scope) join(name string) string {
-	if s.prefix == "" {
-		return name
-	}
-	return s.prefix + "." + name
+	return s.r.joinName(s.prefix, name)
 }

@@ -261,3 +261,24 @@ func TestQuantileEdgeCases(t *testing.T) {
 		t.Errorf("overflow quantile = %g, want clamp to 10", q)
 	}
 }
+
+// TestScopedLookupAllocationFree guards the interned-name join: once a
+// scoped metric has been looked up, re-attaching instrumentation (as every
+// capture run does through SetMetrics / newSnifferMetrics) must not
+// allocate — neither for the joined name nor for the metric handle.
+func TestScopedLookupAllocationFree(t *testing.T) {
+	reg := NewRegistry()
+	cell := reg.Scope("pipeline").Scope("cell1")
+	sn := cell.Scope("sniffer")
+	bounds := FractionBuckets()
+	warm := func() {
+		_ = sn.Counter("candidates")
+		_ = sn.Counter("records")
+		_ = cell.Scope("enb").Histogram("prb_util_dl", bounds)
+		_ = cell.Scope("enb").Gauge("queue_depth_bytes")
+	}
+	warm()
+	if allocs := testing.AllocsPerRun(100, warm); allocs != 0 {
+		t.Fatalf("warmed scoped metric lookup allocates %v objects/run, want 0", allocs)
+	}
+}

@@ -1,33 +1,56 @@
 package sim
 
 import (
-	"container/heap"
 	"time"
 )
+
+// Firer is a prebuilt event payload: Fire is invoked when the event is
+// due. Pushing a Firer instead of a closure lets callers that schedule
+// large batches of events (one per application arrival) preallocate the
+// payloads in one slice and avoid a per-event closure allocation.
+type Firer interface {
+	Fire()
+}
 
 // Event is an item scheduled for execution at a simulated instant.
 type Event struct {
 	// At is the simulated time at which the event fires, measured from the
 	// start of the simulation.
 	At time.Duration
-	// Fire is invoked when the event is due.
+	// Fire is invoked when the event is due (nil when the event carries a
+	// Firer payload instead).
 	Fire func()
 
-	seq int // tie-breaker preserving scheduling order at equal times
+	firer Firer
+	seq   int // tie-breaker preserving scheduling order at equal times
 }
 
 // Queue is a time-ordered event queue. Events scheduled for the same instant
 // fire in the order they were pushed, which keeps the simulation
 // deterministic. The zero value is ready to use.
+//
+// The queue is a value-based binary heap: pushing does not box events, so
+// in steady state (heap capacity warmed up) scheduling is allocation-free.
 type Queue struct {
-	h   eventHeap
+	h   []Event
 	seq int
 }
 
-// Push schedules an event.
+// Push schedules a closure event.
 func (q *Queue) Push(at time.Duration, fire func()) {
+	q.push(Event{At: at, Fire: fire})
+}
+
+// PushFirer schedules a prebuilt event payload.
+func (q *Queue) PushFirer(at time.Duration, f Firer) {
+	q.push(Event{At: at, firer: f})
+}
+
+func (q *Queue) push(ev Event) {
 	q.seq++
-	heap.Push(&q.h, &Event{At: at, Fire: fire, seq: q.seq})
+	ev.seq = q.seq
+	q.h = append(q.h, ev)
+	q.up(len(q.h) - 1)
 }
 
 // Len reports the number of pending events.
@@ -43,46 +66,69 @@ func (q *Queue) PeekTime() (time.Duration, bool) {
 }
 
 // PopDue removes and fires every event due at or before now, in time order.
-// It returns the number of events fired.
+// It returns the number of events fired. Fired events may push further
+// events (including ones due immediately).
 func (q *Queue) PopDue(now time.Duration) int {
 	n := 0
 	for len(q.h) > 0 && q.h[0].At <= now {
-		ev, ok := heap.Pop(&q.h).(*Event)
-		if !ok {
-			panic("sim: event heap holds a non-event")
+		ev := q.pop()
+		if ev.Fire != nil {
+			ev.Fire()
+		} else {
+			ev.firer.Fire()
 		}
-		ev.Fire()
 		n++
 	}
 	return n
 }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
-		return h[i].At < h[j].At
+// pop removes and returns the earliest event.
+func (q *Queue) pop() Event {
+	ev := q.h[0]
+	last := len(q.h) - 1
+	q.h[0] = q.h[last]
+	q.h[last] = Event{} // release references held by func/interface fields
+	q.h = q.h[:last]
+	if last > 0 {
+		q.down(0)
 	}
-	return h[i].seq < h[j].seq
-}
-
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-
-func (h *eventHeap) Push(x any) {
-	ev, ok := x.(*Event)
-	if !ok {
-		panic("sim: pushing a non-event")
-	}
-	*h = append(*h, ev)
-}
-
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
 	return ev
+}
+
+// less orders events by time, then by push order.
+func (q *Queue) less(i, j int) bool {
+	if q.h[i].At != q.h[j].At {
+		return q.h[i].At < q.h[j].At
+	}
+	return q.h[i].seq < q.h[j].seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.h[i], q.h[parent] = q.h[parent], q.h[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.h)
+	for {
+		l := 2*i + 1
+		if l >= n {
+			return
+		}
+		child := l
+		if r := l + 1; r < n && q.less(r, l) {
+			child = r
+		}
+		if !q.less(child, i) {
+			return
+		}
+		q.h[i], q.h[child] = q.h[child], q.h[i]
+		i = child
+	}
 }

@@ -92,10 +92,16 @@ type Sniffer struct {
 	cfg Config
 	rng *sim.RNG
 
-	records  trace.Trace
-	ids      []IdentityEvent
-	pagings  []PagingEvent
-	activity map[rnti.RNTI]*Activity
+	records trace.Trace
+	ids     []IdentityEvent
+	pagings []PagingEvent
+
+	// activity is a dense RNTI-indexed table (the RNTI space is 16-bit):
+	// the per-record bookkeeping of the blind-decode loop touches one slot
+	// without hashing or map churn. seen lists the RNTIs with a non-zero
+	// Count, in first-sighting order, for the iterating accessors.
+	activity []Activity
+	seen     []rnti.RNTI
 
 	stats Stats
 	m     snifferMetrics
@@ -146,7 +152,7 @@ func New(cfg Config, rng *sim.RNG) *Sniffer {
 	return &Sniffer{
 		cfg:      cfg,
 		rng:      rng,
-		activity: make(map[rnti.RNTI]*Activity),
+		activity: make([]Activity, 1<<16),
 		m:        newSnifferMetrics(cfg.Metrics),
 	}
 }
@@ -215,10 +221,10 @@ func (s *Sniffer) Observe(cellID int, sf *phy.Subframe) {
 			Dir:    dir,
 			Bytes:  bytes,
 		})
-		a := s.activity[r]
-		if a == nil {
-			a = &Activity{First: at}
-			s.activity[r] = a
+		a := &s.activity[r]
+		if a.Count == 0 {
+			a.First = at
+			s.seen = append(s.seen, r)
 		}
 		a.Last = at
 		a.Count++
@@ -285,15 +291,21 @@ func (s *Sniffer) Records() trace.Trace { return s.records }
 // minCount times — the plausibility filter that removes ghost RNTIs
 // produced by corrupted decodes.
 func (s *Sniffer) ValidatedRecords(minCount int) trace.Trace {
-	out := make(trace.Trace, 0, len(s.records))
+	return s.AppendValidated(make(trace.Trace, 0, len(s.records)), minCount)
+}
+
+// AppendValidated appends the validated records to dst and returns it,
+// letting the capture assembly collect all sniffers into one
+// run-owned slice.
+func (s *Sniffer) AppendValidated(dst trace.Trace, minCount int) trace.Trace {
 	for _, r := range s.records {
-		if a := s.activity[r.RNTI]; a != nil && a.Count >= minCount {
-			out = append(out, r)
+		if s.activity[r.RNTI].Count >= minCount {
+			dst = append(dst, r)
 		} else {
 			s.m.plausibilityRejects.Inc()
 		}
 	}
-	return out
+	return dst
 }
 
 // IdentityEvents returns the observed RNTI↔TMSI bindings.
@@ -306,8 +318,8 @@ func (s *Sniffer) PagingEvents() []PagingEvent { return s.pagings }
 // mirroring OWL's live user list.
 func (s *Sniffer) ActiveRNTIs(now, window time.Duration) []rnti.RNTI {
 	var out []rnti.RNTI
-	for r, a := range s.activity {
-		if now-a.Last <= window {
+	for _, r := range s.seen {
+		if now-s.activity[r].Last <= window {
 			out = append(out, r)
 		}
 	}

@@ -127,15 +127,23 @@ type Window struct {
 // aggregation). Empty windows inside the span are included: silence is
 // signal for the classifier. It panics if width or stride is not positive.
 func (t Trace) Windows(width, stride time.Duration) []Window {
+	return t.WindowsInto(nil, width, stride)
+}
+
+// WindowsInto is Windows appending into dst (typically a reused buffer
+// sliced to length zero), so repeated windowing of same-sized traces does
+// not reallocate the window slice. The returned windows alias t's backing
+// array, as with Windows.
+func (t Trace) WindowsInto(dst []Window, width, stride time.Duration) []Window {
 	if width <= 0 || stride <= 0 {
 		panic(fmt.Sprintf("trace: invalid window width %v / stride %v", width, stride))
 	}
 	if len(t) == 0 {
-		return nil
+		return dst
 	}
 	first := t[0].At - t[0].At%stride
 	last := t[len(t)-1].At
-	var out []Window
+	out := dst
 	i := 0
 	for start := first; start <= last; start += stride {
 		end := start + width

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ltefp"
+	"ltefp/internal/obs"
 )
 
 func TestAppsAndNetworks(t *testing.T) {
@@ -290,5 +291,40 @@ func TestCostAPI(t *testing.T) {
 	p.TrainApps = 0
 	if _, err := ltefp.AttackCost(p, 30); err == nil {
 		t.Fatal("invalid params accepted")
+	}
+}
+
+// TestMetricsCaptureAllocationFree guards the enabled-mode instrumentation
+// cost: after the registry's metrics are registered by a first run, a
+// metrics-on capture must allocate no more than a metrics-off capture of
+// the same scenario (the counters and histograms update preallocated
+// atomics only). A tolerance of 1 absorbs AllocsPerRun jitter from runtime
+// background allocation.
+func TestMetricsCaptureAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under the race detector")
+	}
+	reg := obs.NewRegistry()
+	run := func(m *obs.Registry) {
+		_, err := ltefp.Capture(ltefp.CaptureOptions{
+			Network:  "T-Mobile",
+			App:      "YouTube",
+			Duration: 5 * time.Second,
+			Seed:     9,
+			Metrics:  m,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(reg) // register every metric once
+	off := testing.AllocsPerRun(10, func() { run(nil) })
+	on := testing.AllocsPerRun(10, func() {
+		reg.Reset()
+		run(reg)
+	})
+	if on > off+1 {
+		t.Fatalf("metrics-on capture allocates %v objects/run vs %v metrics-off (delta %v), want ~0",
+			on, off, on-off)
 	}
 }

@@ -1,0 +1,6 @@
+//go:build !race
+
+package ltefp_test
+
+// raceEnabled reports whether the race detector instruments this binary.
+const raceEnabled = false

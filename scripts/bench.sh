@@ -46,3 +46,36 @@ BEGIN { print "{"; printf "  \"date\": \"%s\",\n  \"benchmarks\": [\n", date; n 
 END { print "\n  ]\n}" }
 ' >"$out"
 echo "wrote $out"
+
+# Delta report: compare against the previous snapshot (highest BENCH_<m>
+# with m < n) so each PR's perf movement is visible at a glance.
+prev=$(ls BENCH_*.json 2>/dev/null | sed 's/BENCH_\([0-9]*\)\.json/\1/' | sort -n | awk -v n="$n" '$1 < n' | tail -1)
+if [ -n "$prev" ]; then
+	echo ""
+	echo "delta vs BENCH_$prev.json (speedup = old/new ns/op):"
+	awk '
+	function field(line, key,   v) {
+		if (line !~ "\"" key "\"") return ""
+		v = line
+		sub(".*\"" key "\": ", "", v)
+		sub(/[,}].*/, "", v)
+		gsub(/"/, "", v)
+		return v
+	}
+	FNR == NR {
+		name = field($0, "name")
+		if (name != "") { ons[name] = field($0, "ns_per_op"); oal[name] = field($0, "allocs_per_op") }
+		next
+	}
+	{
+		name = field($0, "name")
+		if (name == "") next
+		ns = field($0, "ns_per_op"); al = field($0, "allocs_per_op")
+		if (!header++) printf "%-34s %15s %15s %9s %13s %13s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs"
+		if (name in ons && ons[name] + 0 > 0 && ns + 0 > 0)
+			printf "%-34s %15.0f %15.0f %8.2fx %13s %13s\n", name, ons[name], ns, ons[name] / ns, oal[name], al
+		else
+			printf "%-34s %15s %15.0f %9s %13s %13s\n", name, (name in ons ? ons[name] : "new"), ns, "-", (name in oal ? oal[name] : "-"), al
+	}
+	' "BENCH_$prev.json" "$out"
+fi
