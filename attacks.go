@@ -138,10 +138,16 @@ type ContactEvidence struct {
 }
 
 // Correlate computes contact evidence for two users' records over the
-// common span [start, end), using the paper's default 1 s window.
-func Correlate(a, b []Record, start, end time.Duration) ContactEvidence {
+// common span [start, end), using the paper's default 1 s window. It
+// rejects an empty or inverted span: evidence over zero observation time
+// is not "low similarity", and silently scoring it used to bias the
+// contact detector toward "independent".
+func Correlate(a, b []Record, start, end time.Duration) (ContactEvidence, error) {
+	if end <= start {
+		return ContactEvidence{}, fmt.Errorf("ltefp: correlation span [%v, %v) is empty", start, end)
+	}
 	e := correlation.PairEvidence(toTrace(a), toTrace(b), correlation.DefaultBin, start, end)
-	return fromEvidence(e)
+	return fromEvidence(e), nil
 }
 
 // CollectContactPairs simulates n communicating conversations and n

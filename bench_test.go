@@ -9,6 +9,8 @@
 package ltefp_test
 
 import (
+	"context"
+	"sync"
 	"testing"
 	"time"
 
@@ -246,6 +248,55 @@ func BenchmarkCapture60s(b *testing.B) {
 		})
 		if err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// streamBenchModel trains the live-pipeline benchmark's fingerprinter
+// once, outside any timed region.
+var streamBenchModel struct {
+	once sync.Once
+	fp   *ltefp.Fingerprinter
+	err  error
+}
+
+// BenchmarkStream60s measures the streaming attack end to end — the same
+// 60-second commercial-cell session as BenchmarkCapture60s, but classified
+// while it runs through the internal/stream pipeline instead of recorded
+// for post-hoc analysis. The gap to BenchmarkCapture60s is the price of
+// going live.
+func BenchmarkStream60s(b *testing.B) {
+	streamBenchModel.once.Do(func() {
+		td, err := ltefp.CollectTraining(ltefp.TrainingOptions{
+			SessionsPerApp:  2,
+			SessionDuration: 20 * time.Second,
+			Seed:            1,
+		})
+		if err != nil {
+			streamBenchModel.err = err
+			return
+		}
+		streamBenchModel.fp, streamBenchModel.err = ltefp.TrainFingerprinter(td, 1)
+	})
+	if streamBenchModel.err != nil {
+		b.Fatal(streamBenchModel.err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := ltefp.LiveCapture(context.Background(), ltefp.LiveOptions{
+			Capture: ltefp.CaptureOptions{
+				Network:  "T-Mobile",
+				App:      "YouTube",
+				Duration: time.Minute,
+				Seed:     uint64(i + 1),
+			},
+			Model: streamBenchModel.fp,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.Verdicts == 0 {
+			b.Fatal("stream run produced no verdicts")
 		}
 	}
 }

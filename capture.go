@@ -101,6 +101,10 @@ type CaptureHealth struct {
 	CorruptLeaked int64
 	// ParseRejects is the number of candidates failing DCI validation.
 	ParseRejects int64
+	// PlausibilityRejects is the number of captured records the
+	// plausibility filter discarded as decode artefacts (RNTIs seen fewer
+	// than three times).
+	PlausibilityRejects int64
 }
 
 // LossRate returns the observed capture-loss fraction (0 when nothing was
@@ -110,6 +114,45 @@ func (h CaptureHealth) LossRate() float64 {
 		return 0
 	}
 	return float64(h.Dropped) / float64(h.Candidates)
+}
+
+// scenarioFor builds the single-victim capture scenario shared by the
+// batch Capture and the streaming LiveCapture paths. opts.Duration must
+// already be defaulted and Defenses applied to prof.
+func scenarioFor(opts CaptureOptions, prof operator.Profile, app appmodel.App) capture.Scenario {
+	sess := capture.Session{
+		UE:       "victim",
+		CellID:   1,
+		App:      app,
+		Start:    500 * time.Millisecond,
+		Duration: opts.Duration,
+		Day:      opts.Day,
+	}
+	if opts.BackgroundApps > 0 {
+		sess.Arrivals = noisyArrivals(prof, app, opts)
+	}
+	return capture.Scenario{
+		Seed:             opts.Seed,
+		Cells:            []capture.Cell{{ID: 1, Profile: prof}},
+		Sessions:         []capture.Session{sess},
+		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption, DownlinkOnly: opts.DownlinkOnly},
+		ApplyProfileLoss: true,
+		Metrics:          opts.Metrics.Scope("capture"),
+	}
+}
+
+// healthFrom converts the aggregated sniffer counters to the public view.
+func healthFrom(st sniffer.Stats) CaptureHealth {
+	return CaptureHealth{
+		Candidates:          st.Candidates,
+		Captured:            st.Captured,
+		Dropped:             st.Dropped,
+		Corrupted:           st.Corrupted,
+		CorruptCaught:       st.CorruptCaught,
+		CorruptLeaked:       st.CorruptLeaked,
+		ParseRejects:        st.ParseRejects,
+		PlausibilityRejects: st.PlausibilityRejects,
+	}
 }
 
 // Capture simulates and records one victim session.
@@ -122,40 +165,14 @@ func Capture(opts CaptureOptions) (*CaptureResult, error) {
 	if opts.Duration <= 0 {
 		opts.Duration = time.Minute
 	}
-	sess := capture.Session{
-		UE:       "victim",
-		CellID:   1,
-		App:      app,
-		Start:    500 * time.Millisecond,
-		Duration: opts.Duration,
-		Day:      opts.Day,
-	}
-	if opts.BackgroundApps > 0 {
-		sess.Arrivals = noisyArrivals(prof, app, opts)
-	}
-	res, err := capture.Run(capture.Scenario{
-		Seed:             opts.Seed,
-		Cells:            []capture.Cell{{ID: 1, Profile: prof}},
-		Sessions:         []capture.Session{sess},
-		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption, DownlinkOnly: opts.DownlinkOnly},
-		ApplyProfileLoss: true,
-		Metrics:          opts.Metrics.Scope("capture"),
-	})
+	res, err := capture.Run(scenarioFor(opts, prof, app))
 	if err != nil {
 		return nil, fmt.Errorf("ltefp: %w", err)
 	}
 	out := &CaptureResult{
 		Victim: fromTrace(res.UserTrace("victim")),
 		All:    fromTrace(res.Records),
-		Health: CaptureHealth{
-			Candidates:    res.Health.Candidates,
-			Captured:      res.Health.Captured,
-			Dropped:       res.Health.Dropped,
-			Corrupted:     res.Health.Corrupted,
-			CorruptCaught: res.Health.CorruptCaught,
-			CorruptLeaked: res.Health.CorruptLeaked,
-			ParseRejects:  res.Health.ParseRejects,
-		},
+		Health: healthFrom(res.Health),
 	}
 	for _, e := range res.Events {
 		if e.HasTMSI {

@@ -8,11 +8,17 @@
 //
 //	ltesniff -network T-Mobile -app YouTube -duration 60s -seed 7 -out trace.csv
 //
+// -live switches to the streaming attack: instead of recording a CSV for
+// post-hoc analysis, the capture is classified while it runs and rolling
+// per-RNTI verdicts are printed as they form (with -model loading a saved
+// fingerprinter; without it a small one is trained first).
+//
 // -metrics dumps the capture-health registry to stderr after the run, and
 // -debug-addr serves /debug/vars, /debug/pprof/ and /metrics during it.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -40,6 +46,8 @@ func run(args []string) error {
 	background := fs.Int("background", 0, "noise apps running on the victim UE")
 	victimOnly := fs.Bool("victim-only", true, "write only records attributed to the victim")
 	out := fs.String("out", "-", "output CSV path (- = stdout)")
+	live := fs.Bool("live", false, "classify the capture while it runs instead of writing a CSV")
+	model := fs.String("model", "", "fingerprinter model for -live (as saved by Fingerprinter.Save); trains a small one when empty")
 	list := fs.Bool("list", false, "list networks and apps, then exit")
 	metrics := fs.Bool("metrics", false, "dump the metrics registry to stderr after the capture")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
@@ -69,7 +77,7 @@ func run(args []string) error {
 			fmt.Fprintf(os.Stderr, "ltesniff: debug server on http://%s/ (/debug/vars, /debug/pprof/, /metrics)\n", srv.Addr)
 		}
 	}
-	res, err := ltefp.Capture(ltefp.CaptureOptions{
+	captureOpts := ltefp.CaptureOptions{
 		Network:        *network,
 		App:            *app,
 		Duration:       *duration,
@@ -78,7 +86,18 @@ func run(args []string) error {
 		DownlinkOnly:   *dlOnly,
 		BackgroundApps: *background,
 		Metrics:        reg,
-	})
+	}
+	if *live {
+		if err := runLive(captureOpts, *model); err != nil {
+			return err
+		}
+		if *metrics {
+			fmt.Fprintln(os.Stderr, "ltesniff: metrics:")
+			return reg.WriteText(os.Stderr)
+		}
+		return nil
+	}
+	res, err := ltefp.Capture(captureOpts)
 	if err != nil {
 		return err
 	}
@@ -104,14 +123,91 @@ func run(args []string) error {
 	}
 	fmt.Fprintf(os.Stderr, "ltesniff: %d records (%d victim, %d total), %d identity bindings\n",
 		len(records), len(res.Victim), len(res.All), len(res.Bindings))
-	h := res.Health
-	fmt.Fprintf(os.Stderr, "ltesniff: health: %d candidates, %d captured, %d lost (%.2f%%), %d corrupted (%d caught, %d leaked), %d parse rejects\n",
-		h.Candidates, h.Captured, h.Dropped, 100*h.LossRate(), h.Corrupted, h.CorruptCaught, h.CorruptLeaked, h.ParseRejects)
+	printHealth(res.Health)
 	if *metrics {
 		fmt.Fprintln(os.Stderr, "ltesniff: metrics:")
 		if err := reg.WriteText(os.Stderr); err != nil {
 			return err
 		}
 	}
+	return nil
+}
+
+func printHealth(h ltefp.CaptureHealth) {
+	fmt.Fprintf(os.Stderr, "ltesniff: health: %d candidates, %d captured, %d lost (%.2f%%), %d corrupted (%d caught, %d leaked), %d parse rejects, %d plausibility rejects\n",
+		h.Candidates, h.Captured, h.Dropped, 100*h.LossRate(), h.Corrupted, h.CorruptCaught, h.CorruptLeaked, h.ParseRejects, h.PlausibilityRejects)
+}
+
+// loadOrTrainModel loads a saved fingerprinter, or trains a small one on
+// the target network when no model file is given — enough to demonstrate
+// the live attack without a separate training run.
+func loadOrTrainModel(path, network string, seed uint64) (*ltefp.Fingerprinter, error) {
+	if path != "" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer func() { _ = f.Close() }()
+		return ltefp.LoadFingerprinter(f)
+	}
+	fmt.Fprintln(os.Stderr, "ltesniff: no -model given, training a small fingerprinter (use ltefp.Fingerprinter.Save to reuse one)")
+	td, err := ltefp.CollectTraining(ltefp.TrainingOptions{
+		Network:         network,
+		SessionsPerApp:  2,
+		SessionDuration: 20 * time.Second,
+		Seed:            seed ^ 0xF17E,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return ltefp.TrainFingerprinter(td, seed)
+}
+
+// runLive executes the streaming attack: rolling verdicts are printed
+// whenever a user's majority app changes, retrain signals as they fire,
+// and a per-user summary plus the capture health at the end.
+func runLive(opts ltefp.CaptureOptions, modelPath string) error {
+	fp, err := loadOrTrainModel(modelPath, opts.Network, opts.Seed)
+	if err != nil {
+		return err
+	}
+	type userKey struct {
+		cell int
+		rnti uint16
+	}
+	lastApp := make(map[userKey]string)
+	final := make(map[userKey]ltefp.LiveVerdict)
+	var order []userKey
+	st, err := ltefp.LiveCapture(context.Background(), ltefp.LiveOptions{
+		Capture: opts,
+		Model:   fp,
+		OnVerdict: func(v ltefp.LiveVerdict) {
+			k := userKey{v.CellID, v.RNTI}
+			if _, seen := lastApp[k]; !seen {
+				order = append(order, k)
+			}
+			if lastApp[k] != v.App {
+				lastApp[k] = v.App
+				fmt.Printf("t=%-8s cell=%d rnti=0x%04X app=%-14s category=%-10s confidence=%.2f windows=%d\n",
+					v.At.Truncate(time.Millisecond), v.CellID, v.RNTI, v.App, v.Category, v.Confidence, v.Windows)
+			}
+			final[k] = v
+		},
+		OnRetrain: func(v ltefp.LiveVerdict) {
+			fmt.Printf("t=%-8s cell=%d rnti=0x%04X RETRAIN confidence=%.2f below gate\n",
+				v.At.Truncate(time.Millisecond), v.CellID, v.RNTI, v.Confidence)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	for _, k := range order {
+		v := final[k]
+		fmt.Printf("final: cell=%d rnti=0x%04X app=%s category=%s confidence=%.2f windows=%d\n",
+			v.CellID, v.RNTI, v.App, v.Category, v.Confidence, v.Windows)
+	}
+	fmt.Fprintf(os.Stderr, "ltesniff: live: %d users, %d records -> %d windows -> %d verdicts, %d retrain signals, ran to t=%s\n",
+		st.Users, st.Records, st.Rows, st.Verdicts, st.RetrainSignals, st.End)
+	printHealth(st.Health)
 	return nil
 }

@@ -70,7 +70,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	e := ltefp.Correlate(a.Victim, b.Victim, 0, dur)
+	e, err := ltefp.Correlate(a.Victim, b.Victim, 0, dur)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("similarity %.3f, detector says contact=%v (score %.3f)\n",
 		e.Similarity, det.Detect(e), det.Score(e))
 }

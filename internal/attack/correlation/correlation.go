@@ -95,7 +95,16 @@ func PairEvidence(a, b trace.Trace, bin, start, end time.Duration) Evidence {
 // PairEvidenceWith is PairEvidence reusing a caller-owned DTW aligner, so
 // pairwise sweeps amortise the normalization and DP-row buffers across
 // every comparison. The aligner must not be shared between goroutines.
+//
+// A degenerate comparison — non-positive bin or an empty span (end <=
+// start) — returns the zero Evidence. Callers must treat that as "no
+// comparison was made", not as measured dissimilarity: before this guard,
+// such spans produced empty rate series whose zero scores were fed to the
+// contact classifier as if they were real observations.
 func PairEvidenceWith(al *dtw.Aligner, a, b trace.Trace, bin, start, end time.Duration) Evidence {
+	if bin <= 0 || end <= start {
+		return Evidence{}
+	}
 	ra := RateSeries(a, bin, start, end)
 	rb := RateSeries(b, bin, start, end)
 	ba := ByteRateSeries(a, bin, start, end)

@@ -45,6 +45,33 @@ func TestRateSeriesPanicsOnBadBin(t *testing.T) {
 	correlation.RateSeries(nil, 0, 0, sec)
 }
 
+// TestPairEvidenceDegenerateSpan is the regression test for silently-scored
+// garbage evidence: an empty/inverted span or non-positive bin used to
+// produce empty rate series (or panic) whose zero similarity entered the
+// contact classifier as a real measurement. The contract is now the zero
+// Evidence, without panicking even for bin <= 0.
+func TestPairEvidenceDegenerateSpan(t *testing.T) {
+	a, b := mirrorTraces(10)
+	cases := []struct {
+		name            string
+		bin, start, end time.Duration
+	}{
+		{"empty_span", sec, 5 * sec, 5 * sec},
+		{"inverted_span", sec, 8 * sec, 2 * sec},
+		{"zero_bin", 0, 0, 10 * sec},
+		{"negative_bin", -sec, 0, 10 * sec},
+	}
+	for _, c := range cases {
+		if got := correlation.PairEvidence(a, b, c.bin, c.start, c.end); got != (correlation.Evidence{}) {
+			t.Errorf("%s: PairEvidence = %+v, want zero Evidence", c.name, got)
+		}
+	}
+	// The guard must not eat real comparisons.
+	if got := correlation.PairEvidence(a, b, sec, 0, 10*sec); got.Similarity == 0 {
+		t.Fatal("valid span produced zero similarity for mirrored traces")
+	}
+}
+
 // mirrorTraces builds a synthetic communicating pair: B receives what A
 // sends, one bin later.
 func mirrorTraces(n int) (a, b trace.Trace) {

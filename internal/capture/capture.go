@@ -112,8 +112,20 @@ type Capture struct {
 	Health sniffer.Stats
 }
 
-// Run executes the scenario.
-func Run(sc Scenario) (*Capture, error) {
+// prepared is a scenario instantiated but not yet (fully) run: the network,
+// its sniffers, and the timeline bounds. Both the batch Run and the
+// streaming Live stepper build on it.
+type prepared struct {
+	n        *network.Network
+	sniffers []*sniffer.Sniffer
+	ues      map[string]*ue.UE
+	end      time.Duration // end of the last session plus settle
+	maxIdle  time.Duration
+}
+
+// prepare instantiates the scenario: cells with their sniffers, UEs, and
+// every session scheduled on the timeline.
+func prepare(sc Scenario) (*prepared, error) {
 	if len(sc.Cells) == 0 {
 		return nil, fmt.Errorf("capture: scenario has no cells")
 	}
@@ -169,7 +181,30 @@ func Run(sc Scenario) (*Capture, error) {
 	if settle <= 0 {
 		settle = maxIdle + 2*time.Second
 	}
-	n.Run(end + settle)
+	return &prepared{n: n, sniffers: sniffers, ues: ues, end: end + settle, maxIdle: maxIdle}, nil
+}
+
+// addHealth accumulates one sniffer's counters into the aggregate.
+func addHealth(h *sniffer.Stats, st sniffer.Stats) {
+	h.Candidates += st.Candidates
+	h.Captured += st.Captured
+	h.Dropped += st.Dropped
+	h.Corrupted += st.Corrupted
+	h.CorruptCaught += st.CorruptCaught
+	h.CorruptLeaked += st.CorruptLeaked
+	h.ParseRejects += st.ParseRejects
+	h.PlausibilityRejects += st.PlausibilityRejects
+}
+
+// Run executes the scenario.
+func Run(sc Scenario) (*Capture, error) {
+	p, err := prepare(sc)
+	if err != nil {
+		return nil, err
+	}
+	n, sniffers, ues := p.n, p.sniffers, p.ues
+	maxIdle := p.maxIdle
+	n.Run(p.end)
 
 	out := &Capture{TMSIs: make(map[string][]uint32, len(ues))}
 	total := 0
@@ -183,13 +218,7 @@ func Run(sc Scenario) (*Capture, error) {
 		out.Pagings = append(out.Pagings, s.PagingEvents()...)
 		st := s.Stats()
 		out.Dropped += st.Dropped
-		out.Health.Candidates += st.Candidates
-		out.Health.Captured += st.Captured
-		out.Health.Dropped += st.Dropped
-		out.Health.Corrupted += st.Corrupted
-		out.Health.CorruptCaught += st.CorruptCaught
-		out.Health.CorruptLeaked += st.CorruptLeaked
-		out.Health.ParseRejects += st.ParseRejects
+		addHealth(&out.Health, st)
 	}
 	out.Records.Sort()
 	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].At < out.Events[j].At })

@@ -1,0 +1,225 @@
+package features
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"ltefp/internal/trace"
+)
+
+// Incremental is a push-based sliding-window feature extractor producing
+// rows bit-identical to FromTrace over the same record sequence. It exists
+// for the live pipeline: records arrive one at a time from a draining
+// sniffer, and a window's row is emitted as soon as the window can no
+// longer receive records (a record at or past its end arrives, or Flush is
+// called), instead of after the whole capture is on disk.
+//
+// The extractor retains only the trailing context horizon (the records the
+// gap, 1 s rate, and 3 s duty-cycle features still reference — at most 3 s
+// behind the next window), so memory stays bounded by traffic rate, not
+// capture length. The emitted row slice is scratch owned by the
+// Incremental and is only valid during the emit callback; callers that
+// retain rows must copy them.
+//
+// An Incremental is not safe for concurrent use. Records must be pushed in
+// non-decreasing At order (the order sniffers drain them); out-of-order
+// records are dropped and counted in OutOfOrder, never silently reordered.
+type Incremental struct {
+	width  time.Duration
+	stride time.Duration
+
+	ex  Extractor // fromWindowInto scratch (sizes, occupancy bitset)
+	row []float64 // emit scratch, TotalDim
+
+	buf     []trace.Record // retained records, time-ordered
+	started bool
+	next    time.Duration // start of the next window to finalize
+	lastAt  time.Duration // At of the newest accepted record
+
+	prevCount, prevBytes float64 // previous emitted window's count/bytes
+
+	// Last record evicted from buf: the gap feature's reference when no
+	// buffered record precedes the window start.
+	hasEvicted bool
+	evictedAt  time.Duration
+
+	// OutOfOrder counts records dropped for violating At order.
+	OutOfOrder int64
+}
+
+// NewIncremental returns an extractor for the given window geometry. It
+// panics if width or stride is not positive, mirroring trace.Windows.
+func NewIncremental(width, stride time.Duration) *Incremental {
+	if width <= 0 || stride <= 0 {
+		panic(fmt.Sprintf("features: invalid window width %v / stride %v", width, stride))
+	}
+	return &Incremental{
+		width:  width,
+		stride: stride,
+		row:    make([]float64, TotalDim),
+	}
+}
+
+// Reset returns the extractor to its initial state, keeping scratch
+// capacity.
+func (inc *Incremental) Reset() {
+	inc.buf = inc.buf[:0]
+	inc.started = false
+	inc.next = 0
+	inc.lastAt = 0
+	inc.prevCount = 0
+	inc.prevBytes = 0
+	inc.hasEvicted = false
+	inc.evictedAt = 0
+	inc.OutOfOrder = 0
+}
+
+// Buffered reports how many records the context horizon currently retains.
+func (inc *Incremental) Buffered() int { return len(inc.buf) }
+
+// Push feeds one record, emitting every window the record proves complete
+// (all windows ending at or before r.At). emit receives the window start
+// and the TotalDim feature row; the row is scratch reused by the next
+// emission.
+func (inc *Incremental) Push(r trace.Record, emit func(start time.Duration, row []float64)) {
+	if inc.started && r.At < inc.lastAt {
+		inc.OutOfOrder++
+		return
+	}
+	if !inc.started {
+		inc.started = true
+		inc.next = r.At - r.At%inc.stride
+	}
+	// A window [next, next+width) can still gain records until one arrives
+	// at or past its end; r proves every earlier window complete.
+	for inc.next+inc.width <= r.At {
+		inc.finalize(emit)
+	}
+	inc.buf = append(inc.buf, r)
+	inc.lastAt = r.At
+}
+
+// AdvanceTo emits every window ending at or before now. It is only sound
+// when the caller guarantees all records with At < now have been pushed —
+// the invariant a time-sliced source provides after draining a slice — in
+// which case the emitted rows are identical to the ones a later Push or
+// Flush would have produced. Windows the extractor skips past are
+// record-free and would never have emitted.
+func (inc *Incremental) AdvanceTo(now time.Duration, emit func(start time.Duration, row []float64)) {
+	if !inc.started {
+		return
+	}
+	for inc.next+inc.width <= now {
+		inc.finalize(emit)
+	}
+}
+
+// Flush emits every remaining window through the one containing the last
+// record, matching FromTrace's iteration bound (start <= last record At).
+// The extractor keeps accepting pushes afterwards, but records older than
+// the already-emitted windows count as out-of-order.
+func (inc *Incremental) Flush(emit func(start time.Duration, row []float64)) {
+	if !inc.started {
+		return
+	}
+	for inc.next <= inc.lastAt {
+		inc.finalize(emit)
+	}
+}
+
+// finalize extracts the window starting at inc.next (emitting only if it
+// holds records, as FromTrace does), advances to the following window, and
+// evicts records the remaining windows can no longer reference.
+func (inc *Incremental) finalize(emit func(start time.Duration, row []float64)) {
+	start := inc.next
+	end := start + inc.width
+	buf := inc.buf
+	i := 0
+	for i < len(buf) && buf[i].At < start {
+		i++
+	}
+	j := i
+	for j < len(buf) && buf[j].At < end {
+		j++
+	}
+	if j > i {
+		v := inc.row
+		for k := range v {
+			v[k] = 0
+		}
+		inc.ex.fromWindowInto(v[:Dim], trace.Window{Start: start, Records: buf[i:j]}, inc.width)
+
+		// Gap to the last record before the window start: a buffered
+		// predecessor if one survives, else the last evicted record.
+		gap := float64(gapCapMilliseconds)
+		prevAt := inc.evictedAt
+		havePrev := inc.hasEvicted
+		if i > 0 {
+			prevAt = buf[i-1].At
+			havePrev = true
+		}
+		if havePrev {
+			g := float64((buf[i].At - prevAt).Microseconds()) / 1000
+			if g < gap {
+				gap = g
+			}
+		}
+		v[Dim] = gap
+		v[Dim+1] = inc.prevCount
+		v[Dim+2] = inc.prevBytes
+
+		lo := 0
+		for lo < len(buf) && buf[lo].At < end-time.Second {
+			lo++
+		}
+		var rb, rc float64
+		for k := lo; k < len(buf) && buf[k].At < end; k++ {
+			rb += float64(buf[k].Bytes)
+			rc++
+		}
+		v[Dim+3] = rb
+		v[Dim+4] = rc
+
+		lo3 := 0
+		for lo3 < len(buf) && buf[lo3].At < end-3*time.Second {
+			lo3++
+		}
+		var b3 float64
+		var slotBits uint64
+		slotBase := (end - 3*time.Second) / (100 * time.Millisecond)
+		if slotBase < 0 {
+			slotBase = 0
+		}
+		for k := lo3; k < len(buf) && buf[k].At < end; k++ {
+			b3 += float64(buf[k].Bytes)
+			slotBits |= 1 << uint(buf[k].At/(100*time.Millisecond)-slotBase)
+		}
+		v[Dim+5] = b3
+		v[Dim+6] = float64(bits.OnesCount64(slotBits)) / 30
+
+		emit(start, v)
+
+		inc.prevCount = v[0]
+		inc.prevBytes = v[3]
+	}
+	inc.next = start + inc.stride
+
+	// Evict records no future window references: the next window needs its
+	// 3 s context horizon and, for the gap feature, at most one record
+	// before its start (tracked in evictedAt).
+	evictBefore := inc.next + inc.width - 3*time.Second
+	if evictBefore > inc.next {
+		evictBefore = inc.next
+	}
+	k := 0
+	for k < len(buf) && buf[k].At < evictBefore {
+		k++
+	}
+	if k > 0 {
+		inc.evictedAt = buf[k-1].At
+		inc.hasEvicted = true
+		n := copy(buf, buf[k:])
+		inc.buf = buf[:n]
+	}
+}

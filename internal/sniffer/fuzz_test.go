@@ -35,10 +35,13 @@ func FuzzBlindDecode(f *testing.F) {
 			t.Fatal("Verify rejects an intact payload")
 		}
 		// A blind decoder sees every candidate; neither the parser nor a
-		// live sniffer may panic on one.
+		// live sniffer may panic on one. The CorruptProb=1 sniffer forces
+		// every candidate through the bit-flip path, which used to panic on
+		// zero-length payloads.
 		_, _ = dci.Parse(payload)
-		s := sniffer.New(sniffer.Config{}, sim.NewRNG(1))
-		s.Observe(1, &phy.Subframe{PDCCH: []phy.Transmission{{Payload: payload, MaskedCRC: masked}}})
+		sf := &phy.Subframe{PDCCH: []phy.Transmission{{Payload: payload, MaskedCRC: masked}}}
+		sniffer.New(sniffer.Config{}, sim.NewRNG(1)).Observe(1, sf)
+		sniffer.New(sniffer.Config{CorruptProb: 1}, sim.NewRNG(2)).Observe(1, sf)
 
 		if len(payload) == 0 || len(payload) > 256 {
 			// gCRC16's 2-bit-error guarantee holds within the polynomial's

@@ -14,6 +14,7 @@
 package sniffer
 
 import (
+	"slices"
 	"time"
 
 	"ltefp/internal/lte/crc"
@@ -85,6 +86,13 @@ type Stats struct {
 	// ParseRejects is the number of candidates (corrupted or not) that
 	// failed DCI validation.
 	ParseRejects int64
+	// PlausibilityRejects is the number of captured records the last
+	// validation pass (AppendValidated / ValidatedRecords, or the streaming
+	// DrainValidated + FlushRejected sequence) discarded for an
+	// implausible RNTI. Unlike the funnel counters above it is a property
+	// of the validated view, not of capture: re-validating the same records
+	// reports the same value instead of accumulating.
+	PlausibilityRejects int64
 }
 
 // Sniffer captures one cell's PDCCH. It implements enb.Observer.
@@ -105,6 +113,12 @@ type Sniffer struct {
 
 	stats Stats
 	m     snifferMetrics
+
+	// Streaming-drain state (DrainValidated): the index of the first
+	// record not yet drained, and per-RNTI record indices held back until
+	// their RNTI passes the plausibility threshold.
+	drained int
+	pending map[rnti.RNTI][]int32
 }
 
 // snifferMetrics caches the scope's counter handles; with a disabled scope
@@ -274,8 +288,14 @@ func (s *Sniffer) inspectPlaintext(at time.Duration, cellID int, r rnti.RNTI, pl
 	}
 }
 
-// corrupt flips a couple of random bits in a copy of the payload.
+// corrupt flips a couple of random bits in a copy of the payload. A
+// zero-length payload has no bits to flip and passes through unchanged
+// (it will fail DCI parsing regardless); the guard keeps the rng.IntN
+// draws off the empty case, which would panic.
 func (s *Sniffer) corrupt(payload []byte) []byte {
+	if len(payload) == 0 {
+		return payload
+	}
 	out := make([]byte, len(payload))
 	copy(out, payload)
 	for flips := 1 + s.rng.IntN(2); flips > 0; flips-- {
@@ -296,16 +316,76 @@ func (s *Sniffer) ValidatedRecords(minCount int) trace.Trace {
 
 // AppendValidated appends the validated records to dst and returns it,
 // letting the capture assembly collect all sniffers into one
-// run-owned slice.
+// run-owned slice. Each call re-derives the reject count from scratch and
+// publishes it through setPlausibilityRejects, so validating twice reports
+// the current truth instead of double-counting.
 func (s *Sniffer) AppendValidated(dst trace.Trace, minCount int) trace.Trace {
+	var rejects int64
 	for _, r := range s.records {
 		if s.activity[r.RNTI].Count >= minCount {
 			dst = append(dst, r)
 		} else {
-			s.m.plausibilityRejects.Inc()
+			rejects++
 		}
 	}
+	s.setPlausibilityRejects(rejects)
 	return dst
+}
+
+// setPlausibilityRejects moves Stats.PlausibilityRejects to n and applies
+// the same delta to the obs counter, keeping the two views agreeing. The
+// metric stays a monotone-named counter for report aggregation, but the
+// value tracks the latest validation pass: it can step down when records
+// pending validation later clear the threshold.
+func (s *Sniffer) setPlausibilityRejects(n int64) {
+	if d := n - s.stats.PlausibilityRejects; d != 0 {
+		s.stats.PlausibilityRejects = n
+		s.m.plausibilityRejects.Add(d)
+	}
+}
+
+// DrainValidated is the streaming counterpart of AppendValidated: it
+// appends to dst every record captured since the previous drain whose RNTI
+// already passes the plausibility threshold, and holds the rest back.
+// A held-back record is released by the drain that first sees its RNTI
+// reach minCount sightings (immediately before that RNTI's newest record,
+// preserving per-RNTI time order); records of RNTIs that never validate
+// surface only through FlushRejected. Use either the batch accessors or
+// the drain sequence on one sniffer, not both: draining consumes records.
+func (s *Sniffer) DrainValidated(dst trace.Trace, minCount int) trace.Trace {
+	if s.pending == nil {
+		s.pending = make(map[rnti.RNTI][]int32)
+	}
+	for ; s.drained < len(s.records); s.drained++ {
+		r := s.records[s.drained]
+		if s.activity[r.RNTI].Count < minCount {
+			s.pending[r.RNTI] = append(s.pending[r.RNTI], int32(s.drained))
+			continue
+		}
+		if held, ok := s.pending[r.RNTI]; ok {
+			for _, idx := range held {
+				dst = append(dst, s.records[idx])
+			}
+			delete(s.pending, r.RNTI)
+		}
+		dst = append(dst, r)
+	}
+	return dst
+}
+
+// FlushRejected closes a drain sequence: after a final DrainValidated has
+// consumed every record, the still-pending records belong to RNTIs that
+// never cleared the threshold. It publishes their count as the
+// plausibility-reject total (Stats and obs agreeing, as with
+// AppendValidated), clears the pending state, and returns the count.
+func (s *Sniffer) FlushRejected() int64 {
+	var rejects int64
+	for _, held := range s.pending {
+		rejects += int64(len(held))
+	}
+	s.setPlausibilityRejects(rejects)
+	s.pending = nil
+	return rejects
 }
 
 // IdentityEvents returns the observed RNTI↔TMSI bindings.
@@ -331,9 +411,7 @@ func (s *Sniffer) ActiveRNTIs(now, window time.Duration) []rnti.RNTI {
 func (s *Sniffer) Stats() Stats { return s.stats }
 
 func sortRNTIs(rs []rnti.RNTI) {
-	for i := 1; i < len(rs); i++ {
-		for j := i; j > 0 && rs[j] < rs[j-1]; j-- {
-			rs[j], rs[j-1] = rs[j-1], rs[j]
-		}
-	}
+	// A busy cell tracks hundreds of live RNTIs; the former insertion sort
+	// made every ActiveRNTIs scan quadratic.
+	slices.Sort(rs)
 }

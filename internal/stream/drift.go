@@ -1,0 +1,103 @@
+package stream
+
+import (
+	"ltefp/internal/appmodel"
+)
+
+// appTable maps app names to dense vote indices in appmodel table order,
+// so the rolling vote's tie-break matches the batch path's
+// PredictVectors (first app in table order wins ties).
+type appTable struct {
+	names []string
+	index map[string]int
+}
+
+func newAppTable() *appTable {
+	apps := appmodel.Apps()
+	t := &appTable{
+		names: make([]string, len(apps)),
+		index: make(map[string]int, len(apps)),
+	}
+	for i, a := range apps {
+		t.names[i] = a.Name
+		t.index[a.Name] = i
+	}
+	return t
+}
+
+// voteRing is one user's rolling window vote: a fixed-capacity ring of
+// per-window predictions with running per-app counts, so the majority is
+// O(apps) per read and O(1) per push.
+type voteRing struct {
+	slots  []int16
+	counts []int32
+	pos    int
+	fill   int
+}
+
+func newVoteRing(horizon, apps int) *voteRing {
+	return &voteRing{
+		slots:  make([]int16, horizon),
+		counts: make([]int32, apps),
+	}
+}
+
+// push adds one window's predicted app, evicting the oldest when full.
+func (v *voteRing) push(app int) {
+	if v.fill == len(v.slots) {
+		v.counts[v.slots[v.pos]]--
+	} else {
+		v.fill++
+	}
+	v.slots[v.pos] = int16(app)
+	v.counts[app]++
+	v.pos++
+	if v.pos == len(v.slots) {
+		v.pos = 0
+	}
+}
+
+// majority returns the winning app index and its confidence (fraction of
+// the filled ring). Ties break to the lower index — appmodel table order,
+// matching the batch majority vote.
+func (v *voteRing) majority() (app int, confidence float64) {
+	if v.fill == 0 {
+		return 0, 0
+	}
+	best := -1
+	var bestN int32 = -1
+	for i, n := range v.counts {
+		if n > bestN {
+			bestN = n
+			best = i
+		}
+	}
+	return best, float64(bestN) / float64(v.fill)
+}
+
+// driftMonitor latches the paper's retrain condition per user: rolling
+// confidence below the threshold over at least minWindows windows. It
+// fires once per excursion — re-arming only after confidence recovers —
+// so a struggling user does not flood the retrain queue.
+type driftMonitor struct {
+	threshold  float64
+	minWindows int
+	latched    bool
+}
+
+// observe feeds one confidence reading; it returns true when the retrain
+// signal should fire now.
+func (d *driftMonitor) observe(confidence float64, windows int) bool {
+	if windows < d.minWindows {
+		return false
+	}
+	if confidence >= d.threshold {
+		d.latched = false
+		return false
+	}
+	if d.latched {
+		return false
+	}
+	d.latched = true
+	return true
+}

@@ -1,0 +1,193 @@
+package stream_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/capture"
+	"ltefp/internal/obs"
+	"ltefp/internal/sim"
+	"ltefp/internal/stream"
+	"ltefp/internal/trace"
+)
+
+// TestFaultInjectorOutage: records inside an outage window never reach the
+// pipeline, records outside it all do, and the drop count balances.
+func TestFaultInjectorOutage(t *testing.T) {
+	res, err := capture.Run(twoUserScenario(t, 51))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := stream.Window{From: 3 * time.Second, To: 6 * time.Second}
+	var inside int64
+	for _, r := range res.Records {
+		if r.At >= out.From && r.At < out.To {
+			inside++
+		}
+	}
+	if inside == 0 {
+		t.Fatal("outage window covers no records; scenario too short")
+	}
+	reg := obs.NewRegistry()
+	inj := &stream.FaultInjector{
+		Src:     &stream.ReplaySource{Trace: res.Records, Slice: 100 * time.Millisecond},
+		RNG:     sim.NewRNG(1),
+		Outages: []stream.Window{out},
+		Metrics: reg.Scope("faults"),
+	}
+	var got trace.Trace
+	for {
+		next, _, more := inj.Next(got)
+		got = next
+		if !more {
+			break
+		}
+	}
+	if inj.OutageDropped != inside {
+		t.Fatalf("OutageDropped = %d, window holds %d records", inj.OutageDropped, inside)
+	}
+	if int64(len(got))+inj.OutageDropped != int64(len(res.Records)) {
+		t.Fatalf("record leak: %d kept + %d dropped != %d total",
+			len(got), inj.OutageDropped, len(res.Records))
+	}
+	for _, r := range got {
+		if r.At >= out.From && r.At < out.To {
+			t.Fatalf("record at %v survived the outage window", r.At)
+		}
+	}
+	if c := reg.Snapshot().Counter("faults.outage_dropped"); c != inj.OutageDropped {
+		t.Fatalf("obs outage_dropped = %d, injector says %d", c, inj.OutageDropped)
+	}
+}
+
+// TestFaultInjectorLossBurst: a certain-loss burst drops exactly the
+// records in its window; a zero-probability burst drops none.
+func TestFaultInjectorLossBurst(t *testing.T) {
+	res, err := capture.Run(twoUserScenario(t, 53))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := stream.Window{From: 2 * time.Second, To: 4 * time.Second}
+	for _, tc := range []struct {
+		prob float64
+		want func(inside int64) int64
+	}{
+		{1, func(inside int64) int64 { return inside }},
+		{0, func(int64) int64 { return 0 }},
+	} {
+		inj := &stream.FaultInjector{
+			Src:    &stream.ReplaySource{Trace: res.Records, Slice: 100 * time.Millisecond},
+			RNG:    sim.NewRNG(7),
+			Bursts: []stream.LossBurst{{Window: w, Prob: tc.prob}},
+		}
+		var kept trace.Trace
+		for {
+			next, _, more := inj.Next(kept)
+			kept = next
+			if !more {
+				break
+			}
+		}
+		var inside int64
+		for _, r := range res.Records {
+			if r.At >= w.From && r.At < w.To {
+				inside++
+			}
+		}
+		if want := tc.want(inside); inj.BurstDropped != want {
+			t.Fatalf("prob %v: BurstDropped = %d, want %d", tc.prob, inj.BurstDropped, want)
+		}
+		if int64(len(kept))+inj.BurstDropped != int64(len(res.Records)) {
+			t.Fatalf("prob %v: record leak", tc.prob)
+		}
+	}
+}
+
+// TestFaultInjectorChurnStorm: with certain churn covering the whole run,
+// every user is remapped exactly once, every record carries an alias, and
+// the pipeline tracks the aliases as distinct keys while per-alias traffic
+// still classifies.
+func TestFaultInjectorChurnStorm(t *testing.T) {
+	c := classifier(t)
+	res, err := capture.Run(twoUserScenario(t, 59))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, origKeys := perKey(res.Records)
+	inj := &stream.FaultInjector{
+		Src: &stream.ReplaySource{Trace: res.Records, Slice: 100 * time.Millisecond},
+		RNG: sim.NewRNG(13),
+		Storms: []stream.ChurnStorm{{
+			Window: stream.Window{From: 0, To: time.Hour},
+			Prob:   1,
+		}},
+	}
+	got, st := runStream(t, inj, c, nil)
+	if inj.RemappedUsers != int64(len(origKeys)) {
+		t.Fatalf("RemappedUsers = %d, scenario has %d users", inj.RemappedUsers, len(origKeys))
+	}
+	if inj.RemappedRecords != int64(len(res.Records)) {
+		t.Fatalf("RemappedRecords = %d, want every one of %d", inj.RemappedRecords, len(res.Records))
+	}
+	if st.Records != int64(len(res.Records)) {
+		t.Fatalf("churn lost records: streamed %d of %d", st.Records, len(res.Records))
+	}
+	// The remap is per-user-permanent, so alias count == user count and no
+	// original key survives (alias collisions with an original RNTI are
+	// possible in principle but not under this seed).
+	if st.Users != len(origKeys) {
+		t.Fatalf("pipeline tracked %d keys, want %d aliases", st.Users, len(origKeys))
+	}
+	for k, u := range got {
+		orig := false
+		for _, ok := range origKeys {
+			if k == ok {
+				orig = true
+			}
+		}
+		if orig {
+			t.Fatalf("original key %v leaked through a total churn storm", k)
+		}
+		if len(u.rows) == 0 {
+			t.Fatalf("alias %v produced no windows", k)
+		}
+	}
+}
+
+// TestStreamUnderCompoundFaults runs the full pipeline behind an injector
+// combining all three fault models and checks the books still balance:
+// streamed records == captured records minus counted drops, and the
+// run completes cleanly.
+func TestStreamUnderCompoundFaults(t *testing.T) {
+	c := classifier(t)
+	res, err := capture.Run(twoUserScenario(t, 61))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj := &stream.FaultInjector{
+		Src:     &stream.ReplaySource{Trace: res.Records, Slice: 100 * time.Millisecond},
+		RNG:     sim.NewRNG(17),
+		Outages: []stream.Window{{From: 2 * time.Second, To: 2500 * time.Millisecond}},
+		Bursts: []stream.LossBurst{{
+			Window: stream.Window{From: 5 * time.Second, To: 8 * time.Second}, Prob: 0.3,
+		}},
+		Storms: []stream.ChurnStorm{{
+			Window: stream.Window{From: 9 * time.Second, To: 10 * time.Second}, Prob: 0.5,
+		}},
+	}
+	_, st := runStream(t, inj, c, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(len(res.Records)) - inj.OutageDropped - inj.BurstDropped
+	if st.Records != want {
+		t.Fatalf("faulty stream delivered %d records, books say %d (%d captured, %d outage, %d burst)",
+			st.Records, want, len(res.Records), inj.OutageDropped, inj.BurstDropped)
+	}
+	if inj.OutageDropped == 0 || inj.BurstDropped == 0 {
+		t.Fatalf("fault models idle: outage %d, burst %d", inj.OutageDropped, inj.BurstDropped)
+	}
+	if st.Rows == 0 || st.Verdicts == 0 {
+		t.Fatal("pipeline produced nothing under faults")
+	}
+}

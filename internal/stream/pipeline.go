@@ -1,0 +1,371 @@
+package stream
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"ltefp/internal/features"
+	"ltefp/internal/obs"
+	"ltefp/internal/trace"
+)
+
+// recBatch is one source slice: the records drained plus the simulated
+// time reached (all records with At < now are delivered, so the assembler
+// may close windows ending at or before now).
+type recBatch struct {
+	recs trace.Trace
+	now  time.Duration
+}
+
+// rowBatch is a classify work unit: parallel key/start/row columns backed
+// by one flat float64 block sized so it never reallocates under MaxBatch.
+type rowBatch struct {
+	keys   []Key
+	starts []time.Duration
+	rows   [][]float64
+}
+
+// predBatch is a classified rowBatch.
+type predBatch struct {
+	keys   []Key
+	starts []time.Duration
+	apps   []string
+}
+
+// stageMetrics is one stage's obs handles; all nil (no-op) when disabled.
+type stageMetrics struct {
+	batches *obs.Counter
+	items   *obs.Counter
+	shed    *obs.Counter
+	depth   *obs.Gauge
+	ms      *obs.Histogram
+}
+
+func newStageMetrics(sc obs.Scope, items, shed string) stageMetrics {
+	return stageMetrics{
+		batches: sc.Counter("batches"),
+		items:   sc.Counter(items),
+		shed:    sc.Counter(shed),
+		depth:   sc.Gauge("queue_depth"),
+		ms:      sc.Histogram("stage_ms", obs.LatencyBuckets()),
+	}
+}
+
+// pipeline carries one Run's state. Each stats field is written by exactly
+// one stage goroutine and read only after the WaitGroup settles.
+type pipeline struct {
+	cfg   Config
+	table *appTable
+
+	mSource   stageMetrics
+	mAssemble stageMetrics
+	mClassify stageMetrics
+	mVerdict  stageMetrics
+	activeKey *obs.Gauge
+	outOfObs  *obs.Counter
+	retrainC  *obs.Counter
+
+	// assemble-stage state
+	users  map[Key]*features.Incremental
+	order  []Key // sorted, for deterministic advance/flush iteration
+	curKey Key
+	cur    rowBatch
+	// flat is the arena row copies point into; chunks are shared across
+	// batches and abandoned to the GC once full, so rows already handed
+	// downstream stay valid.
+	flat []float64
+
+	st Stats
+}
+
+// Run executes the pipeline over the source until the source is exhausted
+// or ctx is cancelled. On cancellation the stages drain their in-flight
+// work before returning, and Run reports ctx's error alongside the stats
+// gathered so far.
+func Run(ctx context.Context, src Source, cfg Config) (*Stats, error) {
+	if cfg.Classifier == nil {
+		return nil, fmt.Errorf("stream: Config.Classifier is required")
+	}
+	cfg = cfg.withDefaults()
+	sc := cfg.Metrics
+	p := &pipeline{
+		cfg:       cfg,
+		table:     newAppTable(),
+		mSource:   newStageMetrics(sc.Scope("source"), "records", "shed_records"),
+		mAssemble: newStageMetrics(sc.Scope("assemble"), "rows", "shed_rows"),
+		mClassify: newStageMetrics(sc.Scope("classify"), "predictions", "shed_predictions"),
+		mVerdict:  newStageMetrics(sc.Scope("verdict"), "verdicts", "shed_verdicts"),
+		activeKey: sc.Scope("assemble").Gauge("active_keys"),
+		outOfObs:  sc.Scope("assemble").Counter("out_of_order"),
+		retrainC:  sc.Scope("verdict").Counter("retrain_signals"),
+		users:     make(map[Key]*features.Incremental),
+	}
+
+	recCh := make(chan recBatch, cfg.QueueDepth)
+	rowCh := make(chan rowBatch, cfg.QueueDepth)
+	predCh := make(chan predBatch, cfg.QueueDepth)
+
+	var wg sync.WaitGroup
+	wg.Add(4)
+	go func() { defer wg.Done(); p.sourceStage(ctx, src, recCh) }()
+	go func() { defer wg.Done(); p.assembleStage(recCh, rowCh) }()
+	go func() { defer wg.Done(); p.classifyStage(rowCh, predCh) }()
+	go func() { defer wg.Done(); p.verdictStage(predCh) }()
+	wg.Wait()
+
+	p.st.Users = len(p.users)
+	for _, inc := range p.users {
+		p.st.OutOfOrder += inc.OutOfOrder
+	}
+	if p.st.OutOfOrder > 0 {
+		p.outOfObs.Add(p.st.OutOfOrder)
+	}
+	st := p.st
+	return &st, ctx.Err()
+}
+
+// sourceStage pulls slices until the source is exhausted or the context is
+// cancelled. It is the only stage that watches ctx: downstream stages end
+// by draining their closed input, which guarantees in-flight work is
+// finished, not abandoned.
+func (p *pipeline) sourceStage(ctx context.Context, src Source, out chan<- recBatch) {
+	defer close(out)
+	buf := make(trace.Trace, 0, 1024)
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		default:
+		}
+		t := p.mSource.ms.Start()
+		next, now, more := src.Next(buf[:0])
+		buf = next
+		t.Stop()
+		p.st.End = now
+		b := recBatch{now: now}
+		if len(buf) > 0 {
+			b.recs = append(trace.Trace(nil), buf...)
+		}
+		p.mSource.batches.Inc()
+		if p.cfg.Shed {
+			select {
+			case out <- b:
+				p.st.Records += int64(len(b.recs))
+				p.mSource.items.Add(int64(len(b.recs)))
+			default:
+				p.st.ShedRecords += int64(len(b.recs))
+				p.mSource.shed.Add(int64(len(b.recs)))
+			}
+		} else {
+			select {
+			case out <- b:
+				p.st.Records += int64(len(b.recs))
+				p.mSource.items.Add(int64(len(b.recs)))
+			case <-ctx.Done():
+				return
+			}
+		}
+		p.mSource.depth.Set(int64(len(out)))
+		if !more {
+			return
+		}
+	}
+}
+
+// assembleStage routes records to per-user incremental extractors and
+// batches the emitted rows. Users are advanced and flushed in sorted key
+// order so row order — and therefore every downstream artefact — is
+// deterministic for a given record sequence.
+func (p *pipeline) assembleStage(in <-chan recBatch, out chan<- rowBatch) {
+	defer close(out)
+	p.resetBatch()
+	emit := p.emitRow(out)
+	for b := range in {
+		t := p.mAssemble.ms.Start()
+		for _, r := range b.recs {
+			k := Key{CellID: r.CellID, RNTI: r.RNTI}
+			inc, ok := p.users[k]
+			if !ok {
+				inc = features.NewIncremental(p.cfg.Window, p.cfg.Stride)
+				p.users[k] = inc
+				i := sort.Search(len(p.order), func(i int) bool { return keyLess(k, p.order[i]) })
+				p.order = append(p.order, Key{})
+				copy(p.order[i+1:], p.order[i:])
+				p.order[i] = k
+				p.activeKey.Set(int64(len(p.order)))
+			}
+			p.curKey = k
+			inc.Push(r, emit)
+		}
+		// The source guarantees all records with At < b.now are delivered:
+		// close every window ending by then, idle users included.
+		for _, k := range p.order {
+			p.curKey = k
+			p.users[k].AdvanceTo(b.now, emit)
+		}
+		t.Stop()
+		p.flushRows(out)
+	}
+	for _, k := range p.order {
+		p.curKey = k
+		p.users[k].Flush(emit)
+	}
+	p.flushRows(out)
+}
+
+func keyLess(a, b Key) bool {
+	if a.CellID != b.CellID {
+		return a.CellID < b.CellID
+	}
+	return a.RNTI < b.RNTI
+}
+
+// arenaRows is the arena chunk size in rows: small enough that the tail
+// wasted when a chunk is abandoned is negligible, large enough to keep
+// allocation off the per-row path.
+const arenaRows = 16
+
+// resetBatch starts a fresh, empty row batch. The arena is NOT reset —
+// rows from earlier batches keep pointing into it.
+func (p *pipeline) resetBatch() {
+	p.cur = rowBatch{}
+}
+
+// emitRow returns the assembler's emit callback (built once per stage —
+// it is called per row); curKey names the user the row belongs to. The
+// extractor's row is scratch, so it is copied into the arena; appends
+// there never grow a chunk in place, which would move rows already handed
+// downstream.
+func (p *pipeline) emitRow(out chan<- rowBatch) func(start time.Duration, row []float64) {
+	return func(start time.Duration, row []float64) {
+		if p.cfg.TapWindow != nil {
+			p.cfg.TapWindow(p.curKey, start, row)
+		}
+		if len(p.flat)+features.TotalDim > cap(p.flat) {
+			p.flat = make([]float64, 0, arenaRows*features.TotalDim)
+		}
+		n := len(p.flat)
+		p.flat = append(p.flat, row...)
+		p.cur.keys = append(p.cur.keys, p.curKey)
+		p.cur.starts = append(p.cur.starts, start)
+		p.cur.rows = append(p.cur.rows, p.flat[n:len(p.flat):len(p.flat)])
+		if len(p.cur.rows) >= p.cfg.MaxBatch {
+			p.flushRows(out)
+		}
+	}
+}
+
+// flushRows ships the accumulated rows (if any) under the shed policy.
+func (p *pipeline) flushRows(out chan<- rowBatch) {
+	if len(p.cur.rows) == 0 {
+		return
+	}
+	b := p.cur
+	p.mAssemble.batches.Inc()
+	if p.cfg.Shed {
+		select {
+		case out <- b:
+			p.st.Rows += int64(len(b.rows))
+			p.mAssemble.items.Add(int64(len(b.rows)))
+		default:
+			p.st.ShedRows += int64(len(b.rows))
+			p.mAssemble.shed.Add(int64(len(b.rows)))
+		}
+	} else {
+		out <- b
+		p.st.Rows += int64(len(b.rows))
+		p.mAssemble.items.Add(int64(len(b.rows)))
+	}
+	p.mAssemble.depth.Set(int64(len(out)))
+	p.resetBatch()
+}
+
+// classifyStage runs the forest hierarchy batched over each row batch.
+// Batch composition cannot change predictions (PredictBatch is documented
+// bit-identical to per-row prediction), so shed/batching policy upstream
+// never alters what a surviving row classifies as.
+func (p *pipeline) classifyStage(in <-chan rowBatch, out chan<- predBatch) {
+	defer close(out)
+	for b := range in {
+		t := p.mClassify.ms.Start()
+		apps := p.cfg.Classifier.PredictBatch(b.rows)
+		t.Stop()
+		pb := predBatch{keys: b.keys, starts: b.starts, apps: apps}
+		p.mClassify.batches.Inc()
+		if p.cfg.Shed {
+			select {
+			case out <- pb:
+				p.st.Predictions += int64(len(apps))
+				p.mClassify.items.Add(int64(len(apps)))
+			default:
+				p.st.ShedPredictions += int64(len(apps))
+				p.mClassify.shed.Add(int64(len(apps)))
+			}
+		} else {
+			out <- pb
+			p.st.Predictions += int64(len(apps))
+			p.mClassify.items.Add(int64(len(apps)))
+		}
+		p.mClassify.depth.Set(int64(len(out)))
+	}
+}
+
+// userVote is the verdict stage's per-user state.
+type userVote struct {
+	ring  *voteRing
+	drift driftMonitor
+}
+
+// verdictStage folds predictions into rolling per-user majority votes,
+// emitting one verdict per classified window once the user has enough
+// history, and watching confidence for the retrain gate.
+func (p *pipeline) verdictStage(in <-chan predBatch) {
+	votes := make(map[Key]*userVote)
+	for b := range in {
+		t := p.mVerdict.ms.Start()
+		for i, k := range b.keys {
+			u, ok := votes[k]
+			if !ok {
+				u = &userVote{
+					ring: newVoteRing(p.cfg.VoteHorizon, len(p.table.names)),
+					drift: driftMonitor{
+						threshold:  p.cfg.DriftThreshold,
+						minWindows: p.cfg.DriftMinWindows,
+					},
+				}
+				votes[k] = u
+			}
+			u.ring.push(p.table.index[b.apps[i]])
+			if u.ring.fill < p.cfg.MinVerdictWindows {
+				continue
+			}
+			app, conf := u.ring.majority()
+			v := Verdict{
+				At:         b.starts[i],
+				Key:        k,
+				App:        p.table.names[app],
+				Confidence: conf,
+				Windows:    u.ring.fill,
+			}
+			p.st.Verdicts++
+			p.mVerdict.items.Inc()
+			if p.cfg.OnVerdict != nil {
+				p.cfg.OnVerdict(v)
+			}
+			if u.drift.observe(conf, u.ring.fill) {
+				p.st.RetrainSignals++
+				p.retrainC.Inc()
+				if p.cfg.OnRetrain != nil {
+					p.cfg.OnRetrain(RetrainSignal{
+						At: b.starts[i], Key: k, Confidence: conf, Windows: u.ring.fill,
+					})
+				}
+			}
+		}
+		p.mVerdict.batches.Inc()
+		t.Stop()
+	}
+}

@@ -1,0 +1,202 @@
+package stream
+
+import (
+	"time"
+
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/obs"
+	"ltefp/internal/sim"
+	"ltefp/internal/trace"
+)
+
+// Source feeds the pipeline one time slice of records per call. Next
+// appends the slice's records to dst and returns the extended slice, the
+// simulated time now reached (every record with At < now has been
+// delivered, the invariant the incremental extractor's AdvanceTo needs),
+// and whether more slices remain. Implementations need not be safe for
+// concurrent use; the pipeline calls Next from a single goroutine.
+type Source interface {
+	Next(dst trace.Trace) (out trace.Trace, now time.Duration, more bool)
+}
+
+// LiveSource adapts a capture.Live stepper: each Next advances the
+// simulation by Slice and drains every sniffer.
+type LiveSource struct {
+	Live *capture.Live
+	// Slice is the simulated time stepped per Next (default 100 ms).
+	Slice time.Duration
+}
+
+// Next implements Source.
+func (s *LiveSource) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	return s.Live.Step(dst, s.Slice)
+}
+
+// ReplaySource feeds a recorded trace back in Slice-sized time slices, the
+// bridge between offline captures and the online pipeline (and the heart
+// of the offline/streaming equivalence tests). The trace must be
+// time-ordered.
+type ReplaySource struct {
+	Trace trace.Trace
+	// Slice is the simulated time advanced per Next (default 100 ms).
+	Slice time.Duration
+
+	idx int
+	now time.Duration
+}
+
+// Next implements Source.
+func (s *ReplaySource) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	slice := s.Slice
+	if slice <= 0 {
+		slice = 100 * time.Millisecond
+	}
+	s.now += slice
+	for s.idx < len(s.Trace) && s.Trace[s.idx].At < s.now {
+		dst = append(dst, s.Trace[s.idx])
+		s.idx++
+	}
+	return dst, s.now, s.idx < len(s.Trace)
+}
+
+// Window is a half-open interval of simulated time [From, To).
+type Window struct {
+	From, To time.Duration
+}
+
+// contains reports whether at falls inside the window.
+func (w Window) contains(at time.Duration) bool { return at >= w.From && at < w.To }
+
+// LossBurst is a window of elevated record loss.
+type LossBurst struct {
+	Window
+	// Prob is the per-record drop probability inside the window.
+	Prob float64
+}
+
+// ChurnStorm is a window of RNTI reassignment: users inside it may have
+// their C-RNTI remapped to a fresh alias, permanently — the live
+// pipeline then sees the same user as a new key, exactly what a real
+// RNTI refresh does to an attacker.
+type ChurnStorm struct {
+	Window
+	// Prob is the per-user chance of being remapped when first seen
+	// inside the window.
+	Prob float64
+}
+
+// FaultInjector wraps a Source with deterministic fault models: sniffer
+// outage windows (all records dropped), loss bursts (records dropped with
+// a probability), and RNTI churn storms (users remapped to alias RNTIs).
+// Every dropped or remapped record is counted — in the injector's fields
+// and, when Metrics is enabled, in obs counters (outage_dropped,
+// burst_dropped, churn_remapped_users, churn_remapped_records).
+type FaultInjector struct {
+	Src     Source
+	RNG     *sim.RNG // required for LossBursts/ChurnStorms draws
+	Outages []Window
+	Bursts  []LossBurst
+	Storms  []ChurnStorm
+	// Metrics receives the fault counters. Zero Scope disables.
+	Metrics obs.Scope
+
+	// OutageDropped, BurstDropped, RemappedUsers, RemappedRecords expose
+	// the fault counts without a registry.
+	OutageDropped   int64
+	BurstDropped    int64
+	RemappedUsers   int64
+	RemappedRecords int64
+
+	remap map[Key]rnti.RNTI
+	m     struct {
+		outage, burst, users, records *obs.Counter
+	}
+	bound bool
+}
+
+func (f *FaultInjector) bind() {
+	if f.bound {
+		return
+	}
+	f.bound = true
+	f.m.outage = f.Metrics.Counter("outage_dropped")
+	f.m.burst = f.Metrics.Counter("burst_dropped")
+	f.m.users = f.Metrics.Counter("churn_remapped_users")
+	f.m.records = f.Metrics.Counter("churn_remapped_records")
+}
+
+// Next implements Source: it pulls one slice from the wrapped source and
+// applies the fault models record by record.
+func (f *FaultInjector) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	f.bind()
+	base := len(dst)
+	out, now, more := f.Src.Next(dst)
+	kept := out[:base]
+	for _, r := range out[base:] {
+		if f.outaged(r.At) {
+			f.OutageDropped++
+			f.m.outage.Inc()
+			continue
+		}
+		if f.bursted(r.At) {
+			f.BurstDropped++
+			f.m.burst.Inc()
+			continue
+		}
+		kept = append(kept, f.churned(r))
+	}
+	return kept, now, more
+}
+
+func (f *FaultInjector) outaged(at time.Duration) bool {
+	for _, w := range f.Outages {
+		if w.contains(at) {
+			return true
+		}
+	}
+	return false
+}
+
+func (f *FaultInjector) bursted(at time.Duration) bool {
+	for _, b := range f.Bursts {
+		if b.contains(at) && f.RNG.Bool(b.Prob) {
+			return true
+		}
+	}
+	return false
+}
+
+// churned applies RNTI churn: the first time a user is seen inside a
+// storm, it may be assigned a fresh alias C-RNTI; once remapped, all of
+// the user's later records carry the alias (RNTI refreshes persist).
+func (f *FaultInjector) churned(r trace.Record) trace.Record {
+	k := Key{CellID: r.CellID, RNTI: r.RNTI}
+	if alias, ok := f.remap[k]; ok {
+		r.RNTI = alias
+		f.RemappedRecords++
+		f.m.records.Inc()
+		return r
+	}
+	for _, st := range f.Storms {
+		if !st.contains(r.At) {
+			continue
+		}
+		if !f.RNG.Bool(st.Prob) {
+			break
+		}
+		span := int(rnti.CMax-rnti.CMin) + 1
+		alias := rnti.RNTI(int(rnti.CMin) + f.RNG.IntN(span))
+		if f.remap == nil {
+			f.remap = make(map[Key]rnti.RNTI)
+		}
+		f.remap[k] = alias
+		f.RemappedUsers++
+		f.m.users.Inc()
+		r.RNTI = alias
+		f.RemappedRecords++
+		f.m.records.Inc()
+		break
+	}
+	return r
+}

@@ -2,6 +2,7 @@ package ltefp_test
 
 import (
 	"bytes"
+	"context"
 	"testing"
 	"time"
 
@@ -154,6 +155,57 @@ func TestFingerprintWorkflow(t *testing.T) {
 	}
 }
 
+// TestLiveCaptureWorkflow exercises the streaming attack through the
+// public API: verdicts form while the capture runs, converge on the
+// victim's app, and the stats and health books balance.
+func TestLiveCaptureWorkflow(t *testing.T) {
+	fp := trainTiny(t)
+	if _, err := ltefp.LiveCapture(context.Background(), ltefp.LiveOptions{}); err == nil {
+		t.Fatal("LiveCapture accepted options without a model")
+	}
+	var verdicts []ltefp.LiveVerdict
+	st, err := ltefp.LiveCapture(context.Background(), ltefp.LiveOptions{
+		Capture: ltefp.CaptureOptions{
+			App: "Skype", Duration: 20 * time.Second, Seed: 77,
+		},
+		Model:     fp,
+		OnVerdict: func(v ltefp.LiveVerdict) { verdicts = append(verdicts, v) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) == 0 {
+		t.Fatal("live capture raised no verdicts")
+	}
+	last := verdicts[len(verdicts)-1]
+	if last.App != "Skype" || last.Category != "VoIP call" {
+		t.Fatalf("final verdict %q/%q (confidence %.2f), want the victim's Skype",
+			last.App, last.Category, last.Confidence)
+	}
+	if last.Confidence < 0.7 {
+		t.Fatalf("final confidence %.2f below the paper's stability gate", last.Confidence)
+	}
+	if st.Users == 0 || st.Records == 0 || st.Rows == 0 {
+		t.Fatalf("degenerate stats %+v", st)
+	}
+	if st.Verdicts != int64(len(verdicts)) {
+		t.Fatalf("Stats.Verdicts = %d, callback saw %d", st.Verdicts, len(verdicts))
+	}
+	if st.Health.Captured == 0 {
+		t.Fatal("live health reports nothing captured")
+	}
+
+	// Cancelling up front still drains cleanly and reports the error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ltefp.LiveCapture(ctx, ltefp.LiveOptions{
+		Capture: ltefp.CaptureOptions{App: "Skype", Duration: 5 * time.Second},
+		Model:   fp,
+	}); err == nil {
+		t.Fatal("cancelled LiveCapture reported no error")
+	}
+}
+
 func TestFingerprinterSaveLoad(t *testing.T) {
 	fp := trainTiny(t)
 	var buf bytes.Buffer
@@ -228,6 +280,19 @@ func TestCorrelationAPI(t *testing.T) {
 	}
 	if _, err := ltefp.CollectContactPairs("Lab", "Netflix", 1, time.Second, 1); err == nil {
 		t.Fatal("streaming app accepted for correlation")
+	}
+}
+
+func TestCorrelateRejectsDegenerateSpan(t *testing.T) {
+	recs := []ltefp.Record{{At: time.Second, Bytes: 100}}
+	if _, err := ltefp.Correlate(recs, recs, 5*time.Second, 5*time.Second); err == nil {
+		t.Fatal("empty span accepted")
+	}
+	if _, err := ltefp.Correlate(recs, recs, 8*time.Second, 2*time.Second); err == nil {
+		t.Fatal("inverted span accepted")
+	}
+	if _, err := ltefp.Correlate(recs, recs, 0, 10*time.Second); err != nil {
+		t.Fatalf("valid span rejected: %v", err)
 	}
 }
 

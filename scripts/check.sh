@@ -17,6 +17,11 @@ echo "== go vet ./..."
 go vet ./...
 echo "== go build ./..."
 go build ./...
+# The streaming pipeline is the most concurrency-dense package in the
+# repo (four stages, bounded channels, cancellation); gate it explicitly
+# so a filtered full-suite run can never skip it.
+echo "== go test -race ./internal/stream/..."
+go test -race ./internal/stream/...
 echo "== go test -race $short ./..."
 go test -race $short ./...
 echo "check: OK"
