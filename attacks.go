@@ -176,6 +176,85 @@ func CollectContactPairs(network, app string, n int, dur time.Duration, seed uin
 	return out, nil
 }
 
+// SweepUser is one observed user in a many-user contact sweep: an
+// attacker-chosen identifier and the user's captured records.
+type SweepUser struct {
+	ID      string
+	Records []Record
+}
+
+// ContactSweepOptions configures ContactSweep.
+type ContactSweepOptions struct {
+	// Bin is the similarity window T_w (0 = the paper's 1 s default).
+	Bin time.Duration
+	// Start and End bound the common observation span [Start, End).
+	Start, End time.Duration
+	// MinSimilarity drops pairs whose frame-rate DTW similarity falls below
+	// it — and powers the exact lower-bound cascade that skips most full
+	// DTW computations. 0 scores every pair in full.
+	MinSimilarity float64
+	// TopK caps reported contacts per user (0 = unlimited).
+	TopK int
+	// Workers is the parallel shard count (0 = GOMAXPROCS).
+	Workers int
+	// Detector optionally scores each surviving pair.
+	Detector *ContactDetector
+}
+
+// ContactFinding is one surviving pair of a contact sweep.
+type ContactFinding struct {
+	// A and B index the users slice; AID and BID echo their IDs.
+	A, B     int
+	AID, BID string
+	// Evidence is byte-identical to the pairwise Correlate result.
+	Evidence ContactEvidence
+	// Score and Detected are the Detector's outputs (zero without one).
+	Score    float64
+	Detected bool
+}
+
+// ContactSweep runs Attack III at population scale: all-pairs (optionally
+// top-K-per-user) contact discovery over every observed user. Each user's
+// comparison series are built once, pairs are sharded across Workers, and
+// an exact lower-bound cascade (LB_Kim → LB_Keogh → early-abandoning DTW)
+// prunes pairs that provably score below MinSimilarity — reported evidence
+// is byte-identical to calling Correlate on each pair individually.
+func ContactSweep(users []SweepUser, opts ContactSweepOptions) ([]ContactFinding, error) {
+	if opts.End <= opts.Start {
+		return nil, fmt.Errorf("ltefp: contact sweep span [%v, %v) is empty", opts.Start, opts.End)
+	}
+	in := make([]correlation.UserTrace, len(users))
+	for i, u := range users {
+		in[i] = correlation.UserTrace{ID: u.ID, Trace: toTrace(u.Records)}
+	}
+	cfg := correlation.SweepConfig{
+		Bin:           opts.Bin,
+		Start:         opts.Start,
+		End:           opts.End,
+		MinSimilarity: opts.MinSimilarity,
+		TopK:          opts.TopK,
+		Workers:       opts.Workers,
+	}
+	if opts.Detector != nil {
+		cfg.Model = opts.Detector.m
+	}
+	contacts, err := correlation.Sweep(in, cfg)
+	if err != nil {
+		return nil, fmt.Errorf("ltefp: %w", err)
+	}
+	out := make([]ContactFinding, len(contacts))
+	for i, c := range contacts {
+		out[i] = ContactFinding{
+			A: c.A, B: c.B,
+			AID: users[c.A].ID, BID: users[c.B].ID,
+			Evidence: fromEvidence(c.Evidence),
+			Score:    c.Score,
+			Detected: c.Detected,
+		}
+	}
+	return out, nil
+}
+
 // ContactDetector decides contact versus coincidence from evidence
 // (logistic regression, the paper's Table VII model).
 type ContactDetector struct {

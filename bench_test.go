@@ -10,6 +10,7 @@ package ltefp_test
 
 import (
 	"context"
+	"math"
 	"sync"
 	"testing"
 	"time"
@@ -425,6 +426,86 @@ func BenchmarkDTWAligner(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = al.Similarity(x, y)
+	}
+}
+
+// BenchmarkDTWCascade measures the lower-bound cascade on a prunable pair:
+// a 600-bin noise series against a slow sine under a 0.6 similarity
+// threshold, through prebuilt Series and a reused Aligner — the contact
+// sweep's per-pair hot path. LB_Keogh rejects the pair in O(n) without
+// touching the quadratic DP; compare against BenchmarkDTWAligner, which
+// always pays the full banded DP.
+func BenchmarkDTWCascade(b *testing.B) {
+	g := sim.NewRNG(3)
+	x := make([]float64, 600)
+	y := make([]float64, 600)
+	for i := range x {
+		x[i] = g.Uniform(0, 50)
+		y[i] = 25 + 25*math.Sin(2*math.Pi*float64(i)/600) + g.Uniform(-1, 1)
+	}
+	sx := dtw.NewSeries(x)
+	sy := dtw.NewSeries(y)
+	al := dtw.NewAligner()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, stage := al.CascadeSimilarity(sx, sy, 0.6); stage == dtw.StageFull {
+			b.Fatal("benchmark pair was not pruned")
+		}
+	}
+}
+
+// benchSweepUsers builds the 256-user population both sweep benchmarks
+// share, reusing the deterministic generator from the API tests.
+func benchSweepUsers() []ltefp.SweepUser {
+	users := make([]ltefp.SweepUser, 256)
+	for u := range users {
+		users[u] = ltefp.SweepUser{ID: "u", Records: sweepRecords(u, 60)}
+	}
+	return users
+}
+
+// BenchmarkSweep256Users measures population-scale contact discovery: 256
+// users, 32640 pairs, 0.6 similarity threshold, through the sharded
+// lower-bound cascade. BenchmarkSweepBrute256Users is the same workload as
+// a nested pairwise-Correlate loop — the sweep must beat it by ≥5x while
+// returning byte-identical evidence (pinned by TestSweepMatchesBruteForce).
+func BenchmarkSweep256Users(b *testing.B) {
+	users := benchSweepUsers()
+	span := 60 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		findings, err := ltefp.ContactSweep(users, ltefp.ContactSweepOptions{
+			End: span, MinSimilarity: 0.6,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(findings) == 0 {
+			b.Fatal("sweep found nothing to keep")
+		}
+	}
+}
+
+func BenchmarkSweepBrute256Users(b *testing.B) {
+	users := benchSweepUsers()
+	span := 60 * time.Second
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		kept := 0
+		for a := 0; a < len(users); a++ {
+			for c := a + 1; c < len(users); c++ {
+				ev, err := ltefp.Correlate(users[a].Records, users[c].Records, 0, span)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if ev.Similarity >= 0.6 {
+					kept++
+				}
+			}
+		}
+		if kept == 0 {
+			b.Fatal("brute sweep found nothing to keep")
+		}
 	}
 }
 

@@ -12,6 +12,11 @@
 // Correlation attack (Attack III): detect whether two users communicate —
 //
 //	lteattack correlate -network T-Mobile -app "WhatsApp Call" -pairs 6 -seed 9
+//
+// Contact sweep (Attack III at population scale): discover communicating
+// pairs across every user a sniffer observes —
+//
+//	lteattack sweep -users 128 -planted 6 -minsim 0.5 -topk 1 -metrics
 package main
 
 import (
@@ -25,7 +30,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate [flags]")
+		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate|sweep [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -36,6 +41,8 @@ func main() {
 		err = historyCmd(os.Args[2:])
 	case "correlate":
 		err = correlateCmd(os.Args[2:])
+	case "sweep":
+		err = sweepCmd(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

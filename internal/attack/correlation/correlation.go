@@ -105,26 +105,79 @@ func PairEvidenceWith(al *dtw.Aligner, a, b trace.Trace, bin, start, end time.Du
 	if bin <= 0 || end <= start {
 		return Evidence{}
 	}
-	ra := RateSeries(a, bin, start, end)
-	rb := RateSeries(b, bin, start, end)
-	ba := ByteRateSeries(a, bin, start, end)
-	bb := ByteRateSeries(b, bin, start, end)
+	sa := buildSide(a, bin, start, end)
+	sb := buildSide(b, bin, start, end)
+	ev, _ := evidenceBetween(al, &sa, &sb)
+	return ev
+}
 
-	aUL := ByteRateSeries(a.FilterDirection(dci.Uplink), bin, start, end)
-	bDL := ByteRateSeries(b.FilterDirection(dci.Downlink), bin, start, end)
-	aDL := ByteRateSeries(a.FilterDirection(dci.Downlink), bin, start, end)
-	bUL := ByteRateSeries(b.FilterDirection(dci.Uplink), bin, start, end)
+// side is one user's comparison-ready view of a span: the four rate series
+// every pairwise comparison consumes plus the total volume. It used to be
+// rebuilt eight-series-at-a-time inside every PairEvidenceWith call (four
+// FilterDirection copies per pair); building it once per user and reusing
+// it across all of that user's pairs is what makes the many-user sweep's
+// per-pair work start at the DTW cascade instead of at trace scans.
+type side struct {
+	rate, bytes []float64 // per-bin frame counts and byte volumes
+	ul, dl      []float64 // per-bin byte volumes split by direction
+	vol         float64   // sum of bytes — the volume-ratio input
+}
 
-	cross := math.Max(peakCrossCorr(aUL, bDL, 3), peakCrossCorr(bUL, aDL, 3))
+// buildSide reduces a trace to its comparison series in a single pass.
+// The per-bin accumulation visits records in trace order, exactly like the
+// old RateSeries/ByteRateSeries-over-FilterDirection stack, so every float
+// lands with the identical value bit for bit.
+func buildSide(t trace.Trace, bin, start, end time.Duration) side {
+	if bin <= 0 {
+		panic("correlation: non-positive bin")
+	}
+	n := int((end - start + bin - 1) / bin)
+	if n <= 0 {
+		return side{}
+	}
+	s := side{
+		rate:  make([]float64, n),
+		bytes: make([]float64, n),
+		ul:    make([]float64, n),
+		dl:    make([]float64, n),
+	}
+	for _, r := range t {
+		if r.At < start || r.At >= end {
+			continue
+		}
+		i := int((r.At - start) / bin)
+		s.rate[i]++
+		s.bytes[i] += float64(r.Bytes)
+		switch r.Dir {
+		case dci.Uplink:
+			s.ul[i] += float64(r.Bytes)
+		case dci.Downlink:
+			s.dl[i] += float64(r.Bytes)
+		}
+	}
+	s.vol = sum(s.bytes)
+	return s
+}
 
-	volA, volB := sum(ba), sum(bb)
+// evidenceBetween assembles the full evidence for two prepared sides. The
+// returned Stage is always dtw.StageFull here (the rate similarity is
+// computed unconditionally); cascadeEvidence is the pruning variant.
+func evidenceBetween(al *dtw.Aligner, a, b *side) (Evidence, dtw.Stage) {
+	return finishEvidence(al, a, b, al.Similarity(a.rate, b.rate)), dtw.StageFull
+}
+
+// finishEvidence completes an Evidence whose frame-rate similarity has
+// already been computed (by the plain path or by a surviving cascade —
+// both produce the identical value).
+func finishEvidence(al *dtw.Aligner, a, b *side, rateSim float64) Evidence {
+	cross := math.Max(peakCrossCorr(a.ul, b.dl, 3), peakCrossCorr(b.ul, a.dl, 3))
 	ratio := 0.0
-	if volA > 0 && volB > 0 {
-		ratio = math.Min(volA, volB) / math.Max(volA, volB)
+	if a.vol > 0 && b.vol > 0 {
+		ratio = math.Min(a.vol, b.vol) / math.Max(a.vol, b.vol)
 	}
 	return Evidence{
-		Similarity:     al.Similarity(ra, rb),
-		ByteSimilarity: al.Similarity(ba, bb),
+		Similarity:     rateSim,
+		ByteSimilarity: al.Similarity(a.bytes, b.bytes),
 		CrossUD:        cross,
 		VolumeRatio:    ratio,
 	}

@@ -1,0 +1,62 @@
+package correlation
+
+import (
+	"sync/atomic"
+
+	"ltefp/internal/obs"
+)
+
+// sweepMetrics holds the package's sweep-funnel instrumentation. A nil
+// *sweepMetrics (the default) disables it; Sweep loads the pointer once per
+// call and workers tally locally, flushing one Add per counter per shard,
+// so the per-pair hot path never touches an atomic.
+type sweepMetrics struct {
+	pairsTotal    *obs.Counter
+	prunedLBKim   *obs.Counter
+	prunedLBKeogh *obs.Counter
+	abandoned     *obs.Counter
+	fullDTW       *obs.Counter
+	kept          *obs.Counter
+	stageMS       *obs.Histogram
+}
+
+var activeMetrics atomic.Pointer[sweepMetrics]
+
+// SetMetrics points the sweep instrumentation at a scope: the
+// pairs_total → pruned_lb_kim / pruned_lb_keogh / abandoned → full_dtw →
+// kept funnel counters and the per-shard stage_ms latency histogram. A
+// disabled scope turns instrumentation off. Safe to call concurrently with
+// sweeps.
+func SetMetrics(sc obs.Scope) {
+	if !sc.Enabled() {
+		activeMetrics.Store(nil)
+		return
+	}
+	activeMetrics.Store(&sweepMetrics{
+		pairsTotal:    sc.Counter("pairs_total"),
+		prunedLBKim:   sc.Counter("pruned_lb_kim"),
+		prunedLBKeogh: sc.Counter("pruned_lb_keogh"),
+		abandoned:     sc.Counter("abandoned"),
+		fullDTW:       sc.Counter("full_dtw"),
+		kept:          sc.Counter("kept"),
+		stageMS:       sc.Histogram("stage_ms", nil),
+	})
+}
+
+// sweepFunnel is one shard's local funnel tally.
+type sweepFunnel struct {
+	pairs, lbKim, lbKeogh, abandoned, fullDTW, kept int64
+}
+
+// flush publishes the shard's tally (no-op when instrumentation is off).
+func (f *sweepFunnel) flush(m *sweepMetrics) {
+	if m == nil {
+		return
+	}
+	m.pairsTotal.Add(f.pairs)
+	m.prunedLBKim.Add(f.lbKim)
+	m.prunedLBKeogh.Add(f.lbKeogh)
+	m.abandoned.Add(f.abandoned)
+	m.fullDTW.Add(f.fullDTW)
+	m.kept.Add(f.kept)
+}

@@ -1,0 +1,359 @@
+package correlation_test
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"ltefp/internal/attack/correlation"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/ml/dtw"
+	"ltefp/internal/obs"
+	"ltefp/internal/sim"
+	"ltefp/internal/trace"
+)
+
+// sweepPopulation builds n synthetic users with deliberately varied radio
+// behaviour: mirrored conversation pairs (users 2k ↔ 2k+1 for k < pairs),
+// plus independent users drawn from four activity archetypes so most pairs
+// are dissimilar enough for the cascade to prune.
+func sweepPopulation(n, pairs, seconds int, seed uint64) []correlation.UserTrace {
+	g := sim.NewRNG(seed)
+	users := make([]correlation.UserTrace, n)
+	for k := 0; k < pairs && 2*k+1 < n; k++ {
+		a, b := plantedPair(g, seconds)
+		users[2*k] = correlation.UserTrace{ID: fmt.Sprintf("pair%d-a", k), Trace: a}
+		users[2*k+1] = correlation.UserTrace{ID: fmt.Sprintf("pair%d-b", k), Trace: b}
+	}
+	for u := 2 * pairs; u < n; u++ {
+		users[u] = correlation.UserTrace{ID: fmt.Sprintf("solo%d", u), Trace: archetypeTrace(g, u, seconds)}
+	}
+	return users
+}
+
+// plantedPair synthesises one communicating conversation, randomised per
+// pair so no two pairs are clones: B receives what A sends 80 ms later.
+func plantedPair(g *sim.RNG, seconds int) (a, b trace.Trace) {
+	for i := 0; i < seconds; i++ {
+		at := time.Duration(i) * time.Second
+		if g.Bool(0.4) { // speaker burst this second
+			burst := 3 + g.IntN(5)
+			bytes := 120 + g.IntN(120)
+			for j := 0; j < burst; j++ {
+				off := time.Duration(j*13) * time.Millisecond
+				a = append(a, trace.Record{At: at + off, Dir: dci.Uplink, Bytes: bytes})
+				b = append(b, trace.Record{At: at + off + 80*time.Millisecond, Dir: dci.Downlink, Bytes: bytes})
+			}
+		}
+		a = append(a, trace.Record{At: at, Dir: dci.Downlink, Bytes: 60})
+		b = append(b, trace.Record{At: at, Dir: dci.Uplink, Bytes: 60})
+	}
+	return a, b
+}
+
+// archetypeTrace synthesises one independent user from one of four traffic
+// shapes (steady VoIP-like, bursty messaging, sparse background, periodic
+// sync), randomised in phase and amplitude.
+func archetypeTrace(g *sim.RNG, u, seconds int) trace.Trace {
+	var out trace.Trace
+	phase := g.IntN(7)
+	amp := 1 + g.IntN(4)
+	for i := 0; i < seconds; i++ {
+		at := time.Duration(i) * time.Second
+		switch u % 4 {
+		case 0: // steady small packets every second
+			for j := 0; j < amp; j++ {
+				out = append(out, trace.Record{At: at + time.Duration(j*11)*time.Millisecond,
+					Dir: dci.Uplink, Bytes: 80 + g.IntN(40)})
+			}
+		case 1: // bursty: quiet, then clumps
+			if (i+phase)%5 < 2 {
+				for j := 0; j < 4*amp; j++ {
+					out = append(out, trace.Record{At: at + time.Duration(j*9)*time.Millisecond,
+						Dir: dci.Downlink, Bytes: 300 + g.IntN(500)})
+				}
+			}
+		case 2: // sparse background chatter
+			if g.Bool(0.25) {
+				out = append(out, trace.Record{At: at, Dir: dci.Downlink, Bytes: 60 + g.IntN(30)})
+			}
+		case 3: // periodic sync spikes
+			if (i+phase)%8 == 0 {
+				for j := 0; j < 10; j++ {
+					out = append(out, trace.Record{At: at + time.Duration(j*5)*time.Millisecond,
+						Dir: dci.Uplink, Bytes: 1200})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// bruteForceSweep is the unaccelerated reference: the nested
+// PairEvidenceWith loop plus the same threshold and top-K rules, written
+// independently of Sweep's sharding and pruning.
+func bruteForceSweep(users []correlation.UserTrace, cfg correlation.SweepConfig) []correlation.Contact {
+	if cfg.Bin <= 0 {
+		cfg.Bin = correlation.DefaultBin
+	}
+	al := dtw.NewAligner()
+	var out []correlation.Contact
+	for i := 0; i < len(users); i++ {
+		for j := i + 1; j < len(users); j++ {
+			ev := correlation.PairEvidenceWith(al, users[i].Trace, users[j].Trace, cfg.Bin, cfg.Start, cfg.End)
+			if ev.Similarity < cfg.MinSimilarity {
+				continue
+			}
+			c := correlation.Contact{A: i, B: j, Evidence: ev}
+			if cfg.Model != nil {
+				c.Score = cfg.Model.Score(ev)
+				c.Detected = cfg.Model.Predict(ev)
+			}
+			out = append(out, c)
+		}
+	}
+	if cfg.TopK > 0 {
+		// Independent top-K: a contact survives if it ranks in the top K of
+		// either endpoint by (similarity desc, pair order asc).
+		rank := func(user int) map[int]bool {
+			var mine []int
+			for idx, c := range out {
+				if c.A == user || c.B == user {
+					mine = append(mine, idx)
+				}
+			}
+			for x := 1; x < len(mine); x++ { // insertion sort: stable, simple
+				for y := x; y > 0; y-- {
+					sy, sp := out[mine[y]].Evidence.Similarity, out[mine[y-1]].Evidence.Similarity
+					if sy > sp || (sy == sp && mine[y] < mine[y-1]) {
+						mine[y], mine[y-1] = mine[y-1], mine[y]
+					} else {
+						break
+					}
+				}
+			}
+			keep := map[int]bool{}
+			for x := 0; x < len(mine) && x < cfg.TopK; x++ {
+				keep[mine[x]] = true
+			}
+			return keep
+		}
+		keep := map[int]bool{}
+		for u := 0; u < len(users); u++ {
+			for idx := range rank(u) {
+				keep[idx] = true
+			}
+		}
+		var filtered []correlation.Contact
+		for idx, c := range out {
+			if keep[idx] {
+				filtered = append(filtered, c)
+			}
+		}
+		out = filtered
+	}
+	return out
+}
+
+// TestSweepMatchesBruteForce pins the exactness contract over a 56-user
+// population: for every threshold and top-K combination, Sweep's output —
+// membership, ordering, and every Evidence bit — must equal the brute-force
+// nested loop's.
+func TestSweepMatchesBruteForce(t *testing.T) {
+	users := sweepPopulation(56, 8, 45, 21)
+	span := 45 * time.Second
+	for _, tc := range []struct {
+		name   string
+		minSim float64
+		topK   int
+	}{
+		{"no_threshold", 0, 0},
+		{"low_threshold", 0.3, 0},
+		{"high_threshold", 0.7, 0},
+		{"topk", 0.3, 3},
+		{"topk_tight", 0, 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := correlation.SweepConfig{
+				End:           span,
+				MinSimilarity: tc.minSim,
+				TopK:          tc.topK,
+			}
+			got, err := correlation.Sweep(users, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteForceSweep(users, cfg)
+			if len(got) != len(want) {
+				t.Fatalf("Sweep returned %d contacts, brute force %d", len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("contact %d differs:\n sweep: %+v\n brute: %+v", i, got[i], want[i])
+				}
+			}
+			if tc.minSim == 0 && tc.topK == 0 && len(got) != 56*55/2 {
+				t.Fatalf("unfiltered sweep returned %d contacts, want all %d pairs", len(got), 56*55/2)
+			}
+		})
+	}
+}
+
+// TestSweepWorkerCountInvariance: the contract holds for any shard count.
+func TestSweepWorkerCountInvariance(t *testing.T) {
+	users := sweepPopulation(24, 4, 30, 22)
+	cfg := correlation.SweepConfig{End: 30 * time.Second, MinSimilarity: 0.4}
+	var ref []correlation.Contact
+	for _, workers := range []int{1, 2, 7, 64} {
+		cfg.Workers = workers
+		got, err := correlation.Sweep(users, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = got
+			continue
+		}
+		if len(got) != len(ref) {
+			t.Fatalf("workers=%d: %d contacts, want %d", workers, len(got), len(ref))
+		}
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: contact %d differs", workers, i)
+			}
+		}
+	}
+}
+
+// TestSweepModelScoring: with a trained model attached, survivors carry the
+// model's score and verdict for their (exact) evidence.
+func TestSweepModelScoring(t *testing.T) {
+	var samples []correlation.Evidence
+	for i := 0; i < 10; i++ {
+		a, b := mirrorTraces(40 + i)
+		e := correlation.PairEvidence(a, b, sec, 0, time.Duration(40+i)*sec)
+		e.Communicating = true
+		samples = append(samples, e)
+		x := independentTrace(40+i, i)
+		y := independentTrace(40+i, i+3)
+		samples = append(samples, correlation.PairEvidence(x, y, sec, 0, time.Duration(40+i)*sec))
+	}
+	model, err := correlation.TrainModel(samples, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	users := sweepPopulation(12, 3, 40, 23)
+	got, err := correlation.Sweep(users, correlation.SweepConfig{
+		End: 40 * time.Second, MinSimilarity: 0.2, Model: model,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 {
+		t.Fatal("no contacts survived")
+	}
+	detected := 0
+	for _, c := range got {
+		if c.Score != model.Score(c.Evidence) || c.Detected != model.Predict(c.Evidence) {
+			t.Fatalf("contact (%d,%d) score/verdict does not match the model", c.A, c.B)
+		}
+		if c.Detected {
+			detected++
+		}
+	}
+	if detected == 0 {
+		t.Fatal("model detected no contacts in a population with mirrored pairs")
+	}
+}
+
+// TestSweepFindsPlantedPairs: the mirrored conversation pairs must surface
+// as the strongest contacts.
+func TestSweepFindsPlantedPairs(t *testing.T) {
+	users := sweepPopulation(20, 5, 50, 24)
+	got, err := correlation.Sweep(users, correlation.SweepConfig{
+		End: 50 * time.Second, MinSimilarity: 0.5, TopK: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := map[[2]int]bool{}
+	for _, c := range got {
+		found[[2]int{c.A, c.B}] = true
+	}
+	for k := 0; k < 5; k++ {
+		if !found[[2]int{2 * k, 2*k + 1}] {
+			t.Fatalf("planted pair (%d, %d) missing from top-1 contacts %v", 2*k, 2*k+1, found)
+		}
+	}
+}
+
+// TestSweepValidation: degenerate configurations are rejected or empty.
+func TestSweepValidation(t *testing.T) {
+	users := sweepPopulation(4, 1, 10, 25)
+	if _, err := correlation.Sweep(users, correlation.SweepConfig{Start: 5 * sec, End: 5 * sec}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+	if _, err := correlation.Sweep(users, correlation.SweepConfig{End: 10 * sec, TopK: -1}); err == nil {
+		t.Fatal("negative TopK accepted")
+	}
+	got, err := correlation.Sweep(users[:1], correlation.SweepConfig{End: 10 * sec})
+	if err != nil || got != nil {
+		t.Fatalf("single-user sweep = (%v, %v), want (nil, nil)", got, err)
+	}
+}
+
+// TestSweepFunnelMetrics: the obs funnel must account for every pair
+// exactly once and show live pruning on a prunable population.
+func TestSweepFunnelMetrics(t *testing.T) {
+	reg := obs.NewRegistry()
+	correlation.SetMetrics(reg.Scope("corr"))
+	defer correlation.SetMetrics(obs.Scope{})
+
+	users := sweepPopulation(40, 5, 45, 26)
+	if _, err := correlation.Sweep(users, correlation.SweepConfig{
+		End: 45 * time.Second, MinSimilarity: 0.6, Workers: 4,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	pairs := snap.Counter("corr.pairs_total")
+	kim := snap.Counter("corr.pruned_lb_kim")
+	keogh := snap.Counter("corr.pruned_lb_keogh")
+	abandoned := snap.Counter("corr.abandoned")
+	full := snap.Counter("corr.full_dtw")
+	if want := int64(40 * 39 / 2); pairs != want {
+		t.Fatalf("pairs_total = %d, want %d", pairs, want)
+	}
+	if kim+keogh+abandoned+full != pairs {
+		t.Fatalf("funnel does not add up: kim %d + keogh %d + abandoned %d + full %d != %d",
+			kim, keogh, abandoned, full, pairs)
+	}
+	if kim+keogh+abandoned == 0 {
+		t.Fatal("no pairs pruned at threshold 0.6 on a mostly-dissimilar population")
+	}
+	if full == 0 {
+		t.Fatal("no pair reached full DTW")
+	}
+	if h, ok := snap.Histogram("corr.stage_ms"); !ok || h.Count != 4 {
+		t.Fatalf("stage_ms histogram count = %v, want one observation per shard (4)", h)
+	}
+	// Metrics must never alter results: re-run without instrumentation.
+	correlation.SetMetrics(obs.Scope{})
+	with, err := correlation.Sweep(users, correlation.SweepConfig{End: 45 * time.Second, MinSimilarity: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correlation.SetMetrics(reg.Scope("corr"))
+	without, err := correlation.Sweep(users, correlation.SweepConfig{End: 45 * time.Second, MinSimilarity: 0.6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(with) != len(without) {
+		t.Fatalf("metrics changed the contact count: %d vs %d", len(with), len(without))
+	}
+	for i := range with {
+		if with[i] != without[i] {
+			t.Fatalf("metrics changed contact %d", i)
+		}
+	}
+}

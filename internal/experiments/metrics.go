@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync/atomic"
 
+	"ltefp/internal/attack/correlation"
 	"ltefp/internal/features"
 	"ltefp/internal/ml/forest"
 	"ltefp/internal/obs"
@@ -16,13 +17,15 @@ var activeRegistry atomic.Pointer[obs.Registry]
 // SetMetrics points the whole experiment pipeline at a registry: capture
 // metrics land under pipeline.cellN.{sniffer,enb}.*, feature extraction
 // under pipeline.features.*, forest training and inference under
-// pipeline.forest.*, and the worker pool under pipeline.workers.*. Passing
-// nil disables all of it (the default).
+// pipeline.forest.*, the correlation sweep funnel under pipeline.corr.*,
+// and the worker pool under pipeline.workers.*. Passing nil disables all
+// of it (the default).
 func SetMetrics(r *obs.Registry) {
 	activeRegistry.Store(r)
 	sc := r.Scope("pipeline")
 	features.SetMetrics(sc.Scope("features"))
 	forest.SetMetrics(sc.Scope("forest"))
+	correlation.SetMetrics(sc.Scope("corr"))
 }
 
 // pipelineScope returns the active pipeline scope (disabled when no

@@ -55,5 +55,17 @@ func MetricsReport(snap obs.Snapshot) string {
 		snap.Counter("pipeline.forest.rows_predicted"), histLine("pipeline.forest.batch_ms"))
 	fmt.Fprintf(&b, "workers:  %d tasks, task %s\n",
 		snap.Counter("pipeline.workers.tasks"), histLine("pipeline.workers.task_ms"))
+	pairs := snap.Counter("pipeline.corr.pairs_total")
+	pruned := snap.Counter("pipeline.corr.pruned_lb_kim") +
+		snap.Counter("pipeline.corr.pruned_lb_keogh") +
+		snap.Counter("pipeline.corr.abandoned")
+	fmt.Fprintf(&b, "corr:     %d pairs swept, %d pruned (%.1f%%: kim %d, keogh %d, abandoned %d), %d full DTW, %d kept, shard %s\n",
+		pairs, pruned, pct(pruned, pairs),
+		snap.Counter("pipeline.corr.pruned_lb_kim"),
+		snap.Counter("pipeline.corr.pruned_lb_keogh"),
+		snap.Counter("pipeline.corr.abandoned"),
+		snap.Counter("pipeline.corr.full_dtw"),
+		snap.Counter("pipeline.corr.kept"),
+		histLine("pipeline.corr.stage_ms"))
 	return b.String()
 }

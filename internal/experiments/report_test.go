@@ -16,6 +16,12 @@ func TestMetricsReportAggregatesCells(t *testing.T) {
 	reg.Counter("pipeline.cell1.sniffer.lost").Add(50)
 	reg.Counter("pipeline.cell1.enb.grants_dl").Add(7)
 	reg.Counter("pipeline.forest.rows_trained").Add(1234)
+	reg.Counter("pipeline.corr.pairs_total").Add(100)
+	reg.Counter("pipeline.corr.pruned_lb_kim").Add(40)
+	reg.Counter("pipeline.corr.pruned_lb_keogh").Add(25)
+	reg.Counter("pipeline.corr.abandoned").Add(15)
+	reg.Counter("pipeline.corr.full_dtw").Add(20)
+	reg.Counter("pipeline.corr.kept").Add(6)
 
 	rep := MetricsReport(reg.Snapshot())
 	for _, want := range []string{
@@ -25,6 +31,8 @@ func TestMetricsReportAggregatesCells(t *testing.T) {
 		"1234 rows trained",
 		"train n/a",
 		"task n/a",
+		"100 pairs swept, 80 pruned (80.0%: kim 40, keogh 25, abandoned 15), 20 full DTW, 6 kept",
+		"shard n/a",
 	} {
 		if !strings.Contains(rep, want) {
 			t.Errorf("report missing %q:\n%s", want, rep)

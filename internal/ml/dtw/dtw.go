@@ -107,6 +107,86 @@ func (al *Aligner) DistanceBand(a, b []float64, band int) float64 {
 	return prev[m]
 }
 
+// DistanceBandEA is DistanceBand with early abandoning: when the running
+// minimum of a completed DP row exceeds cutoff, no warping path can finish
+// below it (every path crosses every row and costs only accumulate), so the
+// computation stops and returns +Inf. A cutoff of +Inf never abandons and
+// returns the exact DistanceBand result; when the computation completes,
+// the returned distance is bit-identical to DistanceBand's — the abandon
+// check only observes cell values, never changes them.
+func DistanceBandEA(a, b []float64, band int, cutoff float64) float64 {
+	return NewAligner().DistanceBandEA(a, b, band, cutoff)
+}
+
+// DistanceBandEA is the package-level DistanceBandEA reusing the aligner's
+// DP-row scratch.
+func (al *Aligner) DistanceBandEA(a, b []float64, band int, cutoff float64) float64 {
+	n, m := len(a), len(b)
+	if n == 0 || m == 0 {
+		if n == 0 && m == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	if band >= 0 {
+		if d := n - m; d < 0 {
+			if -d > band {
+				band = -d
+			}
+		} else if d > band {
+			band = d
+		}
+	}
+	if cap(al.prev) < m+1 {
+		al.prev = make([]float64, m+1)
+		al.cur = make([]float64, m+1)
+	}
+	prev, cur := al.prev[:m+1], al.cur[:m+1]
+	prev[0] = 0
+	for j := 1; j <= m; j++ {
+		prev[j] = math.Inf(1)
+	}
+	for i := 1; i <= n; i++ {
+		cur[0] = math.Inf(1)
+		lo, hi := 1, m
+		if band >= 0 {
+			if l := i - band; l > lo {
+				lo = l
+			}
+			if h := i + band; h < hi {
+				hi = h
+			}
+			for j := 1; j < lo; j++ {
+				cur[j] = math.Inf(1)
+			}
+			for j := hi + 1; j <= m; j++ {
+				cur[j] = math.Inf(1)
+			}
+		}
+		rowMin := math.Inf(1)
+		for j := lo; j <= hi; j++ {
+			d := a[i-1] - b[j-1]
+			best := prev[j-1]
+			if prev[j] < best {
+				best = prev[j]
+			}
+			if cur[j-1] < best {
+				best = cur[j-1]
+			}
+			c := d*d + best
+			cur[j] = c
+			if c < rowMin {
+				rowMin = c
+			}
+		}
+		if rowMin > cutoff {
+			return math.Inf(1)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[m]
+}
+
 // Normalize z-normalises a series into a new slice. Constant series map to
 // all zeros.
 func Normalize(a []float64) []float64 {
@@ -165,13 +245,8 @@ func (al *Aligner) Similarity(a, b []float64) float64 {
 	}
 	na := normalizeInto(al.na[:len(a)], a)
 	nb := normalizeInto(al.nb[:len(b)], b)
-	band := (max(len(a), len(b)) + 9) / 10
-	d := al.DistanceBand(na, nb, band)
-	if math.IsInf(d, 1) {
-		return 0
-	}
-	perStep := d / float64(len(a)+len(b))
-	return math.Exp(-similaritySharpness * perStep)
+	d := al.DistanceBand(na, nb, bandFor(len(a), len(b)))
+	return SimilarityFromDistance(d, len(a), len(b))
 }
 
 // similaritySharpness calibrates how fast alignment cost decays the

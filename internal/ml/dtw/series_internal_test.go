@@ -1,0 +1,44 @@
+package dtw
+
+import "testing"
+
+// TestEnvelopeMatchesNaive checks the monotonic-deque envelope against a
+// quadratic windowed min/max, including the clamped edges.
+func TestEnvelopeMatchesNaive(t *testing.T) {
+	cases := []struct {
+		name string
+		x    []float64
+		r    int
+	}{
+		{"empty", nil, 3},
+		{"single", []float64{4}, 2},
+		{"zero_radius", []float64{3, 1, 2, 5, 4}, 0},
+		{"small", []float64{3, 1, 2, 5, 4, 0, 7, 6}, 2},
+		{"radius_covers_all", []float64{9, -2, 4, 4, 1}, 10},
+		{"plateaus", []float64{1, 1, 1, 2, 2, 0, 0, 3}, 1},
+	}
+	for _, c := range cases {
+		upper, lower := envelope(c.x, c.r)
+		if len(upper) != len(c.x) || len(lower) != len(c.x) {
+			t.Fatalf("%s: envelope lengths %d/%d, want %d", c.name, len(upper), len(lower), len(c.x))
+		}
+		for i := range c.x {
+			wantU, wantL := c.x[i], c.x[i]
+			for j := i - c.r; j <= i+c.r; j++ {
+				if j < 0 || j >= len(c.x) {
+					continue
+				}
+				if c.x[j] > wantU {
+					wantU = c.x[j]
+				}
+				if c.x[j] < wantL {
+					wantL = c.x[j]
+				}
+			}
+			if upper[i] != wantU || lower[i] != wantL {
+				t.Fatalf("%s: envelope[%d] = (%v, %v), want (%v, %v)",
+					c.name, i, upper[i], lower[i], wantU, wantL)
+			}
+		}
+	}
+}

@@ -65,6 +65,31 @@ func (t Trace) FilterDirection(d dci.Direction) Trace {
 	return out
 }
 
+// SplitDirection partitions the trace into uplink and downlink records in
+// a single pass, preserving time order. Callers that need both directions
+// (the correlation attack's per-user series, per-user traffic summaries)
+// use this instead of two FilterDirection scans. Records with an unset
+// direction appear in neither half, matching FilterDirection's behaviour.
+func (t Trace) SplitDirection() (ul, dl Trace) {
+	nUL := 0
+	for _, r := range t {
+		if r.Dir == dci.Uplink {
+			nUL++
+		}
+	}
+	ul = make(Trace, 0, nUL)
+	dl = make(Trace, 0, len(t)-nUL)
+	for _, r := range t {
+		switch r.Dir {
+		case dci.Uplink:
+			ul = append(ul, r)
+		case dci.Downlink:
+			dl = append(dl, r)
+		}
+	}
+	return ul, dl
+}
+
 // FilterRNTI keeps only records addressed to the given RNTI.
 func (t Trace) FilterRNTI(r rnti.RNTI) Trace {
 	out := make(Trace, 0, len(t))

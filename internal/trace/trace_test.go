@@ -51,6 +51,37 @@ func TestSortAndDuration(t *testing.T) {
 	}
 }
 
+// TestSplitDirection: the one-pass split must agree with the two
+// FilterDirection scans record for record, and drop unset directions.
+func TestSplitDirection(t *testing.T) {
+	tr := mkTrace(500, 1)
+	ul, dl := tr.SplitDirection()
+	wantUL := tr.FilterDirection(dci.Uplink)
+	wantDL := tr.FilterDirection(dci.Downlink)
+	if len(ul) != len(wantUL) || len(dl) != len(wantDL) {
+		t.Fatalf("SplitDirection lengths (%d, %d), want (%d, %d)", len(ul), len(dl), len(wantUL), len(wantDL))
+	}
+	for i := range ul {
+		if ul[i] != wantUL[i] {
+			t.Fatalf("uplink record %d differs", i)
+		}
+	}
+	for i := range dl {
+		if dl[i] != wantDL[i] {
+			t.Fatalf("downlink record %d differs", i)
+		}
+	}
+	withUnset := append(trace.Trace{{At: time.Second}}, tr[:3]...)
+	ul2, dl2 := withUnset.SplitDirection()
+	if len(ul2)+len(dl2) != 3 {
+		t.Fatal("unset-direction record leaked into a split half")
+	}
+	emptyUL, emptyDL := trace.Trace(nil).SplitDirection()
+	if len(emptyUL) != 0 || len(emptyDL) != 0 {
+		t.Fatal("empty trace split is not empty")
+	}
+}
+
 func TestFilters(t *testing.T) {
 	tr := mkTrace(500, 1)
 	dl := tr.FilterDirection(dci.Downlink)

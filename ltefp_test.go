@@ -283,6 +283,115 @@ func TestCorrelationAPI(t *testing.T) {
 	}
 }
 
+// sweepRecords builds a deterministic per-user record stream: bursty
+// uplink/downlink traffic whose phase and size depend on the user index,
+// so distinct users disagree and the sweep has something to prune.
+func sweepRecords(u int, seconds int) []ltefp.Record {
+	var recs []ltefp.Record
+	for ms := 0; ms < seconds*1000; ms += 40 + 7*(u%5) {
+		down := (ms/100+u)%3 != 0
+		size := 90 + (u*37+ms/50)%900
+		recs = append(recs, ltefp.Record{
+			At: time.Duration(ms) * time.Millisecond, CellID: 1,
+			RNTI: uint16(0x100 + u), Downlink: down, Bytes: size,
+		})
+	}
+	return recs
+}
+
+// TestContactSweepAPI: the population sweep must agree byte-for-byte with
+// pairwise Correlate, echo user IDs, and apply the detector when given.
+func TestContactSweepAPI(t *testing.T) {
+	const n, seconds = 8, 20
+	span := time.Duration(seconds) * time.Second
+	users := make([]ltefp.SweepUser, n)
+	for u := range users {
+		users[u] = ltefp.SweepUser{ID: string(rune('A' + u)), Records: sweepRecords(u, seconds)}
+	}
+	findings, err := ltefp.ContactSweep(users, ltefp.ContactSweepOptions{End: span})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != n*(n-1)/2 {
+		t.Fatalf("%d findings, want %d", len(findings), n*(n-1)/2)
+	}
+	for _, f := range findings {
+		want, err := ltefp.Correlate(users[f.A].Records, users[f.B].Records, 0, span)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f.Evidence != want {
+			t.Fatalf("pair (%d,%d): sweep evidence %+v != pairwise %+v", f.A, f.B, f.Evidence, want)
+		}
+		if f.AID != users[f.A].ID || f.BID != users[f.B].ID {
+			t.Fatalf("pair (%d,%d): IDs %q/%q", f.A, f.B, f.AID, f.BID)
+		}
+	}
+
+	// A threshold may only remove low-similarity pairs, never change a
+	// surviving pair's evidence.
+	const minSim = 0.5
+	pruned, err := ltefp.ContactSweep(users, ltefp.ContactSweepOptions{
+		End: span, MinSimilarity: minSim, Workers: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kept := map[[2]int]ltefp.ContactEvidence{}
+	for _, f := range findings {
+		if f.Evidence.Similarity >= minSim {
+			kept[[2]int{f.A, f.B}] = f.Evidence
+		}
+	}
+	if len(pruned) != len(kept) {
+		t.Fatalf("threshold sweep kept %d pairs, want %d", len(pruned), len(kept))
+	}
+	for _, f := range pruned {
+		if want, ok := kept[[2]int{f.A, f.B}]; !ok || f.Evidence != want {
+			t.Fatalf("threshold sweep pair (%d,%d) wrong or unexpected", f.A, f.B)
+		}
+	}
+
+	// Detector wiring: scores must match scoring the evidence directly.
+	samples := make([]ltefp.ContactEvidence, 0, 10)
+	for i := 0; i < 5; i++ {
+		samples = append(samples,
+			ltefp.ContactEvidence{Similarity: 0.9 - 0.02*float64(i), ByteSimilarity: 0.8, CrossUD: 0.7, VolumeRatio: 0.9, Communicating: true},
+			ltefp.ContactEvidence{Similarity: 0.2 + 0.02*float64(i), ByteSimilarity: 0.1, CrossUD: 0.1, VolumeRatio: 0.4, Communicating: false},
+		)
+	}
+	det, err := ltefp.TrainContactDetector(samples, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scored, err := ltefp.ContactSweep(users, ltefp.ContactSweepOptions{End: span, Detector: det})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range scored {
+		if f.Score != det.Score(f.Evidence) || f.Detected != det.Detect(f.Evidence) {
+			t.Fatalf("pair (%d,%d): detector outputs not wired through", f.A, f.B)
+		}
+	}
+}
+
+func TestContactSweepValidation(t *testing.T) {
+	users := []ltefp.SweepUser{
+		{ID: "a", Records: sweepRecords(0, 2)},
+		{ID: "b", Records: sweepRecords(1, 2)},
+	}
+	if _, err := ltefp.ContactSweep(users, ltefp.ContactSweepOptions{}); err == nil {
+		t.Fatal("empty span accepted")
+	}
+	if _, err := ltefp.ContactSweep(users, ltefp.ContactSweepOptions{End: time.Second, TopK: -1}); err == nil {
+		t.Fatal("negative TopK accepted")
+	}
+	none, err := ltefp.ContactSweep(users[:1], ltefp.ContactSweepOptions{End: time.Second})
+	if err != nil || len(none) != 0 {
+		t.Fatalf("single-user sweep = (%v, %v), want empty", none, err)
+	}
+}
+
 func TestCorrelateRejectsDegenerateSpan(t *testing.T) {
 	recs := []ltefp.Record{{At: time.Second, Bytes: 100}}
 	if _, err := ltefp.Correlate(recs, recs, 5*time.Second, 5*time.Second); err == nil {

@@ -17,10 +17,11 @@ if [ -z "$n" ]; then
 fi
 out="BENCH_$n.json"
 
-micro='BenchmarkForestTrain$|BenchmarkForestPredict$|BenchmarkForestPredictBatch$|BenchmarkForestPredictBatchObs$|BenchmarkWindowExtraction$|BenchmarkDTW$|BenchmarkDTWAligner$'
+micro='BenchmarkForestTrain$|BenchmarkForestPredict$|BenchmarkForestPredictBatch$|BenchmarkForestPredictBatchObs$|BenchmarkWindowExtraction$|BenchmarkDTW$|BenchmarkDTWAligner$|BenchmarkDTWCascade$'
 raw=$(go test -run '^$' -bench "$micro" -benchmem -benchtime 2s .
 	go test -run '^$' -bench 'BenchmarkObs' -benchmem -benchtime 1s ./internal/obs
 	go test -run '^$' -bench 'BenchmarkCapture60s|BenchmarkStream60s$' -benchmem -benchtime 5x .
+	go test -run '^$' -bench 'BenchmarkSweep256Users$|BenchmarkSweepBrute256Users$' -benchmem -benchtime 3x .
 	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 3x .)
 echo "$raw"
 

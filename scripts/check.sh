@@ -22,6 +22,10 @@ go build ./...
 # so a filtered full-suite run can never skip it.
 echo "== go test -race ./internal/stream/..."
 go test -race ./internal/stream/...
+# The contact sweep shards all-pairs DTW across worker goroutines with
+# atomic work-stealing; gate it under -race explicitly for the same reason.
+echo "== go test -race ./internal/attack/correlation/..."
+go test -race ./internal/attack/correlation/...
 echo "== go test -race $short ./..."
 go test -race $short ./...
 echo "check: OK"
