@@ -10,7 +10,9 @@ package ltefp_test
 
 import (
 	"context"
+	"fmt"
 	"math"
+	"runtime"
 	"sync"
 	"testing"
 	"time"
@@ -22,6 +24,7 @@ import (
 	"ltefp/internal/features"
 	"ltefp/internal/lte/crc"
 	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/network"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/ml/dataset"
 	"ltefp/internal/ml/dtw"
@@ -250,6 +253,46 @@ func BenchmarkCapture60s(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkFabric128Cells measures the multi-cell fabric: 128 cells with
+// ambient background load advanced two simulated seconds, serially and on
+// eight workers. The headline metric is simulated cell-seconds per
+// core-second of compute (cells/core-sec); the workers=8 wall-clock
+// against workers=1 shows the fabric's scaling.
+func BenchmarkFabric128Cells(b *testing.B) {
+	const (
+		cells  = 128
+		simDur = 2 * time.Second
+	)
+	// A loaded commercial profile: 14 background UEs per cell, so the
+	// 128-cell fabric carries ~1800 UEs — the regime the fabric exists for.
+	profile := operator.TMobile()
+	for _, workers := range []int{1, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			n := network.New(42)
+			n.SetWorkers(workers)
+			for id := 1; id <= cells; id++ {
+				if _, err := n.AddCell(id, profile); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Warm past the initial session ramp so the timed region
+			// measures steady-state cell load.
+			n.Run(12 * time.Second)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n.Run(n.Now() + simDur)
+			}
+			effective := workers
+			if g := runtime.GOMAXPROCS(0); effective > g {
+				effective = g // the pool caps itself at GOMAXPROCS
+			}
+			cellSeconds := float64(b.N) * cells * simDur.Seconds()
+			coreSeconds := b.Elapsed().Seconds() * float64(effective)
+			b.ReportMetric(cellSeconds/coreSeconds, "cells/core-sec")
+		})
 	}
 }
 

@@ -17,6 +17,12 @@
 // pairs across every user a sniffer observes —
 //
 //	lteattack sweep -users 128 -planted 6 -minsim 0.5 -topk 1 -metrics
+//
+// Cross-cell tracking (multi-cell extension): follow a victim through
+// handovers across a monitored metro area and fingerprint the
+// reconstructed trace —
+//
+//	lteattack track -cells 4 -app "WhatsApp Call" -model model.gob -seed 9
 package main
 
 import (
@@ -30,7 +36,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate|sweep [flags]")
+		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate|sweep|track [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -43,6 +49,8 @@ func main() {
 		err = correlateCmd(os.Args[2:])
 	case "sweep":
 		err = sweepCmd(os.Args[2:])
+	case "track":
+		err = trackCmd(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

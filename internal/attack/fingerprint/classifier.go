@@ -161,32 +161,89 @@ func (c *Classifier) PredictVector(x []float64) (appName string, cat appmodel.Ca
 // cache locality, so results are identical but several times faster.
 func (c *Classifier) PredictBatch(vecs [][]float64) []string {
 	out := make([]string, len(vecs))
+	var s BatchScratch
+	c.PredictBatchInto(vecs, out, &s)
+	return out
+}
+
+// BatchScratch holds the working memory of PredictBatchInto — group
+// indices, sub-batch row views, per-level prediction buffers, and the
+// forests' own scratch — so a long-lived caller classifying many batches
+// reaches a steady state with zero allocations per call. The zero value is
+// ready; a scratch must not be shared between concurrent calls.
+type BatchScratch struct {
+	catPred []int
+	appPred []int
+	byCat   [][]int
+	sub     [][]float64
+	forest  forest.BatchScratch
+	// cats/catApps cache the category and app-name tables: appmodel
+	// rebuilds its catalog (closures included) on every lookup, which is
+	// fine per trace but not per streaming batch.
+	cats    []appmodel.Category
+	catApps [][]string
+}
+
+// tables builds the cached category/app-name lookup on first use.
+func (s *BatchScratch) tables() {
+	if s.cats != nil {
+		return
+	}
+	s.cats = appmodel.Categories()
+	s.catApps = make([][]string, len(s.cats))
+	for i, c := range s.cats {
+		apps := appmodel.ByCategory(c)
+		names := make([]string, len(apps))
+		for j, a := range apps {
+			names[j] = a.Name
+		}
+		s.catApps[i] = names
+	}
+}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
+
+// PredictBatchInto is PredictBatch writing app names into out (len(out)
+// must equal len(vecs)), reusing scratch across calls. Results are
+// identical to PredictBatch.
+func (c *Classifier) PredictBatchInto(vecs [][]float64, out []string, s *BatchScratch) {
 	if len(vecs) == 0 {
-		return out
+		return
 	}
-	cats := appmodel.Categories()
-	catPred := c.Category.PredictBatch(vecs)
-	byCat := make([][]int, len(cats))
-	for i, ci := range catPred {
-		byCat[ci] = append(byCat[ci], i)
+	s.tables()
+	s.catPred = growInts(s.catPred, len(vecs))
+	c.Category.PredictBatchScratch(vecs, s.catPred, &s.forest)
+	if cap(s.byCat) < len(s.cats) {
+		s.byCat = make([][]int, len(s.cats))
 	}
-	sub := make([][]float64, 0, len(vecs))
-	for ci, rows := range byCat {
+	s.byCat = s.byCat[:len(s.cats)]
+	for ci := range s.byCat {
+		s.byCat[ci] = s.byCat[ci][:0]
+	}
+	for i, ci := range s.catPred {
+		s.byCat[ci] = append(s.byCat[ci], i)
+	}
+	for ci, rows := range s.byCat {
 		if len(rows) == 0 {
 			continue
 		}
-		cat := cats[ci]
-		apps := appmodel.ByCategory(cat)
-		sub = sub[:0]
+		cat := s.cats[ci]
+		names := s.catApps[ci]
+		s.sub = s.sub[:0]
 		for _, r := range rows {
-			sub = append(sub, vecs[r])
+			s.sub = append(s.sub, vecs[r])
 		}
-		appPred := c.PerCategory[cat].PredictBatch(sub)
+		s.appPred = growInts(s.appPred, len(rows))
+		c.PerCategory[cat].PredictBatchScratch(s.sub, s.appPred, &s.forest)
 		for j, r := range rows {
-			out[r] = apps[appPred[j]].Name
+			out[r] = names[s.appPred[j]]
 		}
 	}
-	return out
 }
 
 // Prediction summarises the classification of one trace.

@@ -29,6 +29,10 @@ import (
 //     metrics-enabled scenario always bypasses the cache and simulates,
 //     because instrumentation measures the simulation and a cache hit has
 //     nothing to measure. Output bytes are identical either way.
+//   - Workers is deliberately NOT part of the key either: the fabric's
+//     worker-count invariance makes the output byte-identical at every
+//     setting, so captures memoized by a serial run are shared with
+//     parallel requests and vice versa.
 //   - A cached *Capture is shared between callers and MUST be treated as
 //     immutable; all of its accessors (UserTrace, Mapper queries) are
 //     read-only and safe for concurrent use.
@@ -198,7 +202,7 @@ func (c *captureCache) evictLocked() {
 // registry name), in which case callers must run uncached.
 func scenarioKey(sc Scenario) (string, bool) {
 	h := sha256.New()
-	_, _ = io.WriteString(h, "ltefp-capture-key-v1\n")
+	_, _ = io.WriteString(h, "ltefp-capture-key-v2\n")
 	var buf [8]byte
 	wu64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
@@ -255,6 +259,14 @@ func scenarioKey(sc Scenario) (string, bool) {
 			wstr(s.App.Name)
 			wu64(uint64(s.App.Category))
 		}
+	}
+
+	wu64(uint64(len(sc.Moves)))
+	for _, m := range sc.Moves {
+		wstr(m.UE)
+		wu64(uint64(m.ToCell))
+		wu64(uint64(m.At))
+		wbool(m.Handover)
 	}
 	return string(h.Sum(nil)), true
 }

@@ -68,6 +68,20 @@ type Cell struct {
 	Profile operator.Profile
 }
 
+// Move schedules a mobility action for a UE: an X2 handover if the UE is
+// connected at that moment (Handover true), or an idle-mode reselection
+// that defers until the UE's RRC connection ends (Handover false).
+type Move struct {
+	// UE names the moving user; it must appear in some session.
+	UE string
+	// ToCell is the destination cell ID.
+	ToCell int
+	// At is when the move is requested.
+	At time.Duration
+	// Handover selects connected-mode handover over idle reselection.
+	Handover bool
+}
+
 // Scenario declares a full capture run.
 type Scenario struct {
 	// Seed makes the run reproducible.
@@ -76,6 +90,13 @@ type Scenario struct {
 	Cells []Cell
 	// Sessions to schedule.
 	Sessions []Session
+	// Moves schedules cross-cell mobility (handover, reselection) for
+	// session UEs.
+	Moves []Move
+	// Workers spreads cell execution across this many goroutines (<= 1 is
+	// serial). Output is byte-identical for every setting; see the fabric
+	// determinism contract in internal/lte/network.
+	Workers int
 	// Sniffer configures capture fidelity. The zero value records both
 	// directions losslessly; ApplyProfileLoss copies each cell profile's
 	// loss figure instead.
@@ -177,6 +198,20 @@ func prepare(sc Scenario) (*prepared, error) {
 			end = e
 		}
 	}
+	for _, m := range sc.Moves {
+		u, ok := ues[m.UE]
+		if !ok {
+			return nil, fmt.Errorf("capture: move at %v names unknown UE %q", m.At, m.UE)
+		}
+		if _, err := n.Cell(m.ToCell); err != nil {
+			return nil, fmt.Errorf("capture: move for %q: %w", m.UE, err)
+		}
+		n.ScheduleMove(u, m.ToCell, m.At, m.Handover)
+		if m.At > end {
+			end = m.At
+		}
+	}
+	n.SetWorkers(sc.Workers)
 	settle := sc.Settle
 	if settle <= 0 {
 		settle = maxIdle + 2*time.Second

@@ -1,0 +1,107 @@
+package identity_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/capture"
+	"ltefp/internal/identity"
+	"ltefp/internal/lte/operator"
+)
+
+// trackScenario is a three-cell itinerary: the victim starts a VoIP call
+// in cell 1, is handed over mid-call to cell 2 and then to cell 3 — two
+// anonymous admissions the tracker must chain — with background UEs
+// providing decoys in every cell.
+func trackScenario() capture.Scenario {
+	p := operator.Lab()
+	p.BackgroundUEs = 3
+	app, err := appmodel.ByName("WhatsApp Call")
+	if err != nil {
+		panic(err)
+	}
+	return capture.Scenario{
+		Seed: 77,
+		Cells: []capture.Cell{
+			{ID: 1, Profile: p}, {ID: 2, Profile: p}, {ID: 3, Profile: p},
+		},
+		Sessions: []capture.Session{
+			{UE: "victim", CellID: 1, App: app, Start: 500 * time.Millisecond, Duration: 8 * time.Second},
+		},
+		Moves: []capture.Move{
+			{UE: "victim", ToCell: 2, At: 3 * time.Second, Handover: true},
+			{UE: "victim", ToCell: 3, At: 6 * time.Second, Handover: true},
+		},
+	}
+}
+
+func TestTrackFollowsHandovers(t *testing.T) {
+	cap, err := capture.Run(trackScenario())
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := identity.Track(cap.Events, cap.Records, identity.TrackConfig{
+		TMSIs: cap.TMSIs["victim"],
+	})
+	if len(segs) < 3 {
+		t.Fatalf("tracker produced %d segments, want >= 3 (one per cell): %+v", len(segs), segs)
+	}
+	if segs[0].Link != identity.LinkSeed || segs[0].CellID != 1 {
+		t.Fatalf("first segment = %+v, want a seed in cell 1", segs[0])
+	}
+	cells := make(map[int]bool)
+	hops := 0
+	for _, s := range segs {
+		cells[s.CellID] = true
+		if s.Link == identity.LinkHandover {
+			hops++
+			if s.Observed {
+				t.Fatalf("handover segment %+v claims an observed TMSI", s)
+			}
+			if s.Confidence <= 0 || s.Confidence > 1 {
+				t.Fatalf("handover segment confidence %v outside (0, 1]", s.Confidence)
+			}
+		}
+	}
+	if !cells[1] || !cells[2] || !cells[3] {
+		t.Fatalf("tracker covered cells %v, want all of 1..3", cells)
+	}
+	if hops < 2 {
+		t.Fatalf("tracker chained %d handovers, want 2", hops)
+	}
+
+	// The reconstructed trace must be the victim's: compare against ground
+	// truth via the identity mapper's plaintext-only view — tracking must
+	// strictly extend it (the mapper cannot see past the first handover).
+	tracked := identity.TraceFor(segs, cap.Records)
+	mapped := cap.UserTrace("victim")
+	if len(tracked) <= len(mapped) {
+		t.Fatalf("tracked trace (%d records) does not extend the plaintext-mapped trace (%d)", len(tracked), len(mapped))
+	}
+	// Coverage: the call runs 0.5 s to 8.5 s; the tracked trace must span
+	// deep into the final cell's tenure.
+	last := tracked[len(tracked)-1]
+	if last.At < 7*time.Second || last.CellID != 3 {
+		t.Fatalf("tracked trace ends at %v in cell %d, want past 7s in cell 3", last.At, last.CellID)
+	}
+}
+
+// TestTrackDoesNotFollowDecoys checks precision: with no handover at all,
+// tracking must not chain into other cells' background traffic.
+func TestTrackDoesNotFollowDecoys(t *testing.T) {
+	sc := trackScenario()
+	sc.Moves = nil // victim never leaves cell 1
+	cap, err := capture.Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs := identity.Track(cap.Events, cap.Records, identity.TrackConfig{
+		TMSIs: cap.TMSIs["victim"],
+	})
+	for _, s := range segs {
+		if s.CellID != 1 {
+			t.Fatalf("tracker wandered into cell %d without a handover: %+v", s.CellID, s)
+		}
+	}
+}

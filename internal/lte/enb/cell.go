@@ -27,6 +27,14 @@ type Observer interface {
 	Observe(cellID int, sf *phy.Subframe)
 }
 
+// HandoverSink receives the source side's hand-off when a handover release
+// completes: the departing UE, the target cell, and the byte queues to
+// carry over. The simulation fabric installs a sink that forwards the
+// admission to the target cell at the next synchronization point, so the
+// source cell never calls into another cell directly (cells may be
+// stepping on different workers).
+type HandoverSink func(u *ue.UE, targetCellID, dlQueue, ulQueue int)
+
 // ctxState tracks the radio-bearer lifecycle of one UE context.
 type ctxState int
 
@@ -75,6 +83,17 @@ type Cell struct {
 	// dlPending buffers downlink bytes for idle UEs until paging brings
 	// them back to connected mode.
 	dlPending map[*ue.UE]int
+
+	// camped registers every UE currently parked on this cell. Deferred
+	// control closures (paging occasions, paging responses) consult it
+	// before touching a UE: a UE that re-camped elsewhere since the closure
+	// was scheduled now belongs to another cell — possibly stepping on a
+	// different worker — and must not be read from here.
+	camped map[*ue.UE]bool
+
+	// hoSink, when set, receives handover admissions instead of the source
+	// cell calling the target directly (see HandoverSink).
+	hoSink HandoverSink
 
 	ctl       sim.Queue // timed control-procedure steps
 	observers []Observer
@@ -153,15 +172,21 @@ func NewCell(id int, p operator.Profile, core *epc.Core, rng *sim.RNG) (*Cell, e
 		byRNTI:    make([]*ueCtx, 1<<16),
 		byUE:      make(map[*ue.UE]*ueCtx),
 		dlPending: make(map[*ue.UE]int),
+		camped:    make(map[*ue.UE]bool),
 	}, nil
 }
 
 // AddObserver registers a subframe observer (a sniffer).
 func (c *Cell) AddObserver(o Observer) { c.observers = append(c.observers, o) }
 
+// SetHandoverSink installs the fabric's cross-cell admission channel. With
+// no sink installed, BeginHandover fails.
+func (c *Cell) SetHandoverSink(s HandoverSink) { c.hoSink = s }
+
 // Camp parks an idle UE on this cell and initialises its channel model.
 func (c *Cell) Camp(u *ue.UE) {
 	u.CellID = c.ID
+	c.camped[u] = true
 	u.SetChannel(c.Profile.CQIMean, c.Profile.CQISigma, c.Profile.CQIWalkPerSec)
 }
 
@@ -172,11 +197,24 @@ func (c *Cell) Leave(u *ue.UE) {
 		c.release(ctx, u.State == ue.Connected)
 	}
 	delete(c.dlPending, u)
+	delete(c.camped, u)
 	if u.CellID == c.ID {
 		u.CellID = ue.NoCell
 	}
 	u.State = ue.Idle
 	u.RNTI = 0
+}
+
+// Detach removes a UE that left via handover: the camped registration is
+// forgotten and any downlink bytes that arrived after its context was
+// released are returned, so the target cell can carry them over (the
+// serving gateway's path switch). Unlike Leave, the UE's state is not
+// touched — the target cell owns its transition.
+func (c *Cell) Detach(u *ue.UE) (dlPending int) {
+	delete(c.camped, u)
+	dlPending = c.dlPending[u]
+	delete(c.dlPending, u)
+	return dlPending
 }
 
 // Connected reports the number of UE contexts in connected state.
@@ -232,7 +270,7 @@ func (c *Cell) DeliverUL(u *ue.UE, bytes int, now time.Duration) {
 // RequestConnection starts the contention-based random access procedure
 // for an idle UE camped on this cell.
 func (c *Cell) RequestConnection(u *ue.UE, cause rrc.EstablishmentCause, now time.Duration) {
-	if u.State != ue.Idle || u.CellID != c.ID {
+	if !c.camped[u] || u.State != ue.Idle || u.CellID != c.ID {
 		return
 	}
 	u.State = ue.Connecting
@@ -288,6 +326,11 @@ func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int,
 	// connection is then live.
 	c.ctl.Push(now+9*sim.TTI, func() {
 		c.cur.control(c, r, dci.Format1A, 2, rrc.SecurityModeCommand{})
+		if ctx.state != ctxAccess {
+			// Released mid-access (the UE re-camped elsewhere): the context
+			// stays dead and the UE — now another cell's — is not touched.
+			return
+		}
 		ctx.secured = true
 		ctx.state = ctxConnected
 		ctx.lastActivity = c.cur.now
@@ -311,7 +354,9 @@ func (c *Cell) schedulePaging(u *ue.UE, now time.Duration) {
 	const pagingCycle = 32 * sim.TTI
 	due := now + pagingCycle - now%pagingCycle
 	c.ctl.Push(due, func() {
-		if !u.HasTMSI || u.State != ue.Idle || u.CellID != c.ID {
+		// The camped check must come first: a UE that moved on belongs to
+		// another cell's shard and may not even be read from this one.
+		if !c.camped[u] || !u.HasTMSI || u.State != ue.Idle || u.CellID != c.ID {
 			return
 		}
 		shown := uint32(u.TMSI)
@@ -328,15 +373,21 @@ func (c *Cell) schedulePaging(u *ue.UE, now time.Duration) {
 	})
 }
 
-// HandoverTo moves a connected UE to the target cell: the source sends the
-// (encrypted) reconfiguration command and releases the context; the target
-// admits the UE via non-contention random access — meaning no plaintext
-// identity is exposed in the target cell, exactly the property that forces
-// the paper's attacker to re-map identities after handover.
-func (c *Cell) HandoverTo(target *Cell, u *ue.UE, now time.Duration) error {
+// BeginHandover starts the source side of an X2-style handover of a
+// connected UE: the (encrypted) reconfiguration command goes on the air
+// now, and two TTIs later the context is released and the admission —
+// with the UE's remaining byte queues — is posted to the handover sink.
+// The fabric applies the admission at the target cell at the next
+// synchronization point, so no plaintext identity is ever exposed in the
+// target cell — exactly the property that forces the paper's attacker to
+// re-map identities after handover.
+func (c *Cell) BeginHandover(u *ue.UE, targetCellID int, now time.Duration) error {
 	ctx, ok := c.byUE[u]
 	if !ok || ctx.state != ctxConnected {
 		return fmt.Errorf("enb: handover of %s: not connected in cell %d", u.Name, c.ID)
+	}
+	if c.hoSink == nil {
+		return fmt.Errorf("enb: cell %d: no handover sink installed", c.ID)
 	}
 	// Encrypted RRCConnectionReconfiguration with mobilityControlInfo.
 	c.ctl.Push(now, func() {
@@ -345,15 +396,21 @@ func (c *Cell) HandoverTo(target *Cell, u *ue.UE, now time.Duration) error {
 	dl, ul := ctx.dlQueue, ctx.ulQueue
 	ctx.dlQueue, ctx.ulQueue = 0, 0
 	c.ctl.Push(now+2*sim.TTI, func() {
-		c.release(ctx, false)
-		target.admitHandover(u, dl, ul, c.cur.now)
+		// The UE keeps its state (Connected) and serving-cell binding until
+		// the target admits it: writes to the UE from here would race with
+		// its owning shard, and traffic arriving in the gap buffers against
+		// the UE or the source cell instead of triggering spurious
+		// contention-based access.
+		c.releaseQuiet(ctx)
+		c.hoSink(u, targetCellID, dl, ul)
 	})
 	return nil
 }
 
-// admitHandover creates a connected, secured context for a UE arriving via
-// handover (non-contention random access, ~10 ms).
-func (c *Cell) admitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) {
+// AdmitHandover creates a connected, secured context for a UE arriving via
+// handover (non-contention random access, ~10 ms). It must be called from
+// the fabric's serial phase — it re-camps the UE onto this cell.
+func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) {
 	c.Camp(u)
 	u.State = ue.Connecting
 	r, err := c.alloc.Allocate()
@@ -370,12 +427,37 @@ func (c *Cell) admitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 		// plaintext identity on the air.
 		c.cur.sf.RACH = append(c.cur.sf.RACH, phy.Preamble{ID: 60 + c.rng.IntN(4)})
 		c.cur.control(c, r, dci.Format1A, 2, nil)
+		if ctx.state != ctxAccess {
+			return // released before completion (the UE re-camped elsewhere)
+		}
 		ctx.state = ctxConnected
 		ctx.lastActivity = c.cur.now
 		ctx.rntiAge = c.cur.now
 		u.State = ue.Connected
 		u.RNTI = r
+		// Traffic that arrived during the brief context gap between release
+		// at the source and admission here is carried into the new bearer.
+		if pend := u.TakePendingUL(); pend > 0 {
+			ctx.ulQueue += pend
+		}
+		if pend := c.dlPending[u]; pend > 0 {
+			ctx.dlQueue += pend
+			delete(c.dlPending, u)
+		}
 	})
+}
+
+// releaseQuiet tears down a UE context without touching the UE itself:
+// the handover path uses it while the UE is formally still served by this
+// cell but already bound for another, whose fabric shard owns its state.
+func (c *Cell) releaseQuiet(ctx *ueCtx) {
+	if ctx.state == ctxReleased {
+		return
+	}
+	ctx.state = ctxReleased
+	c.byRNTI[ctx.rnti] = nil
+	delete(c.byUE, ctx.ue)
+	c.alloc.Release(ctx.rnti)
 }
 
 // release tears down a UE context. withMessage emits the (encrypted)

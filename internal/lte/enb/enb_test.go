@@ -287,7 +287,15 @@ func TestHandover(t *testing.T) {
 	}
 	oldRNTI := u.RNTI
 	src.DeliverDL(u, 50000, now) // in-flight data moves with the UE
-	if err := src.HandoverTo(dst, u, now); err != nil {
+	// Wire the source's handover sink directly to the target, as the
+	// network fabric's admission mailbox does.
+	src.SetHandoverSink(func(hu *ue.UE, target, dl, ul int) {
+		dl += src.Detach(hu)
+		src.Leave(hu)
+		dst.Camp(hu)
+		dst.AdmitHandover(hu, dl, ul, now)
+	})
+	if err := src.BeginHandover(u, dst.ID, now); err != nil {
 		t.Fatal(err)
 	}
 	run(100 * time.Millisecond)
@@ -330,7 +338,8 @@ func TestHandoverRequiresConnection(t *testing.T) {
 	}
 	u := ue.New("a", "900170000000098", rng.Fork())
 	src.Camp(u)
-	if err := src.HandoverTo(dst, u, 0); err == nil {
+	src.SetHandoverSink(func(*ue.UE, int, int, int) {})
+	if err := src.BeginHandover(u, dst.ID, 0); err == nil {
 		t.Fatal("handover of an idle UE succeeded")
 	}
 }

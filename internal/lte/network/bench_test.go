@@ -1,0 +1,27 @@
+package network_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/lte/network"
+	"ltefp/internal/lte/operator"
+)
+
+// BenchmarkNetworkStep measures one TTI of a warmed single commercial
+// cell — the fabric's per-subframe overhead (sync-point bookkeeping, shard
+// queue pop, eNB tick) in isolation, so shard-path regressions show up
+// independently of capture or classification cost.
+func BenchmarkNetworkStep(b *testing.B) {
+	n := network.New(7)
+	if _, err := n.AddCell(1, operator.TMobile()); err != nil {
+		b.Fatal(err)
+	}
+	// Warm up: background UEs mid-session, connections established.
+	n.Run(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Step()
+	}
+}

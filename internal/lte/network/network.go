@@ -4,6 +4,13 @@
 // orchestration that is not radio protocol — traffic programs, mobility,
 // background cell load, periodic GUTI reallocation — lives here, keeping
 // the enb and ue packages purely protocol-shaped.
+//
+// Execution is organised as a partitioned event fabric (see fabric.go):
+// every cell is a shard owning its own event queue and eNB, stepped
+// independently between synchronization points, optionally across worker
+// goroutines. Everything cross-cell — session starts, mobility, GUTI
+// reallocation, handover admissions — runs in serial phases at the sync
+// points, so simulation output is byte-identical for every worker count.
 package network
 
 import (
@@ -20,36 +27,51 @@ import (
 )
 
 // Network is one simulated mobile network: a core, one or more cells, and
-// any number of UEs. Not safe for concurrent use.
+// any number of UEs. Configuration (AddCell, NewUE, Schedule*) and Run may
+// not be called concurrently; Run itself fans cell execution out across
+// workers when SetWorkers enables it.
 type Network struct {
 	// Core is the EPC.
 	Core *epc.Core
 
-	clock     sim.Clock
-	rng       *sim.RNG
-	cells     map[int]*enb.Cell
-	cellOrder []int
-	queue     sim.Queue
-	ues       []*ue.UE
-	nextIMSI  int
-	gutiArmed map[*ue.UE]bool
-	tmsiHist  map[*ue.UE][]epc.TMSI
+	clock       sim.Clock
+	rng         *sim.RNG
+	cells       map[int]*enb.Cell
+	cellOrder   []int
+	shards      []*shard
+	shardByCell map[int]*shard
+	queue       sim.Queue // serial network-tier events (starts, mobility, realloc)
+	mailbox     []mail    // cross-shard messages collected at sync points
+	workers     int
+	ues         []*ue.UE
+	nextIMSI    int
+	gutiArmed   map[*ue.UE]bool
+	tmsiHist    map[*ue.UE][]epc.TMSI
 }
 
 // New returns an empty network seeded deterministically.
 func New(seed uint64) *Network {
 	rng := sim.NewRNG(seed)
 	return &Network{
-		Core:      epc.NewCore(rng.Fork()),
-		rng:       rng,
-		cells:     make(map[int]*enb.Cell),
-		gutiArmed: make(map[*ue.UE]bool),
-		tmsiHist:  make(map[*ue.UE][]epc.TMSI),
+		Core:        epc.NewCore(rng.Fork()),
+		rng:         rng,
+		cells:       make(map[int]*enb.Cell),
+		shardByCell: make(map[int]*shard),
+		gutiArmed:   make(map[*ue.UE]bool),
+		tmsiHist:    make(map[*ue.UE][]epc.TMSI),
 	}
 }
 
 // Now returns the current simulated time.
 func (n *Network) Now() time.Duration { return n.clock.Now() }
+
+// SetWorkers sets how many goroutines step cell shards between sync
+// points. Values <= 1 run serially on the caller's goroutine. Output is
+// byte-identical for every setting; only wall-clock time changes.
+func (n *Network) SetWorkers(k int) { n.workers = k }
+
+// Workers reports the configured worker count (0 or 1 = serial).
+func (n *Network) Workers() int { return n.workers }
 
 // AddCell creates a cell with the given ID and operator profile, spawning
 // the profile's ambient background UEs. Cell IDs must be unique.
@@ -63,6 +85,12 @@ func (n *Network) AddCell(id int, p operator.Profile) (*enb.Cell, error) {
 	}
 	n.cells[id] = c
 	n.cellOrder = append(n.cellOrder, id)
+	sh := &shard{idx: len(n.shards), cell: c}
+	n.shards = append(n.shards, sh)
+	n.shardByCell[id] = sh
+	c.SetHandoverSink(func(u *ue.UE, targetCellID, dlQueue, ulQueue int) {
+		sh.out = append(sh.out, mail{kind: mailAdmit, u: u, target: targetCellID, dl: dlQueue, ul: ulQueue})
+	})
 	for i := 0; i < p.BackgroundUEs; i++ {
 		bu := n.NewUE(fmt.Sprintf("bg-%d-%d", id, i))
 		n.Camp(bu, id)
@@ -119,17 +147,53 @@ func (n *Network) Camp(u *ue.UE, cellID int) {
 }
 
 // Handover moves a connected UE to the target cell via the X2-style
-// handover procedure.
+// handover procedure: the source emits the reconfiguration now, releases
+// the context two TTIs later, and the target admits the UE at the sync
+// point right after the release.
 func (n *Network) Handover(u *ue.UE, targetCellID int) error {
 	src, ok := n.cells[u.CellID]
 	if !ok {
 		return fmt.Errorf("network: UE %s not in any cell", u.Name)
 	}
-	dst, ok := n.cells[targetCellID]
-	if !ok {
+	if _, ok := n.cells[targetCellID]; !ok {
 		return fmt.Errorf("network: no cell %d", targetCellID)
 	}
-	return src.HandoverTo(dst, u, n.clock.Now())
+	now := n.clock.Now()
+	if err := src.BeginHandover(u, targetCellID, now); err != nil {
+		return err
+	}
+	// Pin a sync point one TTI after the source-side release so the target
+	// admission lands there deterministically, independent of how long the
+	// surrounding free-run blocks are.
+	n.queue.Push(now+3*sim.TTI, func() {})
+	return nil
+}
+
+// ScheduleMove schedules a mobility action for a UE. With handover true, a
+// UE found connected at that time moves via X2 handover (falling back to
+// reselection semantics otherwise); with handover false this is idle-mode
+// cell reselection, which defers while the UE holds an active RRC
+// connection — a reselection never interrupts scheduled grants.
+func (n *Network) ScheduleMove(u *ue.UE, cellID int, at time.Duration, handover bool) {
+	// How often a deferred reselection re-checks for the UE to go idle.
+	const reselectRetry = 100 * time.Millisecond
+	var step func()
+	step = func() {
+		if u.CellID == cellID {
+			return
+		}
+		if handover && u.State == ue.Connected {
+			if n.Handover(u, cellID) == nil {
+				return
+			}
+		}
+		if u.State == ue.Idle {
+			n.Camp(u, cellID)
+			return
+		}
+		n.queue.Push(n.clock.Now()+reselectRetry, step)
+	}
+	n.queue.Push(at, step)
 }
 
 // ScheduleSession arranges for the UE to run one application session: at
@@ -164,20 +228,30 @@ func (n *Network) ScheduleArrivals(u *ue.UE, cellID int, arrivals []appmodel.Arr
 // scheduled as a sim.Firer so a whole session's arrivals cost one slice
 // allocation instead of one closure each.
 type arrivalEvent struct {
-	n *Network
+	s *shard
 	u *ue.UE
 	a appmodel.Arrival
 }
 
 // Fire implements sim.Firer.
-func (e *arrivalEvent) Fire() { e.n.route(e.u, e.a) }
+func (e *arrivalEvent) Fire() { e.s.fire(e.u, e.a) }
 
-// pushArrivals schedules a batch of arrivals relative to start, in order.
+// pushArrivals schedules a batch of arrivals relative to start, in order,
+// on the shard of the UE's current cell. Arrivals fire on that shard; if
+// the UE has moved on by then, the shard forwards them through the
+// cross-shard mailbox (at most one sync interval of extra latency).
 func (n *Network) pushArrivals(u *ue.UE, arrivals []appmodel.Arrival, start time.Duration) {
+	sh, ok := n.shardByCell[u.CellID]
+	if !ok {
+		if len(n.shards) == 0 {
+			return // no cells: nowhere for traffic to go
+		}
+		sh = n.shards[0]
+	}
 	evs := make([]arrivalEvent, len(arrivals))
 	for i, a := range arrivals {
-		evs[i] = arrivalEvent{n: n, u: u, a: a}
-		n.queue.PushFirer(start+a.At, &evs[i])
+		evs[i] = arrivalEvent{s: sh, u: u, a: a}
+		sh.queue.PushFirer(start+a.At, &evs[i])
 	}
 }
 
@@ -185,18 +259,14 @@ func (n *Network) pushArrivals(u *ue.UE, arrivals []appmodel.Arrival, start time
 // each application payload before it reaches the radio bearer.
 const transportOverhead = 40
 
-// route hands one application arrival to the UE's serving cell.
-func (n *Network) route(u *ue.UE, a appmodel.Arrival) {
-	c, ok := n.cells[u.CellID]
-	if !ok {
-		return // UE left the network while traffic was in flight
-	}
+// deliver hands one application arrival to a cell's radio stack.
+func deliver(c *enb.Cell, u *ue.UE, a appmodel.Arrival, now time.Duration) {
 	bytes := a.Bytes + transportOverhead
 	switch a.Dir {
 	case dci.Uplink:
-		c.DeliverUL(u, bytes, n.clock.Now())
+		c.DeliverUL(u, bytes, now)
 	case dci.Downlink:
-		c.DeliverDL(u, bytes, n.clock.Now())
+		c.DeliverDL(u, bytes, now)
 	}
 }
 
@@ -238,14 +308,15 @@ func (n *Network) scheduleGUTIRealloc(u *ue.UE, every time.Duration) {
 	n.queue.Push(n.clock.Now()+every, step)
 }
 
-// Run advances the simulation until the given absolute time.
+// Step advances the simulation by exactly one TTI — the fabric's smallest
+// sync-point-to-sync-point move, exposing the per-subframe shard overhead
+// to benchmarks.
+func (n *Network) Step() {
+	n.Run(n.clock.Now() + sim.TTI)
+}
+
+// Run advances the simulation until the given absolute time (rounded up
+// to a whole subframe, as the per-TTI loop always has).
 func (n *Network) Run(until time.Duration) {
-	for n.clock.Now() < until {
-		now := n.clock.Now()
-		n.queue.PopDue(now)
-		for _, id := range n.cellOrder {
-			n.cells[id].Tick(now)
-		}
-		n.clock.Tick()
-	}
+	n.run(until)
 }

@@ -167,6 +167,45 @@ func (f *Forest) PredictBatch(X [][]float64) []int {
 // PredictBatchInto is PredictBatch writing into a caller-owned slice
 // (len(out) must equal len(X)).
 func (f *Forest) PredictBatchInto(X [][]float64, out []int) {
+	var s BatchScratch
+	f.PredictBatchScratch(X, out, &s)
+}
+
+// BatchScratch carries PredictBatchScratch's per-call working memory — the
+// vote accumulators and integer feature keys — so a caller classifying a
+// stream of small batches reuses one set of buffers instead of allocating
+// two slices per call. The zero value is ready; a scratch must not be
+// shared between concurrent calls.
+type BatchScratch struct {
+	probs []float64
+	keys  []uint64
+}
+
+// probsFor returns a zeroed n-float accumulator, growing the backing store
+// only when a batch exceeds every earlier one.
+func (s *BatchScratch) probsFor(n int) []float64 {
+	if cap(s.probs) < n {
+		s.probs = make([]float64, n)
+		return s.probs
+	}
+	p := s.probs[:n]
+	clear(p)
+	return p
+}
+
+// keysFor returns an n-key scratch; contents are fully overwritten by the
+// chunk walk, so no clearing is needed.
+func (s *BatchScratch) keysFor(n int) []uint64 {
+	if cap(s.keys) < n {
+		s.keys = make([]uint64, n)
+	}
+	return s.keys[:n]
+}
+
+// PredictBatchScratch is PredictBatchInto with caller-owned working memory:
+// steady-state it allocates nothing, which is what the streaming pipeline's
+// per-batch classify path needs. Results are bit-identical to PredictBatch.
+func (f *Forest) PredictBatchScratch(X [][]float64, out []int, s *BatchScratch) {
 	if len(X) == 0 {
 		return
 	}
@@ -177,7 +216,7 @@ func (f *Forest) PredictBatchInto(X [][]float64, out []int) {
 	if len(X[0]) == 0 {
 		// Degenerate featureless rows: every tree is a bare leaf and the
 		// packed walk's probe of x[0] would be out of range.
-		probs := make([]float64, len(f.Classes))
+		probs := s.probsFor(len(f.Classes))
 		for r, x := range X {
 			out[r] = f.PredictInto(x, probs)
 		}
@@ -186,8 +225,8 @@ func (f *Forest) PredictBatchInto(X [][]float64, out []int) {
 	classes := len(f.Classes)
 	dim := len(X[0])
 	rep := f.packed()
-	probs := make([]float64, len(X)*classes)
-	keys := make([]uint64, len(X)*dim)
+	probs := s.probsFor(len(X) * classes)
+	keys := s.keysFor(len(X) * dim)
 	chunks := (len(X) + predictBatchChunk - 1) / predictBatchChunk
 	workers := runtime.GOMAXPROCS(0)
 	if workers > chunks {

@@ -1,0 +1,31 @@
+package sim_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/sim"
+)
+
+// BenchmarkQueuePushPop measures the event queue's steady-state cost: a
+// rolling population of 64 pending events, one push and one pop per
+// operation, as the fabric's shard queues see every TTI.
+func BenchmarkQueuePushPop(b *testing.B) {
+	var q sim.Queue
+	fired := 0
+	f := func() { fired++ }
+	const horizon = 64
+	for i := 0; i < horizon; i++ {
+		q.Push(time.Duration(i)*sim.TTI, f)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := time.Duration(i) * sim.TTI
+		q.Push(now+horizon*sim.TTI, f)
+		q.PopDue(now)
+	}
+	if fired == 0 {
+		b.Fatal("no events fired")
+	}
+}

@@ -42,6 +42,38 @@ func newVoteRing(horizon, apps int) *voteRing {
 	}
 }
 
+// ringSlab carves userVote entries and their ring storage out of block
+// allocations: one userVote array plus one slots and one counts backing
+// array per ringSlabUsers new users, instead of four heap objects per
+// user. Entries are never returned — a user's vote state lives for the
+// whole Run — so the slab only ever moves forward.
+type ringSlab struct {
+	horizon, apps int
+	users         []userVote
+	slots         []int16
+	counts        []int32
+}
+
+const ringSlabUsers = 32
+
+// get hands out one zeroed userVote with its ring storage attached.
+func (s *ringSlab) get() *userVote {
+	if len(s.users) == 0 {
+		s.users = make([]userVote, ringSlabUsers)
+		s.slots = make([]int16, ringSlabUsers*s.horizon)
+		s.counts = make([]int32, ringSlabUsers*s.apps)
+	}
+	u := &s.users[0]
+	s.users = s.users[1:]
+	u.ring = voteRing{
+		slots:  s.slots[:s.horizon:s.horizon],
+		counts: s.counts[:s.apps:s.apps],
+	}
+	s.slots = s.slots[s.horizon:]
+	s.counts = s.counts[s.apps:]
+	return u
+}
+
 // push adds one window's predicted app, evicting the oldest when full.
 func (v *voteRing) push(app int) {
 	if v.fill == len(v.slots) {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ltefp/internal/attack/fingerprint"
 	"ltefp/internal/features"
 	"ltefp/internal/obs"
 	"ltefp/internal/trace"
@@ -14,24 +15,25 @@ import (
 
 // recBatch is one source slice: the records drained plus the simulated
 // time reached (all records with At < now are delivered, so the assembler
-// may close windows ending at or before now).
+// may close windows ending at or before now). The record slice is owned by
+// the batch and returned to the source's freelist once assembled.
 type recBatch struct {
 	recs trace.Trace
 	now  time.Duration
 }
 
-// rowBatch is a classify work unit: parallel key/start/row columns backed
-// by one flat float64 block sized so it never reallocates under MaxBatch.
+// rowBatch is the pipeline's recyclable work bundle. The assembler fills
+// keys/starts/rows, the classifier writes apps, and the verdict stage —
+// the last reader — returns the whole bundle to the freelist. rows point
+// into the bundle's own flat arena, whose capacity is fixed at
+// MaxBatch×TotalDim up front so appends can never move rows already
+// recorded; that fixed ownership is what lets the bundle be reused instead
+// of abandoned to the GC after every batch.
 type rowBatch struct {
 	keys   []Key
 	starts []time.Duration
 	rows   [][]float64
-}
-
-// predBatch is a classified rowBatch.
-type predBatch struct {
-	keys   []Key
-	starts []time.Duration
+	flat   []float64
 	apps   []string
 }
 
@@ -68,15 +70,22 @@ type pipeline struct {
 	outOfObs  *obs.Counter
 	retrainC  *obs.Counter
 
+	// Freelists recycle buffers against the flow of data: record slices
+	// return assemble→source, row bundles verdict→assemble. Both are
+	// buffered deep enough for every in-flight batch, so steady state the
+	// per-batch path allocates nothing; non-blocking puts mean a full
+	// freelist just drops the buffer rather than stalling a stage.
+	recFree chan trace.Trace
+	rowFree chan *rowBatch
+
 	// assemble-stage state
 	users  map[Key]*features.Incremental
 	order  []Key // sorted, for deterministic advance/flush iteration
 	curKey Key
-	cur    rowBatch
-	// flat is the arena row copies point into; chunks are shared across
-	// batches and abandoned to the GC once full, so rows already handed
-	// downstream stay valid.
-	flat []float64
+	cur    *rowBatch
+
+	// classify-stage scratch, reused across every batch.
+	clfScratch fingerprint.BatchScratch
 
 	st Stats
 }
@@ -102,11 +111,13 @@ func Run(ctx context.Context, src Source, cfg Config) (*Stats, error) {
 		outOfObs:  sc.Scope("assemble").Counter("out_of_order"),
 		retrainC:  sc.Scope("verdict").Counter("retrain_signals"),
 		users:     make(map[Key]*features.Incremental),
+		recFree:   make(chan trace.Trace, cfg.QueueDepth+2),
+		rowFree:   make(chan *rowBatch, 2*cfg.QueueDepth+4),
 	}
 
 	recCh := make(chan recBatch, cfg.QueueDepth)
-	rowCh := make(chan rowBatch, cfg.QueueDepth)
-	predCh := make(chan predBatch, cfg.QueueDepth)
+	rowCh := make(chan *rowBatch, cfg.QueueDepth)
+	predCh := make(chan *rowBatch, cfg.QueueDepth)
 
 	var wg sync.WaitGroup
 	wg.Add(4)
@@ -125,6 +136,47 @@ func Run(ctx context.Context, src Source, cfg Config) (*Stats, error) {
 	}
 	st := p.st
 	return &st, ctx.Err()
+}
+
+// putRecs returns a record slice to the source freelist (dropped if full).
+func (p *pipeline) putRecs(recs trace.Trace) {
+	if cap(recs) == 0 {
+		return
+	}
+	select {
+	case p.recFree <- recs:
+	default:
+	}
+}
+
+// putBatch returns a row bundle to the freelist (dropped if full).
+func (p *pipeline) putBatch(b *rowBatch) {
+	select {
+	case p.rowFree <- b:
+	default:
+	}
+}
+
+// getBatch pops a recycled bundle, or builds one with its full capacity —
+// MaxBatch rows and a MaxBatch×TotalDim arena — so it never grows later.
+func (p *pipeline) getBatch() *rowBatch {
+	select {
+	case b := <-p.rowFree:
+		b.keys = b.keys[:0]
+		b.starts = b.starts[:0]
+		b.rows = b.rows[:0]
+		b.flat = b.flat[:0]
+		b.apps = b.apps[:0]
+		return b
+	default:
+	}
+	return &rowBatch{
+		keys:   make([]Key, 0, p.cfg.MaxBatch),
+		starts: make([]time.Duration, 0, p.cfg.MaxBatch),
+		rows:   make([][]float64, 0, p.cfg.MaxBatch),
+		flat:   make([]float64, 0, p.cfg.MaxBatch*features.TotalDim),
+		apps:   make([]string, 0, p.cfg.MaxBatch),
+	}
 }
 
 // sourceStage pulls slices until the source is exhausted or the context is
@@ -147,7 +199,12 @@ func (p *pipeline) sourceStage(ctx context.Context, src Source, out chan<- recBa
 		p.st.End = now
 		b := recBatch{now: now}
 		if len(buf) > 0 {
-			b.recs = append(trace.Trace(nil), buf...)
+			var recs trace.Trace
+			select {
+			case recs = <-p.recFree:
+			default:
+			}
+			b.recs = append(recs[:0], buf...)
 		}
 		p.mSource.batches.Inc()
 		if p.cfg.Shed {
@@ -158,6 +215,7 @@ func (p *pipeline) sourceStage(ctx context.Context, src Source, out chan<- recBa
 			default:
 				p.st.ShedRecords += int64(len(b.recs))
 				p.mSource.shed.Add(int64(len(b.recs)))
+				p.putRecs(b.recs)
 			}
 		} else {
 			select {
@@ -179,9 +237,9 @@ func (p *pipeline) sourceStage(ctx context.Context, src Source, out chan<- recBa
 // batches the emitted rows. Users are advanced and flushed in sorted key
 // order so row order — and therefore every downstream artefact — is
 // deterministic for a given record sequence.
-func (p *pipeline) assembleStage(in <-chan recBatch, out chan<- rowBatch) {
+func (p *pipeline) assembleStage(in <-chan recBatch, out chan<- *rowBatch) {
 	defer close(out)
-	p.resetBatch()
+	p.cur = p.getBatch()
 	emit := p.emitRow(out)
 	for b := range in {
 		t := p.mAssemble.ms.Start()
@@ -207,6 +265,7 @@ func (p *pipeline) assembleStage(in <-chan recBatch, out chan<- rowBatch) {
 			p.users[k].AdvanceTo(b.now, emit)
 		}
 		t.Stop()
+		p.putRecs(b.recs)
 		p.flushRows(out)
 	}
 	for _, k := range p.order {
@@ -223,118 +282,114 @@ func keyLess(a, b Key) bool {
 	return a.RNTI < b.RNTI
 }
 
-// arenaRows is the arena chunk size in rows: small enough that the tail
-// wasted when a chunk is abandoned is negligible, large enough to keep
-// allocation off the per-row path.
-const arenaRows = 16
-
-// resetBatch starts a fresh, empty row batch. The arena is NOT reset —
-// rows from earlier batches keep pointing into it.
-func (p *pipeline) resetBatch() {
-	p.cur = rowBatch{}
-}
-
 // emitRow returns the assembler's emit callback (built once per stage —
 // it is called per row); curKey names the user the row belongs to. The
-// extractor's row is scratch, so it is copied into the arena; appends
-// there never grow a chunk in place, which would move rows already handed
-// downstream.
-func (p *pipeline) emitRow(out chan<- rowBatch) func(start time.Duration, row []float64) {
+// extractor's row is scratch, so it is copied into the bundle's arena;
+// the arena's capacity covers MaxBatch rows, so the append can never grow
+// it in place and move rows already recorded.
+func (p *pipeline) emitRow(out chan<- *rowBatch) func(start time.Duration, row []float64) {
 	return func(start time.Duration, row []float64) {
 		if p.cfg.TapWindow != nil {
 			p.cfg.TapWindow(p.curKey, start, row)
 		}
-		if len(p.flat)+features.TotalDim > cap(p.flat) {
-			p.flat = make([]float64, 0, arenaRows*features.TotalDim)
-		}
-		n := len(p.flat)
-		p.flat = append(p.flat, row...)
-		p.cur.keys = append(p.cur.keys, p.curKey)
-		p.cur.starts = append(p.cur.starts, start)
-		p.cur.rows = append(p.cur.rows, p.flat[n:len(p.flat):len(p.flat)])
-		if len(p.cur.rows) >= p.cfg.MaxBatch {
+		b := p.cur
+		n := len(b.flat)
+		b.flat = append(b.flat, row...)
+		b.keys = append(b.keys, p.curKey)
+		b.starts = append(b.starts, start)
+		b.rows = append(b.rows, b.flat[n:len(b.flat):len(b.flat)])
+		if len(b.rows) >= p.cfg.MaxBatch {
 			p.flushRows(out)
 		}
 	}
 }
 
 // flushRows ships the accumulated rows (if any) under the shed policy.
-func (p *pipeline) flushRows(out chan<- rowBatch) {
+func (p *pipeline) flushRows(out chan<- *rowBatch) {
 	if len(p.cur.rows) == 0 {
 		return
 	}
 	b := p.cur
+	// The row count is read before the send: once the bundle is handed
+	// downstream it may be recycled (and reset) at any moment.
+	n := int64(len(b.rows))
 	p.mAssemble.batches.Inc()
 	if p.cfg.Shed {
 		select {
 		case out <- b:
-			p.st.Rows += int64(len(b.rows))
-			p.mAssemble.items.Add(int64(len(b.rows)))
+			p.st.Rows += n
+			p.mAssemble.items.Add(n)
 		default:
-			p.st.ShedRows += int64(len(b.rows))
-			p.mAssemble.shed.Add(int64(len(b.rows)))
+			p.st.ShedRows += n
+			p.mAssemble.shed.Add(n)
+			p.putBatch(b)
 		}
 	} else {
 		out <- b
-		p.st.Rows += int64(len(b.rows))
-		p.mAssemble.items.Add(int64(len(b.rows)))
+		p.st.Rows += n
+		p.mAssemble.items.Add(n)
 	}
 	p.mAssemble.depth.Set(int64(len(out)))
-	p.resetBatch()
+	p.cur = p.getBatch()
 }
 
 // classifyStage runs the forest hierarchy batched over each row batch.
-// Batch composition cannot change predictions (PredictBatch is documented
-// bit-identical to per-row prediction), so shed/batching policy upstream
-// never alters what a surviving row classifies as.
-func (p *pipeline) classifyStage(in <-chan rowBatch, out chan<- predBatch) {
+// Batch composition cannot change predictions (batch prediction is
+// documented bit-identical to per-row prediction), so shed/batching policy
+// upstream never alters what a surviving row classifies as. Predictions
+// land in the bundle's own apps buffer via the reusable scratch, so the
+// steady-state classify path allocates nothing.
+func (p *pipeline) classifyStage(in <-chan *rowBatch, out chan<- *rowBatch) {
 	defer close(out)
 	for b := range in {
 		t := p.mClassify.ms.Start()
-		apps := p.cfg.Classifier.PredictBatch(b.rows)
+		b.apps = b.apps[:len(b.rows)]
+		p.cfg.Classifier.PredictBatchInto(b.rows, b.apps, &p.clfScratch)
 		t.Stop()
-		pb := predBatch{keys: b.keys, starts: b.starts, apps: apps}
+		// As above: count before the send, not after the handoff.
+		n := int64(len(b.apps))
 		p.mClassify.batches.Inc()
 		if p.cfg.Shed {
 			select {
-			case out <- pb:
-				p.st.Predictions += int64(len(apps))
-				p.mClassify.items.Add(int64(len(apps)))
+			case out <- b:
+				p.st.Predictions += n
+				p.mClassify.items.Add(n)
 			default:
-				p.st.ShedPredictions += int64(len(apps))
-				p.mClassify.shed.Add(int64(len(apps)))
+				p.st.ShedPredictions += n
+				p.mClassify.shed.Add(n)
+				p.putBatch(b)
 			}
 		} else {
-			out <- pb
-			p.st.Predictions += int64(len(apps))
-			p.mClassify.items.Add(int64(len(apps)))
+			out <- b
+			p.st.Predictions += n
+			p.mClassify.items.Add(n)
 		}
 		p.mClassify.depth.Set(int64(len(out)))
 	}
 }
 
-// userVote is the verdict stage's per-user state.
+// userVote is the verdict stage's per-user state, carved out of a ringSlab.
 type userVote struct {
-	ring  *voteRing
+	ring  voteRing
 	drift driftMonitor
 }
 
 // verdictStage folds predictions into rolling per-user majority votes,
 // emitting one verdict per classified window once the user has enough
-// history, and watching confidence for the retrain gate.
-func (p *pipeline) verdictStage(in <-chan predBatch) {
+// history, and watching confidence for the retrain gate. As the bundle's
+// last reader it returns each one to the freelist.
+func (p *pipeline) verdictStage(in <-chan *rowBatch) {
 	votes := make(map[Key]*userVote)
+	slab := ringSlab{horizon: p.cfg.VoteHorizon, apps: len(p.table.names)}
 	for b := range in {
 		t := p.mVerdict.ms.Start()
 		for i, k := range b.keys {
 			u, ok := votes[k]
 			if !ok {
-				u = &userVote{
-					ring: newVoteRing(p.cfg.VoteHorizon, len(p.table.names)),
-					drift: driftMonitor{
-						threshold:  p.cfg.DriftThreshold,
-						minWindows: p.cfg.DriftMinWindows,
-					},
+				u = slab.get()
+				u.drift = driftMonitor{
+					threshold:  p.cfg.DriftThreshold,
+					minWindows: p.cfg.DriftMinWindows,
 				}
 				votes[k] = u
 			}
@@ -367,5 +422,6 @@ func (p *pipeline) verdictStage(in <-chan predBatch) {
 		}
 		p.mVerdict.batches.Inc()
 		t.Stop()
+		p.putBatch(b)
 	}
 }

@@ -1,0 +1,77 @@
+package ltefp_test
+
+import (
+	"testing"
+	"time"
+
+	"ltefp"
+)
+
+func TestMultiCellCaptureTracksVictim(t *testing.T) {
+	res, err := ltefp.MultiCellCapture(ltefp.MultiCellOptions{
+		App:      "WhatsApp Call",
+		Duration: 9 * time.Second,
+		Seed:     5,
+		Cells:    3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Segments) < 3 {
+		t.Fatalf("tracked %d segments, want >= 3: %+v", len(res.Segments), res.Segments)
+	}
+	cells := make(map[int]bool)
+	hops := 0
+	for _, s := range res.Segments {
+		cells[s.CellID] = true
+		if s.Link == "handover" {
+			hops++
+		}
+	}
+	if len(cells) != 3 || hops < 2 {
+		t.Fatalf("segments cover %d cells with %d handover links, want 3 cells / >= 2 links", len(cells), hops)
+	}
+	if len(res.Victim) <= len(res.Mapped) {
+		t.Fatalf("tracked trace (%d) does not extend the plaintext baseline (%d)", len(res.Victim), len(res.Mapped))
+	}
+	if len(res.Bindings) == 0 {
+		t.Fatal("no plaintext bindings observed")
+	}
+}
+
+func TestMultiCellCaptureWorkerInvariance(t *testing.T) {
+	run := func(workers int) *ltefp.MultiCellResult {
+		res, err := ltefp.MultiCellCapture(ltefp.MultiCellOptions{
+			App:      "YouTube",
+			Duration: 6 * time.Second,
+			Seed:     11,
+			Cells:    4,
+			Workers:  workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial, parallel := run(1), run(4)
+	if len(serial.All) != len(parallel.All) {
+		t.Fatalf("record count differs: %d serial vs %d with workers", len(serial.All), len(parallel.All))
+	}
+	for i := range serial.All {
+		if serial.All[i] != parallel.All[i] {
+			t.Fatalf("record %d differs: %+v vs %+v", i, serial.All[i], parallel.All[i])
+		}
+	}
+}
+
+func TestMultiCellCaptureRejectsBadItinerary(t *testing.T) {
+	_, err := ltefp.MultiCellCapture(ltefp.MultiCellOptions{
+		App:       "YouTube",
+		Duration:  2 * time.Second,
+		Cells:     2,
+		Itinerary: []ltefp.CellMove{{ToCell: 9, At: time.Second}},
+	})
+	if err == nil {
+		t.Fatal("itinerary to a missing cell accepted")
+	}
+}

@@ -20,7 +20,10 @@ out="BENCH_$n.json"
 micro='BenchmarkForestTrain$|BenchmarkForestPredict$|BenchmarkForestPredictBatch$|BenchmarkForestPredictBatchObs$|BenchmarkWindowExtraction$|BenchmarkDTW$|BenchmarkDTWAligner$|BenchmarkDTWCascade$'
 raw=$(go test -run '^$' -bench "$micro" -benchmem -benchtime 2s .
 	go test -run '^$' -bench 'BenchmarkObs' -benchmem -benchtime 1s ./internal/obs
+	go test -run '^$' -bench 'BenchmarkQueuePushPop$' -benchmem -benchtime 2s ./internal/sim
+	go test -run '^$' -bench 'BenchmarkNetworkStep$' -benchmem -benchtime 2s ./internal/lte/network
 	go test -run '^$' -bench 'BenchmarkCapture60s|BenchmarkStream60s$' -benchmem -benchtime 5x .
+	go test -run '^$' -bench 'BenchmarkFabric128Cells' -benchmem -benchtime 3x .
 	go test -run '^$' -bench 'BenchmarkSweep256Users$|BenchmarkSweepBrute256Users$' -benchmem -benchtime 3x .
 	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 3x .)
 echo "$raw"
@@ -49,7 +52,9 @@ END { print "\n  ]\n}" }
 echo "wrote $out"
 
 # Delta report: compare against the previous snapshot (highest BENCH_<m>
-# with m < n) so each PR's perf movement is visible at a glance.
+# with m < n) so each PR's perf movement is visible at a glance. Any
+# benchmark that got more than 1.5x slower is flagged as a REGRESSION —
+# benchtime-x table benchmarks jitter, but not by that much.
 prev=$(ls BENCH_*.json 2>/dev/null | sed 's/BENCH_\([0-9]*\)\.json/\1/' | sort -n | awk -v n="$n" '$1 < n' | tail -1)
 if [ -n "$prev" ]; then
 	echo ""
@@ -73,10 +78,16 @@ if [ -n "$prev" ]; then
 		if (name == "") next
 		ns = field($0, "ns_per_op"); al = field($0, "allocs_per_op")
 		if (!header++) printf "%-34s %15s %15s %9s %13s %13s\n", "benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs"
-		if (name in ons && ons[name] + 0 > 0 && ns + 0 > 0)
-			printf "%-34s %15.0f %15.0f %8.2fx %13s %13s\n", name, ons[name], ns, ons[name] / ns, oal[name], al
-		else
+		if (name in ons && ons[name] + 0 > 0 && ns + 0 > 0) {
+			spd = ons[name] / ns
+			flag = ""
+			if (spd < 1 / 1.5) { flag = "  REGRESSION"; regress++ }
+			printf "%-34s %15.0f %15.0f %8.2fx %13s %13s%s\n", name, ons[name], ns, spd, oal[name], al, flag
+		} else
 			printf "%-34s %15s %15.0f %9s %13s %13s\n", name, (name in ons ? ons[name] : "new"), ns, "-", (name in oal ? oal[name] : "-"), al
+	}
+	END {
+		if (regress) printf "WARNING: %d benchmark(s) regressed by more than 1.5x\n", regress
 	}
 	' "BENCH_$prev.json" "$out"
 fi

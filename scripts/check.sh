@@ -26,6 +26,11 @@ go test -race ./internal/stream/...
 # atomic work-stealing; gate it under -race explicitly for the same reason.
 echo "== go test -race ./internal/attack/correlation/..."
 go test -race ./internal/attack/correlation/...
+# The multi-cell fabric runs shards on a spin-barrier worker pool with
+# cross-shard mailboxes; its worker-count-invariance test is only
+# meaningful when the race detector watches the parallel path.
+echo "== go test -race ./internal/lte/network/..."
+go test -race ./internal/lte/network/...
 echo "== go test -race $short ./..."
 go test -race $short ./...
 echo "check: OK"
