@@ -1,7 +1,7 @@
 GO ?= go
 FUZZTIME ?= 5s
 
-.PHONY: check check-short test build vet bench fuzz-smoke
+.PHONY: check check-short test build vet bench fuzz-smoke e2e e2e-short
 
 ## check: vet + build + full test suite under the race detector + fuzz smoke
 check:
@@ -20,6 +20,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+## e2e: scripted CLI harness — builds every cmd/ binary and drives it as
+## a subprocess (goldens, SIGINT drain, kill -9 checkpoint restore)
+e2e:
+	$(GO) test -tags e2e -count=1 ./e2e
+
+## e2e-short: the fast golden subset (skips scenarios needing a training run)
+e2e-short:
+	$(GO) test -tags e2e -short -count=1 ./e2e
 
 ## bench: snapshot the perf-tracking benchmarks into BENCH_<n>.json
 bench:

@@ -22,6 +22,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ltefp"
@@ -165,12 +167,17 @@ func loadOrTrainModel(path, network string, seed uint64) (*ltefp.Fingerprinter, 
 
 // runLive executes the streaming attack: rolling verdicts are printed
 // whenever a user's majority app changes, retrain signals as they fire,
-// and a per-user summary plus the capture health at the end.
+// and a per-user summary plus the capture health at the end. SIGINT and
+// SIGTERM truncate the capture instead of killing it: the pipeline
+// drains, the final verdicts gathered so far are still printed, and the
+// process exits 0.
 func runLive(opts ltefp.CaptureOptions, modelPath string) error {
 	fp, err := loadOrTrainModel(modelPath, opts.Network, opts.Seed)
 	if err != nil {
 		return err
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	type userKey struct {
 		cell int
 		rnti uint16
@@ -178,7 +185,7 @@ func runLive(opts ltefp.CaptureOptions, modelPath string) error {
 	lastApp := make(map[userKey]string)
 	final := make(map[userKey]ltefp.LiveVerdict)
 	var order []userKey
-	st, err := ltefp.LiveCapture(context.Background(), ltefp.LiveOptions{
+	st, err := ltefp.LiveCapture(ctx, ltefp.LiveOptions{
 		Capture: opts,
 		Model:   fp,
 		OnVerdict: func(v ltefp.LiveVerdict) {
@@ -198,13 +205,24 @@ func runLive(opts ltefp.CaptureOptions, modelPath string) error {
 				v.At.Truncate(time.Millisecond), v.CellID, v.RNTI, v.Confidence)
 		},
 	})
+	interrupted := false
 	if err != nil {
-		return err
+		// An interrupt truncates the capture: the pipeline has already
+		// drained and st holds everything gathered, so the finals below
+		// still print and the process exits cleanly. Anything else is a
+		// real failure.
+		if ctx.Err() == nil {
+			return err
+		}
+		interrupted = true
 	}
 	for _, k := range order {
 		v := final[k]
 		fmt.Printf("final: cell=%d rnti=0x%04X app=%s category=%s confidence=%.2f windows=%d\n",
 			v.CellID, v.RNTI, v.App, v.Category, v.Confidence, v.Windows)
+	}
+	if interrupted {
+		fmt.Fprintf(os.Stderr, "ltesniff: interrupted at t=%s; pipeline drained, final verdicts above\n", st.End)
 	}
 	fmt.Fprintf(os.Stderr, "ltesniff: live: %d users, %d records -> %d windows -> %d verdicts, %d retrain signals, ran to t=%s\n",
 		st.Users, st.Records, st.Rows, st.Verdicts, st.RetrainSignals, st.End)

@@ -1,0 +1,157 @@
+//go:build e2e
+
+package e2e
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ltefp/internal/harness"
+)
+
+// trainedModel trains one small fingerprinter through the real ltetrain
+// binary, once per test process, and returns the model path. Every
+// scenario that needs a model shares it, so the training cost is paid a
+// single time per harness run.
+var (
+	modelOnce sync.Once
+	modelPath string
+	modelErr  error
+)
+
+func trainedModel(t *testing.T) string {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("short mode: skipping scenarios that need a training run")
+	}
+	modelOnce.Do(func() {
+		path := filepath.Join(harness.SharedDir(t), "model.bin")
+		res := harness.Run(t, 5*time.Minute, "ltetrain",
+			"-network", "Lab", "-sessions", "2", "-duration", "20s",
+			"-seed", "1", "-out", path)
+		if res.ExitCode != 0 {
+			modelErr = fmt.Errorf("ltetrain exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+			return
+		}
+		// ltetrain speaks only on stderr; a clean run leaves stdout empty.
+		// Pin that: a future chatty stdout would break scripted pipelines.
+		if res.Stdout != "" {
+			modelErr = fmt.Errorf("ltetrain wrote to stdout: %q", res.Stdout)
+			return
+		}
+		if fi, err := os.Stat(path); err != nil || fi.Size() == 0 {
+			modelErr = fmt.Errorf("ltetrain produced no model at %s: %v", path, err)
+			return
+		}
+		modelPath = path
+	})
+	if modelErr != nil {
+		t.Fatal(modelErr)
+	}
+	return modelPath
+}
+
+// TestLtesniffCaptureCSV pins the passive capture's CSV output: same
+// network, app, duration, and seed must reproduce the trace byte for
+// byte across PRs.
+func TestLtesniffCaptureCSV(t *testing.T) {
+	res := harness.Run(t, time.Minute, "ltesniff",
+		"-network", "Lab", "-app", "YouTube", "-duration", "5s", "-seed", "7")
+	if res.ExitCode != 0 {
+		t.Fatalf("ltesniff exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	if !strings.Contains(res.Stderr, "health:") {
+		t.Errorf("expected a capture-health summary on stderr, got:\n%s", res.Stderr)
+	}
+	harness.Golden(t, "ltesniff_capture_csv", res.Stdout)
+}
+
+// TestLtetrainThenFingerprint chains three binaries the way the paper's
+// attacker would: ltesniff records a victim trace, ltetrain's model
+// classifies it through lteattack fingerprint, and the verdict line is
+// golden-pinned.
+func TestLtetrainThenFingerprint(t *testing.T) {
+	model := trainedModel(t)
+	trace := filepath.Join(t.TempDir(), "victim.csv")
+	res := harness.Run(t, time.Minute, "ltesniff",
+		"-network", "Lab", "-app", "YouTube", "-duration", "30s", "-seed", "42",
+		"-out", trace)
+	if res.ExitCode != 0 {
+		t.Fatalf("ltesniff exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	res = harness.Run(t, time.Minute, "lteattack", "fingerprint",
+		"-model", model, "-trace", trace)
+	if res.ExitCode != 0 {
+		t.Fatalf("lteattack fingerprint exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	harness.Golden(t, "lteattack_fingerprint", res.Stdout)
+}
+
+// TestLteattackHistory pins the zone-history attack's table output.
+func TestLteattackHistory(t *testing.T) {
+	model := trainedModel(t)
+	res := harness.Run(t, 2*time.Minute, "lteattack", "history",
+		"-model", model, "-network", "Lab", "-seed", "99", "-minutes", "1")
+	if res.ExitCode != 0 {
+		t.Fatalf("lteattack history exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	harness.Golden(t, "lteattack_history", res.Stdout)
+}
+
+// TestLtecost pins the attack cost model table — pure arithmetic, so any
+// drift is a real change to the model.
+func TestLtecost(t *testing.T) {
+	res := harness.Run(t, time.Minute, "ltecost")
+	if res.ExitCode != 0 {
+		t.Fatalf("ltecost exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	harness.Golden(t, "ltecost", res.Stdout)
+}
+
+var elapsedRE = regexp.MustCompile(`elapsed [^)]*\)`)
+
+// TestLteexperimentsCost pins the experiment runner's cost rendering.
+// The header's wall-clock elapsed field is normalised away; everything
+// else must be deterministic in the seed.
+func TestLteexperimentsCost(t *testing.T) {
+	res := harness.Run(t, time.Minute, "lteexperiments", "-only", "cost", "-seed", "1")
+	if res.ExitCode != 0 {
+		t.Fatalf("lteexperiments exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	got := elapsedRE.ReplaceAllString(res.Stdout, "elapsed X)")
+	harness.Golden(t, "lteexperiments_cost", got)
+}
+
+// TestLtesniffLiveInterruptDrains is the regression test for the -live
+// SIGINT fix: interrupting a live capture must drain the pipeline, print
+// the final verdicts gathered so far, and exit 0 — not die mid-stream
+// with nothing to show.
+func TestLtesniffLiveInterruptDrains(t *testing.T) {
+	model := trainedModel(t)
+	// 2h of simulated time is a few seconds of wall clock: plenty of
+	// runway to interrupt mid-capture, long after the first verdict.
+	p := harness.Start(t, "ltesniff",
+		"-live", "-model", model,
+		"-network", "Lab", "-app", "YouTube", "-duration", "2h", "-seed", "7")
+	p.WaitForStdout("t=", 30*time.Second)
+	p.Signal(os.Interrupt)
+	res := p.Wait(30 * time.Second)
+	if res.ExitCode != 0 {
+		t.Fatalf("interrupted ltesniff -live exited %d, want 0\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "final:") {
+		t.Errorf("no final verdicts after interrupt; stdout:\n%s", res.Stdout)
+	}
+	if !strings.Contains(res.Stderr, "interrupted at t=") {
+		t.Errorf("missing interrupt notice on stderr:\n%s", res.Stderr)
+	}
+	if !strings.Contains(res.Stderr, "live:") {
+		t.Errorf("missing live summary on stderr:\n%s", res.Stderr)
+	}
+}

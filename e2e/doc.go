@@ -1,0 +1,10 @@
+// Package e2e is the scripted CLI test harness: every cmd/ binary is
+// built once per run and driven as a real subprocess, with stdout pinned
+// against golden files and crash-restart/checkpoint-resume scenarios for
+// the daemon. The tests build only under the e2e tag so the tier-1 suite
+// stays fast:
+//
+//	go test -tags e2e ./e2e            # full harness
+//	go test -tags e2e -short ./e2e     # quick subset (no training runs)
+//	go test -tags e2e ./e2e -update    # re-bless the goldens
+package e2e

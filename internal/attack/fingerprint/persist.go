@@ -1,61 +1,221 @@
 package fingerprint
 
 import (
-	"encoding/gob"
 	"fmt"
 	"io"
-	"time"
+	"sort"
 
 	"ltefp/internal/appmodel"
 	"ltefp/internal/ml/forest"
+	"ltefp/internal/snapshot"
 )
 
-// persisted is the on-disk layout of a trained classifier. Maps keyed by
-// custom types travel poorly across gob versions, so categories are stored
-// as a parallel slice.
-type persisted struct {
-	Window     time.Duration
-	Stride     time.Duration
-	Category   *forest.Forest
-	Categories []int
-	Forests    []*forest.Forest
-}
+// Section names of a persisted classifier inside a snapshot container.
+// The daemon embeds these alongside the stream checkpoint sections in one
+// checkpoint file; Save/Load wrap them in a standalone container for the
+// ltetrain/lteattack model-file handoff.
+const (
+	SectionMeta  = "fingerprint.meta"
+	SectionModel = "fingerprint.model"
+)
 
-// Save serialises the classifier with encoding/gob.
+// Save serialises the classifier as a standalone snapshot container. The
+// format is versioned, length-prefixed, and CRC-guarded: a model file
+// from an incompatible build (including the old gob era) is rejected with
+// a typed error instead of being half-decoded.
 func (c *Classifier) Save(w io.Writer) error {
-	p := persisted{
-		Window:   c.Window,
-		Stride:   c.Stride,
-		Category: c.Category,
+	sw, err := snapshot.NewWriter(w)
+	if err != nil {
+		return fmt.Errorf("fingerprint: saving classifier: %w", err)
 	}
-	for cat, f := range c.PerCategory {
-		p.Categories = append(p.Categories, int(cat))
-		p.Forests = append(p.Forests, f)
+	if err := c.AppendTo(sw); err != nil {
+		return fmt.Errorf("fingerprint: saving classifier: %w", err)
 	}
-	if err := gob.NewEncoder(w).Encode(p); err != nil {
+	if err := sw.Close(); err != nil {
 		return fmt.Errorf("fingerprint: saving classifier: %w", err)
 	}
 	return nil
 }
 
-// Load deserialises a classifier written by Save.
+// Load deserialises a classifier written by Save. Wrong magic, an
+// unsupported container version, truncation, and corruption surface as
+// snapshot.ErrMagic/ErrVersion/ErrTruncated/ErrCorrupt in the error
+// chain.
 func Load(r io.Reader) (*Classifier, error) {
-	var p persisted
-	if err := gob.NewDecoder(r).Decode(&p); err != nil {
+	sections, err := snapshot.ReadAll(r)
+	if err != nil {
 		return nil, fmt.Errorf("fingerprint: loading classifier: %w", err)
 	}
-	if len(p.Categories) != len(p.Forests) {
-		return nil, fmt.Errorf("fingerprint: corrupt classifier: %d categories, %d forests",
-			len(p.Categories), len(p.Forests))
-	}
-	c := &Classifier{
-		Window:      p.Window,
-		Stride:      p.Stride,
-		Category:    p.Category,
-		PerCategory: make(map[appmodel.Category]*forest.Forest, len(p.Forests)),
-	}
-	for i, cat := range p.Categories {
-		c.PerCategory[appmodel.Category(cat)] = p.Forests[i]
+	c, err := FromSections(sections)
+	if err != nil {
+		return nil, fmt.Errorf("fingerprint: loading classifier: %w", err)
 	}
 	return c, nil
+}
+
+// AppendTo writes the classifier's sections into an open snapshot
+// container. Per-category forests are written in ascending category
+// order, so equal classifiers always produce equal bytes.
+func (c *Classifier) AppendTo(w *snapshot.Writer) error {
+	meta := snapshot.NewEncoder(32)
+	meta.Duration(c.Window)
+	meta.Duration(c.Stride)
+	if err := w.Section(SectionMeta, meta.Bytes()); err != nil {
+		return err
+	}
+
+	e := snapshot.NewEncoder(1 << 16)
+	encodeForest(e, c.Category)
+	cats := make([]int, 0, len(c.PerCategory))
+	for cat := range c.PerCategory {
+		cats = append(cats, int(cat))
+	}
+	sort.Ints(cats)
+	e.Uvarint(uint64(len(cats)))
+	for _, cat := range cats {
+		e.Varint(int64(cat))
+		encodeForest(e, c.PerCategory[appmodel.Category(cat)])
+	}
+	return w.Section(SectionModel, e.Bytes())
+}
+
+// FromSections rebuilds a classifier from a decoded container's sections,
+// for callers (the daemon) that embed the model inside a larger file.
+func FromSections(sections map[string][]byte) (*Classifier, error) {
+	metaRaw, ok := sections[SectionMeta]
+	if !ok {
+		return nil, fmt.Errorf("missing section %q", SectionMeta)
+	}
+	modelRaw, ok := sections[SectionModel]
+	if !ok {
+		return nil, fmt.Errorf("missing section %q", SectionModel)
+	}
+
+	md := snapshot.NewDecoder(metaRaw)
+	c := &Classifier{
+		Window: md.Duration(),
+		Stride: md.Duration(),
+	}
+	if err := md.Finish(); err != nil {
+		return nil, fmt.Errorf("classifier meta: %w", err)
+	}
+	if c.Window <= 0 || c.Stride <= 0 {
+		return nil, fmt.Errorf("classifier meta: invalid window %v / stride %v", c.Window, c.Stride)
+	}
+
+	d := snapshot.NewDecoder(modelRaw)
+	var err error
+	if c.Category, err = decodeForest(d); err != nil {
+		return nil, fmt.Errorf("category forest: %w", err)
+	}
+	n := d.Count(2)
+	c.PerCategory = make(map[appmodel.Category]*forest.Forest, n)
+	prev := int64(-1 << 62)
+	for i := 0; i < n && d.Err() == nil; i++ {
+		cat := d.Varint()
+		if cat <= prev {
+			return nil, fmt.Errorf("per-category forests not in ascending order")
+		}
+		prev = cat
+		f, err := decodeForest(d)
+		if err != nil {
+			return nil, fmt.Errorf("forest for category %d: %w", cat, err)
+		}
+		c.PerCategory[appmodel.Category(cat)] = f
+	}
+	if err := d.Finish(); err != nil {
+		return nil, fmt.Errorf("classifier model: %w", err)
+	}
+	return c, nil
+}
+
+// encodeForest appends one forest (possibly nil) to the encoder: class
+// names, then each tree as a flat node array.
+func encodeForest(e *snapshot.Encoder, f *forest.Forest) {
+	if f == nil {
+		e.Bool(false)
+		return
+	}
+	e.Bool(true)
+	e.Uvarint(uint64(len(f.Classes)))
+	for _, c := range f.Classes {
+		e.Str(c)
+	}
+	e.Uvarint(uint64(len(f.Trees)))
+	for i := range f.Trees {
+		nodes := f.Trees[i].Nodes
+		e.Uvarint(uint64(len(nodes)))
+		for j := range nodes {
+			n := &nodes[j]
+			e.Varint(int64(n.Feature))
+			e.F64(n.Threshold)
+			e.Varint(int64(n.Left))
+			e.Varint(int64(n.Right))
+			e.Uvarint(uint64(len(n.Dist)))
+			for _, p := range n.Dist {
+				e.F32(p)
+			}
+		}
+	}
+}
+
+// decodeForest reads one forest, validating the tree structure: internal
+// nodes must point at in-range children, leaves must carry a class
+// distribution over the declared classes.
+func decodeForest(d *snapshot.Decoder) (*forest.Forest, error) {
+	if !d.Bool() {
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		return nil, nil
+	}
+	f := &forest.Forest{}
+	nClasses := d.Count(1)
+	for i := 0; i < nClasses && d.Err() == nil; i++ {
+		f.Classes = append(f.Classes, d.Str())
+	}
+	nTrees := d.Count(1)
+	for i := 0; i < nTrees && d.Err() == nil; i++ {
+		nNodes := d.Count(12) // feature + 8-byte threshold + left + right + dist count
+		if d.Err() != nil {
+			break
+		}
+		nodes := make([]forest.Node, nNodes)
+		for j := range nodes {
+			n := &nodes[j]
+			n.Feature = int32(d.Varint())
+			n.Threshold = d.F64()
+			n.Left = int32(d.Varint())
+			n.Right = int32(d.Varint())
+			nDist := d.Count(4)
+			if d.Err() != nil {
+				return nil, d.Err()
+			}
+			if nDist > 0 {
+				n.Dist = make([]float32, nDist)
+				for k := range n.Dist {
+					n.Dist[k] = d.F32()
+				}
+			}
+			switch {
+			case n.Feature == -1: // leaf
+				if len(n.Dist) != nClasses {
+					return nil, fmt.Errorf("leaf node %d/%d: %d-class distribution, forest has %d classes",
+						i, j, len(n.Dist), nClasses)
+				}
+			case n.Feature >= 0:
+				if n.Left <= int32(j) || int(n.Left) >= nNodes || n.Right <= int32(j) || int(n.Right) >= nNodes {
+					return nil, fmt.Errorf("node %d/%d: children (%d,%d) out of range [%d,%d)",
+						i, j, n.Left, n.Right, j+1, nNodes)
+				}
+			default:
+				return nil, fmt.Errorf("node %d/%d: invalid feature %d", i, j, n.Feature)
+			}
+		}
+		f.Trees = append(f.Trees, forest.Tree{Nodes: nodes})
+	}
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	return f, nil
 }

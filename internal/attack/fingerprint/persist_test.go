@@ -1,0 +1,159 @@
+package fingerprint_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"errors"
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/snapshot"
+)
+
+// tinyClassifier builds a small hand-made hierarchy: enough structure to
+// exercise every branch of the codec without a training run.
+func tinyClassifier() *fingerprint.Classifier {
+	mk := func(classes ...string) *forest.Forest {
+		leaf := func(dist ...float32) forest.Node {
+			return forest.Node{Feature: -1, Dist: dist}
+		}
+		return &forest.Forest{
+			Classes: classes,
+			Trees: []forest.Tree{
+				{Nodes: []forest.Node{
+					{Feature: 2, Threshold: 0.5, Left: 1, Right: 2},
+					leaf(make([]float32, len(classes))...),
+					leaf(make([]float32, len(classes))...),
+				}},
+				{Nodes: []forest.Node{leaf(make([]float32, len(classes))...)}},
+			},
+		}
+	}
+	return &fingerprint.Classifier{
+		Window:   100 * time.Millisecond,
+		Stride:   100 * time.Millisecond,
+		Category: mk("social", "video", "voip"),
+		PerCategory: map[appmodel.Category]*forest.Forest{
+			0: mk("a", "b", "c"),
+			2: mk("d", "e", "f"),
+		},
+	}
+}
+
+// TestSaveRejectsGobEra pins the motivating property of the format
+// change: a checkpoint or model file written by the old gob encoder is
+// detectably rejected (bad magic), never half-decoded into a wrong model.
+func TestSaveRejectsGobEra(t *testing.T) {
+	var buf bytes.Buffer
+	type oldPersisted struct {
+		Window, Stride time.Duration
+	}
+	if err := gob.NewEncoder(&buf).Encode(oldPersisted{Window: time.Second}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := fingerprint.Load(&buf)
+	if !errors.Is(err, snapshot.ErrMagic) {
+		t.Fatalf("loading a gob-era file: err = %v, want ErrMagic", err)
+	}
+}
+
+func TestSaveDeterministicBytes(t *testing.T) {
+	c := tinyClassifier()
+	var one, two bytes.Buffer
+	if err := c.Save(&one); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Save(&two); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(one.Bytes(), two.Bytes()) {
+		t.Fatal("two saves of the same classifier produced different bytes")
+	}
+}
+
+func TestLoadDetectsDamage(t *testing.T) {
+	c := tinyClassifier()
+	var buf bytes.Buffer
+	if err := c.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	for cut := 0; cut < len(raw); cut += 7 {
+		if _, err := fingerprint.Load(bytes.NewReader(raw[:cut])); err == nil {
+			t.Fatalf("truncation at %d bytes loaded successfully", cut)
+		}
+	}
+	for i := 0; i < len(raw); i += 11 {
+		bad := append([]byte(nil), raw...)
+		bad[i] ^= 0x10
+		if _, err := fingerprint.Load(bytes.NewReader(bad)); err == nil {
+			t.Fatalf("bit flip at byte %d loaded successfully", i)
+		}
+	}
+}
+
+// TestLoadValidatesStructure pins that structurally impossible trees are
+// rejected even when the container checksums pass (i.e. a buggy writer,
+// not wire corruption).
+func TestLoadValidatesStructure(t *testing.T) {
+	save := func(c *fingerprint.Classifier) []byte {
+		var buf bytes.Buffer
+		if err := c.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+
+	c := tinyClassifier()
+	c.Category.Trees[0].Nodes[0].Left = 99 // child out of range
+	if _, err := fingerprint.Load(bytes.NewReader(save(c))); err == nil {
+		t.Error("out-of-range child index loaded successfully")
+	}
+
+	c = tinyClassifier()
+	c.Category.Trees[0].Nodes[1].Dist = []float32{1} // wrong distribution arity
+	if _, err := fingerprint.Load(bytes.NewReader(save(c))); err == nil {
+		t.Error("wrong leaf distribution arity loaded successfully")
+	}
+
+	c = tinyClassifier()
+	c.Category.Trees[0].Nodes[0].Feature = -7 // neither leaf nor feature
+	if _, err := fingerprint.Load(bytes.NewReader(save(c))); err == nil {
+		t.Error("invalid feature index loaded successfully")
+	}
+}
+
+// TestSectionsEmbed pins the daemon's usage: classifier sections written
+// into a shared container alongside other sections still round-trip.
+func TestSectionsEmbed(t *testing.T) {
+	c := tinyClassifier()
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Section("daemon.meta", []byte("unrelated")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AppendTo(w); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sections, err := snapshot.ReadAll(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fingerprint.FromSections(sections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Window != c.Window || len(got.PerCategory) != len(c.PerCategory) {
+		t.Fatalf("embedded classifier did not round-trip: %+v", got)
+	}
+}

@@ -1,0 +1,542 @@
+// Package daemon is the long-running attacker: many concurrent live
+// captures (one simulated cell + sniffer each) feeding streaming
+// classification pipelines, with rolling verdicts served over the obs
+// debug HTTP surface, pipeline state periodically checkpointed to
+// versioned snapshot files, and failed captures restarted from their last
+// checkpoint through the resilience primitives.
+//
+// The daemon's recovery contract is inherited from the stream package: a
+// capture restarted from a checkpoint re-simulates the deterministic
+// scenario up to the checkpoint time (discarding output), restores the
+// pipeline state, and then produces verdicts byte-identical to a run that
+// was never interrupted — the property the e2e kill-and-restart test
+// pins.
+package daemon
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/obs"
+	"ltefp/internal/resilience"
+	"ltefp/internal/sim"
+	"ltefp/internal/sniffer"
+	"ltefp/internal/stream"
+	"ltefp/internal/trace"
+)
+
+// Spec declares one capture the daemon runs: a single-victim scenario on
+// one cell, mirroring the ltesniff CLI's options.
+type Spec struct {
+	// Name identifies the capture: checkpoint filename, verdict-line
+	// prefix, and HTTP keys. Must be unique and non-empty.
+	Name string
+	// Network and App name the scenario (as in ltefp.Networks/Apps).
+	Network string
+	App     string
+	// Duration is the session length (default one minute).
+	Duration time.Duration
+	// Seed makes the capture reproducible.
+	Seed uint64
+	// Day selects the app-drift day (0/1 = training day).
+	Day int
+	// DownlinkOnly restricts the sniffer to the downlink channel.
+	DownlinkOnly bool
+	// BackgroundApps runs noise apps on the victim UE.
+	BackgroundApps int
+}
+
+// baselineCorruption mirrors the capture CLI's blind-decode corruption
+// floor.
+const baselineCorruption = 0.002
+
+// scenario builds the capture scenario for a spec.
+func (s Spec) scenario(metrics obs.Scope) (capture.Scenario, error) {
+	network := s.Network
+	if network == "" {
+		network = "Lab"
+	}
+	prof, err := operator.ByName(network)
+	if err != nil {
+		return capture.Scenario{}, err
+	}
+	app, err := appmodel.ByName(s.App)
+	if err != nil {
+		return capture.Scenario{}, err
+	}
+	dur := s.Duration
+	if dur <= 0 {
+		dur = time.Minute
+	}
+	return capture.Scenario{
+		Seed:  s.Seed,
+		Cells: []capture.Cell{{ID: 1, Profile: prof}},
+		Sessions: []capture.Session{{
+			UE:       "victim",
+			CellID:   1,
+			App:      app,
+			Start:    500 * time.Millisecond,
+			Duration: dur,
+			Day:      s.Day,
+		}},
+		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption, DownlinkOnly: s.DownlinkOnly},
+		ApplyProfileLoss: true,
+		Metrics:          metrics,
+	}, nil
+}
+
+// Config assembles a daemon.
+type Config struct {
+	// Classifier is the trained hierarchy every capture classifies with
+	// (required).
+	Classifier *fingerprint.Classifier
+	// Specs are the captures to run concurrently.
+	Specs []Spec
+
+	// CheckpointDir, when set, persists each capture's pipeline state to
+	// <dir>/<name>.ckpt and resumes from it on start and after failures.
+	CheckpointDir string
+	// CheckpointEvery is the checkpoint period in simulated time (default
+	// 5 s; requires CheckpointDir).
+	CheckpointEvery time.Duration
+	// Slice is the simulated time stepped per pipeline pull (default
+	// 100 ms). CheckpointEvery should be a multiple of it.
+	Slice time.Duration
+
+	// VoteHorizon, MinVerdictWindows and DriftThreshold configure the
+	// verdict stage (stream.Config defaults apply).
+	VoteHorizon       int
+	MinVerdictWindows int
+	DriftThreshold    float64
+
+	// Out receives verdict lines (one per app-change, plus finals); nil
+	// discards them. Lines are prefixed with the capture name, so
+	// interleaved captures stay separable.
+	Out io.Writer
+	// VerboseVerdicts prints every rolling verdict instead of only
+	// app-changes — the e2e convergence harness turns this on.
+	VerboseVerdicts bool
+
+	// MaxRestarts bounds restarts per capture (default 5; <0 unbounded).
+	MaxRestarts int
+	// RestartBackoff paces restarts (default resilience.NewBackoff with
+	// seed 1).
+	RestartBackoff resilience.Backoff
+	// Sleep replaces the restart wait (tests inject instant sleeps).
+	Sleep func(ctx context.Context, d time.Duration) error
+
+	// TailSpan is how much trailing simulated time of raw records each
+	// capture retains for the /sweep endpoint (default 30 s; 0 keeps the
+	// default, negative disables the tail).
+	TailSpan time.Duration
+
+	// Metrics, when non-nil, receives per-capture pipeline and sniffer
+	// metrics, and is served by the debug HTTP endpoint.
+	Metrics *obs.Registry
+}
+
+// withDefaults fills the documented defaults.
+func (c Config) withDefaults() Config {
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 5 * time.Second
+	}
+	if c.Slice <= 0 {
+		c.Slice = 100 * time.Millisecond
+	}
+	if c.MaxRestarts == 0 {
+		c.MaxRestarts = 5
+	}
+	if c.RestartBackoff.Base == 0 {
+		c.RestartBackoff = resilience.NewBackoff(sim.NewRNG(1))
+	}
+	if c.TailSpan == 0 {
+		c.TailSpan = 30 * time.Second
+	}
+	return c
+}
+
+// State is a capture's lifecycle position.
+type State string
+
+// Capture states.
+const (
+	StatePending    State = "pending"
+	StateRunning    State = "running"
+	StateRestarting State = "restarting"
+	StateDone       State = "done"
+	StateFailed     State = "failed"
+	StateStopped    State = "stopped"
+)
+
+// captureRun is one capture's mutable state.
+type captureRun struct {
+	spec     Spec
+	scenario capture.Scenario
+	ckptPath string
+
+	mu        sync.Mutex
+	state     State
+	restarts  int
+	lastErr   error
+	stats     stream.Stats
+	health    sniffer.Stats
+	now       time.Duration
+	ckptAt    time.Duration
+	ckptSize  int64
+	lastApp   map[stream.Key]string
+	latest    map[stream.Key]stream.Verdict
+	order     []stream.Key
+	tail      map[stream.Key][]trace.Record
+	restored  bool
+	ckptDrops int64
+}
+
+// Daemon runs the configured captures until they complete or the context
+// is cancelled.
+type Daemon struct {
+	cfg  Config
+	caps []*captureRun
+
+	outMu sync.Mutex
+
+	modelSections map[string][]byte // cached encoded classifier, nil until first checkpoint use
+
+	ckptWrites  *obs.Counter
+	ckptBytes   *obs.Counter
+	ckptMS      *obs.Histogram
+	restartsC   *obs.Counter
+	ckptRejects *obs.Counter
+}
+
+// New validates the configuration and builds the daemon.
+func New(cfg Config) (*Daemon, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Classifier == nil {
+		return nil, fmt.Errorf("daemon: Classifier is required")
+	}
+	if len(cfg.Specs) == 0 {
+		return nil, fmt.Errorf("daemon: no captures configured")
+	}
+	if cfg.CheckpointEvery%cfg.Slice != 0 {
+		return nil, fmt.Errorf("daemon: CheckpointEvery %v is not a multiple of Slice %v", cfg.CheckpointEvery, cfg.Slice)
+	}
+	d := &Daemon{cfg: cfg}
+	scope := cfg.Metrics.Scope("daemon")
+	d.ckptWrites = scope.Counter("checkpoint_writes")
+	d.ckptBytes = scope.Counter("checkpoint_bytes")
+	d.ckptMS = scope.Histogram("checkpoint_write_ms", obs.LatencyBuckets())
+	d.restartsC = scope.Counter("capture_restarts")
+	d.ckptRejects = scope.Counter("checkpoint_rejects")
+	seen := map[string]bool{}
+	for _, spec := range cfg.Specs {
+		if spec.Name == "" {
+			return nil, fmt.Errorf("daemon: capture with empty name")
+		}
+		if seen[spec.Name] {
+			return nil, fmt.Errorf("daemon: duplicate capture name %q", spec.Name)
+		}
+		seen[spec.Name] = true
+		sc, err := spec.scenario(cfg.Metrics.Scope("daemon." + spec.Name + ".capture"))
+		if err != nil {
+			return nil, fmt.Errorf("daemon: capture %q: %w", spec.Name, err)
+		}
+		cr := &captureRun{
+			spec:     spec,
+			scenario: sc,
+			state:    StatePending,
+			lastApp:  map[stream.Key]string{},
+			latest:   map[stream.Key]stream.Verdict{},
+			tail:     map[stream.Key][]trace.Record{},
+		}
+		if cfg.CheckpointDir != "" {
+			cr.ckptPath = checkpointPath(cfg.CheckpointDir, spec.Name)
+		}
+		d.caps = append(d.caps, cr)
+	}
+	return d, nil
+}
+
+// Run executes every capture concurrently and blocks until all complete
+// (or ctx is cancelled and the pipelines drain). The returned error is
+// the first capture failure, if any; cancellation alone is not an error.
+func (d *Daemon) Run(ctx context.Context) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(d.caps))
+	for i, cr := range d.caps {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			errs[i] = d.runCapture(ctx, cr)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runCapture supervises one capture: run, checkpoint, and on failure
+// restart from the last checkpoint with backoff, up to the restart
+// budget.
+func (d *Daemon) runCapture(ctx context.Context, cr *captureRun) error {
+	slp := d.cfg.Sleep
+	if slp == nil {
+		slp = func(ctx context.Context, dur time.Duration) error {
+			t := time.NewTimer(dur)
+			defer t.Stop()
+			select {
+			case <-t.C:
+				return nil
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+	}
+	for attempt := 0; ; attempt++ {
+		err := d.runOnce(ctx, cr)
+		if err == nil {
+			cr.setState(StateDone)
+			return nil
+		}
+		if ctx.Err() != nil {
+			cr.setState(StateStopped)
+			return nil
+		}
+		cr.mu.Lock()
+		cr.lastErr = err
+		cr.restarts++
+		cr.mu.Unlock()
+		d.restartsC.Inc()
+		if d.cfg.MaxRestarts >= 0 && attempt >= d.cfg.MaxRestarts {
+			cr.setState(StateFailed)
+			return fmt.Errorf("daemon: capture %q failed after %d restarts: %w", cr.spec.Name, attempt, err)
+		}
+		cr.setState(StateRestarting)
+		d.printf("[%s] restarting after error: %v\n", cr.spec.Name, err)
+		if slp(ctx, d.cfg.RestartBackoff.Delay(attempt)) != nil {
+			cr.setState(StateStopped)
+			return nil
+		}
+	}
+}
+
+// runOnce executes one pipeline run of a capture, resuming from the
+// latest checkpoint when one is loadable.
+func (d *Daemon) runOnce(ctx context.Context, cr *captureRun) error {
+	rs := d.loadCheckpoint(cr)
+	live, err := capture.NewLive(cr.scenario)
+	if err != nil {
+		return err
+	}
+	defer live.Close()
+
+	var restore *stream.Checkpoint
+	var src stream.Source = &stream.LiveSource{Live: live, Slice: d.cfg.Slice}
+	if rs != nil {
+		restore = rs.ck
+		// Re-simulate the deterministic scenario to the checkpoint time in
+		// the same slice steps, discarding output; the slice grid then
+		// matches the original run's exactly.
+		scratch := trace.Trace{}
+		for live.Now() < restore.Now {
+			if _, _, more := live.Step(scratch[:0], d.cfg.Slice); !more {
+				break
+			}
+		}
+		if live.Now() != restore.Now {
+			d.ckptRejects.Inc()
+			d.printf("[%s] checkpoint at %v is beyond the scenario end %v; starting fresh\n",
+				cr.spec.Name, restore.Now, live.Now())
+			live.Close()
+			if live, err = capture.NewLive(cr.scenario); err != nil {
+				return err
+			}
+			src = &stream.LiveSource{Live: live, Slice: d.cfg.Slice}
+			restore = nil
+		}
+		cr.mu.Lock()
+		cr.restored = restore != nil
+		if restore != nil {
+			// Adopt the verdict summary saved at the cut — including users
+			// whose sessions ended before it, which the resumed pipeline
+			// will never see again — then drop anything at or after the cut:
+			// the resumed pipeline re-raises those verdicts identically.
+			cr.lastApp, cr.latest, cr.order = rs.lastApp, rs.latest, rs.order
+			cr.pruneVerdictsAfter(restore)
+		}
+		cr.mu.Unlock()
+	}
+
+	cfg := stream.Config{
+		Classifier:        d.cfg.Classifier,
+		VoteHorizon:       d.cfg.VoteHorizon,
+		MinVerdictWindows: d.cfg.MinVerdictWindows,
+		DriftThreshold:    d.cfg.DriftThreshold,
+		RecoverPanics:     true,
+		Restore:           restore,
+		OnVerdict:         func(v stream.Verdict) { d.onVerdict(cr, v) },
+		Metrics:           d.cfg.Metrics.Scope("daemon." + cr.spec.Name + ".stream"),
+	}
+	if cr.ckptPath != "" {
+		cfg.CheckpointEvery = d.cfg.CheckpointEvery
+		cfg.OnCheckpoint = func(c *stream.Checkpoint) { d.writeCheckpoint(cr, c) }
+	}
+	if d.cfg.TailSpan > 0 {
+		src = &teeSource{Src: src, sink: func(recs trace.Trace, now time.Duration) {
+			cr.extendTail(recs, now, d.cfg.TailSpan)
+		}}
+	}
+
+	cr.setState(StateRunning)
+	st, err := stream.Run(ctx, src, cfg)
+
+	cr.mu.Lock()
+	cr.stats = *st
+	cr.health = live.Health()
+	cr.now = st.End
+	cr.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	if ctx.Err() == nil {
+		d.printFinals(cr)
+	}
+	return nil
+}
+
+// onVerdict records and prints one rolling verdict.
+func (d *Daemon) onVerdict(cr *captureRun, v stream.Verdict) {
+	cr.mu.Lock()
+	if _, seen := cr.latest[v.Key]; !seen {
+		cr.order = append(cr.order, v.Key)
+	}
+	changed := cr.lastApp[v.Key] != v.App
+	cr.lastApp[v.Key] = v.App
+	cr.latest[v.Key] = v
+	cr.now = v.At
+	cr.stats.Verdicts++
+	cr.mu.Unlock()
+	if changed || d.cfg.VerboseVerdicts {
+		d.printf("[%s] t=%-8s cell=%d rnti=0x%04X app=%-14s confidence=%.2f windows=%d\n",
+			cr.spec.Name, v.At.Truncate(time.Millisecond), v.Key.CellID, uint16(v.Key.RNTI),
+			v.App, v.Confidence, v.Windows)
+	}
+}
+
+// printFinals emits the per-user final verdicts after a clean completion,
+// sorted by key for stable output.
+func (d *Daemon) printFinals(cr *captureRun) {
+	cr.mu.Lock()
+	keys := make([]stream.Key, 0, len(cr.latest))
+	for k := range cr.latest {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].CellID != keys[j].CellID {
+			return keys[i].CellID < keys[j].CellID
+		}
+		return keys[i].RNTI < keys[j].RNTI
+	})
+	finals := make([]stream.Verdict, len(keys))
+	for i, k := range keys {
+		finals[i] = cr.latest[k]
+	}
+	st := cr.stats
+	cr.mu.Unlock()
+	for _, v := range finals {
+		d.printf("[%s] final: cell=%d rnti=0x%04X app=%s confidence=%.2f windows=%d\n",
+			cr.spec.Name, v.Key.CellID, uint16(v.Key.RNTI), v.App, v.Confidence, v.Windows)
+	}
+	d.printf("[%s] done: %d users, %d records -> %d windows -> %d verdicts, ran to t=%s\n",
+		cr.spec.Name, st.Users, st.Records, st.Rows, st.Verdicts, st.End)
+}
+
+// pruneVerdictsAfter drops recorded verdicts newer than the checkpoint
+// being restored: they will be re-raised identically by the resumed
+// pipeline. Callers hold cr.mu.
+func (cr *captureRun) pruneVerdictsAfter(c *stream.Checkpoint) {
+	for k, v := range cr.latest {
+		if v.At >= c.Now {
+			delete(cr.latest, k)
+			delete(cr.lastApp, k)
+		}
+	}
+	kept := cr.order[:0]
+	for _, k := range cr.order {
+		if _, ok := cr.latest[k]; ok {
+			kept = append(kept, k)
+		}
+	}
+	cr.order = kept
+	cr.stats = c.Stats
+}
+
+// extendTail appends freshly captured records to the per-user tails and
+// evicts everything older than span behind now.
+func (cr *captureRun) extendTail(recs trace.Trace, now time.Duration, span time.Duration) {
+	cr.mu.Lock()
+	defer cr.mu.Unlock()
+	cr.now = now
+	for _, r := range recs {
+		k := stream.Key{CellID: r.CellID, RNTI: r.RNTI}
+		cr.tail[k] = append(cr.tail[k], r)
+	}
+	cutoff := now - span
+	if cutoff <= 0 {
+		return
+	}
+	for k, t := range cr.tail {
+		i := 0
+		for i < len(t) && t[i].At < cutoff {
+			i++
+		}
+		if i == len(t) {
+			delete(cr.tail, k)
+		} else if i > 0 {
+			cr.tail[k] = append(t[:0:0], t[i:]...)
+		}
+	}
+}
+
+// setState updates a capture's lifecycle state.
+func (cr *captureRun) setState(s State) {
+	cr.mu.Lock()
+	cr.state = s
+	cr.mu.Unlock()
+}
+
+// printf writes one line to the verdict stream under the output lock.
+func (d *Daemon) printf(format string, args ...any) {
+	if d.cfg.Out == nil {
+		return
+	}
+	d.outMu.Lock()
+	defer d.outMu.Unlock()
+	fmt.Fprintf(d.cfg.Out, format, args...)
+}
+
+// teeSource copies every slice a source produces to a sink before
+// handing it to the pipeline.
+type teeSource struct {
+	Src  stream.Source
+	sink func(recs trace.Trace, now time.Duration)
+}
+
+// Next implements stream.Source.
+func (t *teeSource) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	base := len(dst)
+	out, now, more := t.Src.Next(dst)
+	t.sink(out[base:], now)
+	return out, now, more
+}

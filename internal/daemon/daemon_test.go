@@ -1,0 +1,398 @@
+package daemon_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/daemon"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/obs"
+	"ltefp/internal/sniffer"
+)
+
+// The classifier is expensive to train, so every test shares one, built
+// the same way the stream package's tests do.
+var (
+	clfOnce sync.Once
+	clf     *fingerprint.Classifier
+	clfErr  error
+)
+
+func classifier(t *testing.T) *fingerprint.Classifier {
+	t.Helper()
+	clfOnce.Do(func() {
+		ts := fingerprint.NewTrainingSet()
+		for i, app := range appmodel.Apps() {
+			n := 2
+			if app.Category == appmodel.Messaging {
+				n *= 3
+			}
+			vecs, err := fingerprint.Collect(fingerprint.CollectSpec{
+				Profile:          operator.Lab(),
+				App:              app,
+				Sessions:         n,
+				SessionDur:       20 * time.Second,
+				Seed:             uint64(i+1) * 31,
+				Sniffer:          sniffer.Config{CorruptProb: 0.002},
+				ApplyProfileLoss: true,
+			})
+			if err != nil {
+				clfErr = err
+				return
+			}
+			if err := ts.Add(app.Name, vecs); err != nil {
+				clfErr = err
+				return
+			}
+		}
+		clf, clfErr = fingerprint.Train(ts, fingerprint.Config{
+			Forest: forest.Config{Trees: 20, Seed: 1},
+		})
+	})
+	if clfErr != nil {
+		t.Fatal(clfErr)
+	}
+	return clf
+}
+
+// testSpecs is the shared two-capture workload: different apps, different
+// seeds, one cell each.
+func testSpecs() []daemon.Spec {
+	return []daemon.Spec{
+		{Name: "alice", Network: "Lab", App: "YouTube", Duration: 12 * time.Second, Seed: 7},
+		{Name: "bob", Network: "Lab", App: "Skype", Duration: 12 * time.Second, Seed: 11},
+	}
+}
+
+// baseConfig assembles the shared daemon configuration.
+func baseConfig(t *testing.T, dir string, out *bytes.Buffer) daemon.Config {
+	return daemon.Config{
+		Classifier:      classifier(t),
+		Specs:           testSpecs(),
+		CheckpointDir:   dir,
+		CheckpointEvery: 2 * time.Second,
+		Out:             &syncWriter{buf: out},
+		VerboseVerdicts: true,
+		Sleep:           func(context.Context, time.Duration) error { return nil },
+	}
+}
+
+// syncWriter serialises concurrent writes into one buffer.
+type syncWriter struct {
+	mu  sync.Mutex
+	buf *bytes.Buffer
+}
+
+func (w *syncWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.buf.Write(p)
+}
+
+// linesFor filters an output dump down to one capture's verdict lines
+// (prefix match keeps interleaved captures separable).
+func linesFor(out, name, kind string) []string {
+	var got []string
+	prefix := "[" + name + "] " + kind
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, prefix) {
+			got = append(got, line)
+		}
+	}
+	return got
+}
+
+// TestDaemonRunsToCompletion pins the plain path: all captures complete,
+// finals are printed, checkpoints exist on disk.
+func TestDaemonRunsToCompletion(t *testing.T) {
+	dir := t.TempDir()
+	var out bytes.Buffer
+	d, err := daemon.New(baseConfig(t, dir, &out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, spec := range testSpecs() {
+		if finals := linesFor(out.String(), spec.Name, "final:"); len(finals) == 0 {
+			t.Errorf("capture %s printed no final verdicts", spec.Name)
+		}
+		if _, err := os.Stat(filepath.Join(dir, spec.Name+".ckpt")); err != nil {
+			t.Errorf("capture %s left no checkpoint: %v", spec.Name, err)
+		}
+	}
+}
+
+// TestDaemonCheckpointRestartConvergence is the tentpole property in
+// process form: interrupt a daemon mid-capture, start a fresh daemon on
+// the same checkpoint directory, and the resumed verdict stream is
+// byte-identical to the corresponding suffix of an uninterrupted run —
+// finals included.
+func TestDaemonCheckpointRestartConvergence(t *testing.T) {
+	// Reference: uninterrupted run.
+	var refOut bytes.Buffer
+	ref, err := daemon.New(baseConfig(t, t.TempDir(), &refOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	// Interrupted run: cancel as soon as every capture has checkpointed.
+	dir := t.TempDir()
+	var cutOut bytes.Buffer
+	cut, err := daemon.New(baseConfig(t, dir, &cutOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- cut.Run(ctx) }()
+	deadline := time.After(30 * time.Second)
+poll:
+	for {
+		ready := true
+		for _, spec := range testSpecs() {
+			if fi, err := os.Stat(filepath.Join(dir, spec.Name+".ckpt")); err != nil || fi.Size() == 0 {
+				ready = false
+			}
+		}
+		if ready {
+			break
+		}
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+			break poll // finished before we could interrupt; resume still exercises restore
+		case <-deadline:
+			t.Fatal("no checkpoints appeared within 30s")
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("interrupted daemon did not drain")
+	}
+
+	// Resumed run: fresh daemon, same checkpoint directory.
+	var resOut bytes.Buffer
+	res, err := daemon.New(baseConfig(t, dir, &resOut))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, spec := range testSpecs() {
+		refVerdicts := linesFor(refOut.String(), spec.Name, "t=")
+		resVerdicts := linesFor(resOut.String(), spec.Name, "t=")
+		if len(resVerdicts) == 0 || len(resVerdicts) > len(refVerdicts) {
+			t.Fatalf("%s: resumed run printed %d verdict lines, reference %d", spec.Name, len(resVerdicts), len(refVerdicts))
+		}
+		tail := refVerdicts[len(refVerdicts)-len(resVerdicts):]
+		for i := range resVerdicts {
+			if resVerdicts[i] != tail[i] {
+				t.Fatalf("%s: resumed verdict line %d diverged:\n  got  %s\n  want %s",
+					spec.Name, i, resVerdicts[i], tail[i])
+			}
+		}
+		refFinals := strings.Join(linesFor(refOut.String(), spec.Name, "final:"), "\n")
+		resFinals := strings.Join(linesFor(resOut.String(), spec.Name, "final:"), "\n")
+		if refFinals != resFinals || refFinals == "" {
+			t.Fatalf("%s: finals diverged after restore:\n--- reference\n%s\n--- resumed\n%s",
+				spec.Name, refFinals, resFinals)
+		}
+		refDone := linesFor(refOut.String(), spec.Name, "done:")
+		resDone := linesFor(resOut.String(), spec.Name, "done:")
+		if len(refDone) != 1 || len(resDone) != 1 || refDone[0] != resDone[0] {
+			t.Fatalf("%s: done lines diverged:\n  reference %v\n  resumed   %v", spec.Name, refDone, resDone)
+		}
+	}
+}
+
+// TestDaemonRejectsIncompatibleCheckpoint pins detectable rejection: a
+// corrupt file and a parameter change both start fresh (with a report)
+// instead of restoring wrong state.
+func TestDaemonRejectsIncompatibleCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+
+	// Seed the directory with garbage where a checkpoint would be.
+	if err := os.WriteFile(filepath.Join(dir, "alice.ckpt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// And a valid checkpoint for bob, written under different pipeline
+	// parameters (vote horizon).
+	var tmp bytes.Buffer
+	pre := baseConfig(t, dir, &tmp)
+	pre.VoteHorizon = 10
+	d0, err := daemon.New(pre)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d0.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "bob.ckpt")); err != nil {
+		t.Fatal("pre-run left no checkpoint for bob")
+	}
+	// Re-corrupt alice's file (the pre-run replaced it).
+	if err := os.WriteFile(filepath.Join(dir, "alice.ckpt"), []byte("not a snapshot"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var out bytes.Buffer
+	d, err := daemon.New(baseConfig(t, dir, &out)) // default horizon != 10
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	dump := out.String()
+	if !strings.Contains(dump, "[alice] ignoring checkpoint") {
+		t.Error("corrupt checkpoint was not reported as ignored")
+	}
+	if !strings.Contains(dump, "[bob] ignoring checkpoint") {
+		t.Error("parameter-mismatched checkpoint was not reported as ignored")
+	}
+	for _, spec := range testSpecs() {
+		if len(linesFor(dump, spec.Name, "final:")) == 0 {
+			t.Errorf("capture %s did not complete after rejecting its checkpoint", spec.Name)
+		}
+	}
+}
+
+// TestDaemonHTTPEndpoints drives /healthz, /verdicts, and /sweep against
+// a completed daemon through the extended obs debug server.
+func TestDaemonHTTPEndpoints(t *testing.T) {
+	var out bytes.Buffer
+	cfg := baseConfig(t, t.TempDir(), &out)
+	cfg.TailSpan = time.Hour // retain everything so /sweep has material
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	d, err := daemon.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+
+	srv, err := obs.StartDebugServerWith("127.0.0.1:0", reg, d.Handlers())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get(fmt.Sprintf("http://%s%s", srv.Addr, path))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var buf bytes.Buffer
+		if _, err := buf.ReadFrom(resp.Body); err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %d: %s", path, resp.StatusCode, buf.String())
+		}
+		return buf.Bytes()
+	}
+
+	var h daemon.Health
+	if err := json.Unmarshal(get("/healthz"), &h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "ok" || len(h.Captures) != 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	for _, c := range h.Captures {
+		if c.State != daemon.StateDone || c.Verdicts == 0 || c.CheckpointAt == 0 {
+			t.Errorf("capture %s: %+v", c.Name, c)
+		}
+	}
+
+	var verdicts []daemon.VerdictEntry
+	if err := json.Unmarshal(get("/verdicts"), &verdicts); err != nil {
+		t.Fatal(err)
+	}
+	if len(verdicts) == 0 {
+		t.Fatal("no verdicts served")
+	}
+	seen := map[string]bool{}
+	for _, v := range verdicts {
+		seen[v.Capture] = true
+		if v.App == "" || v.Windows == 0 {
+			t.Errorf("verdict entry %+v", v)
+		}
+	}
+	if !seen["alice"] || !seen["bob"] {
+		t.Fatalf("verdicts cover %v, want both captures", seen)
+	}
+
+	var sw daemon.SweepResult
+	if err := json.Unmarshal(get("/sweep?min=0&topk=3"), &sw); err != nil {
+		t.Fatal(err)
+	}
+	if sw.Users < 2 {
+		t.Fatalf("sweep saw %d users, want >= 2", sw.Users)
+	}
+
+	// The metrics surface carries the daemon counters.
+	if !strings.Contains(string(get("/metrics")), "daemon.checkpoint_writes") {
+		t.Error("daemon counters missing from /metrics")
+	}
+}
+
+// TestDaemonValidation pins constructor errors.
+func TestDaemonValidation(t *testing.T) {
+	c := classifier(t)
+	if _, err := daemon.New(daemon.Config{Specs: testSpecs()}); err == nil {
+		t.Error("missing classifier accepted")
+	}
+	if _, err := daemon.New(daemon.Config{Classifier: c}); err == nil {
+		t.Error("no captures accepted")
+	}
+	if _, err := daemon.New(daemon.Config{Classifier: c, Specs: []daemon.Spec{{Name: "", App: "YouTube"}}}); err == nil {
+		t.Error("empty capture name accepted")
+	}
+	if _, err := daemon.New(daemon.Config{Classifier: c, Specs: []daemon.Spec{
+		{Name: "x", App: "YouTube"}, {Name: "x", App: "Skype"},
+	}}); err == nil {
+		t.Error("duplicate capture names accepted")
+	}
+	if _, err := daemon.New(daemon.Config{Classifier: c, Specs: []daemon.Spec{{Name: "x", App: "NoSuchApp"}}}); err == nil {
+		t.Error("unknown app accepted")
+	}
+	if _, err := daemon.New(daemon.Config{
+		Classifier: c,
+		Specs:      []daemon.Spec{{Name: "x", App: "YouTube"}},
+		Slice:      300 * time.Millisecond, CheckpointEvery: 500 * time.Millisecond,
+	}); err == nil {
+		t.Error("checkpoint period off the slice grid accepted")
+	}
+}

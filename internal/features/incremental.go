@@ -61,6 +61,59 @@ func NewIncremental(width, stride time.Duration) *Incremental {
 	}
 }
 
+// IncrementalState is the complete restorable state of an Incremental:
+// everything Push/AdvanceTo/Flush read or write apart from reusable
+// scratch. It exists for the streaming pipeline's checkpoints — an
+// extractor rebuilt from it continues emitting rows bit-identical to the
+// one it was captured from.
+type IncrementalState struct {
+	Width, Stride        time.Duration
+	Buf                  []trace.Record
+	Started              bool
+	Next, LastAt         time.Duration
+	PrevCount, PrevBytes float64
+	HasEvicted           bool
+	EvictedAt            time.Duration
+	OutOfOrder           int64
+}
+
+// State captures the extractor's restorable state. The returned record
+// slice is a copy: it stays valid while the extractor keeps running.
+func (inc *Incremental) State() IncrementalState {
+	return IncrementalState{
+		Width:      inc.width,
+		Stride:     inc.stride,
+		Buf:        append([]trace.Record(nil), inc.buf...),
+		Started:    inc.started,
+		Next:       inc.next,
+		LastAt:     inc.lastAt,
+		PrevCount:  inc.prevCount,
+		PrevBytes:  inc.prevBytes,
+		HasEvicted: inc.hasEvicted,
+		EvictedAt:  inc.evictedAt,
+		OutOfOrder: inc.OutOfOrder,
+	}
+}
+
+// RestoreIncremental rebuilds an extractor from captured state. The
+// record slice is copied, so the state remains reusable.
+func RestoreIncremental(st IncrementalState) (*Incremental, error) {
+	if st.Width <= 0 || st.Stride <= 0 {
+		return nil, fmt.Errorf("features: restoring incremental: invalid window width %v / stride %v", st.Width, st.Stride)
+	}
+	inc := NewIncremental(st.Width, st.Stride)
+	inc.buf = append(inc.buf, st.Buf...)
+	inc.started = st.Started
+	inc.next = st.Next
+	inc.lastAt = st.LastAt
+	inc.prevCount = st.PrevCount
+	inc.prevBytes = st.PrevBytes
+	inc.hasEvicted = st.HasEvicted
+	inc.evictedAt = st.EvictedAt
+	inc.OutOfOrder = st.OutOfOrder
+	return inc, nil
+}
+
 // Reset returns the extractor to its initial state, keeping scratch
 // capacity.
 func (inc *Incremental) Reset() {

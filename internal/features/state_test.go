@@ -1,0 +1,111 @@
+package features_test
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"ltefp/internal/features"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/trace"
+)
+
+// synthTrace builds a deterministic two-burst trace long enough to span
+// several windows.
+func stateTestTrace() trace.Trace {
+	var tr trace.Trace
+	for i := 0; i < 400; i++ {
+		at := time.Duration(i) * 7 * time.Millisecond
+		dir := dci.Downlink
+		if i%3 == 0 {
+			dir = dci.Uplink
+		}
+		tr = append(tr, trace.Record{
+			At: at, CellID: 1, RNTI: 4660, Dir: dir,
+			Bytes: 100 + (i*37)%900,
+		})
+	}
+	return tr
+}
+
+// TestIncrementalStateRoundTrip pins the checkpoint/restore contract at
+// the extractor level: snapshot an Incremental mid-stream, restore it,
+// and the restored copy must emit bit-identical rows for the rest of the
+// stream — and its own state must track the original's exactly.
+func TestIncrementalStateRoundTrip(t *testing.T) {
+	const width, stride = 100 * time.Millisecond, 100 * time.Millisecond
+	tr := stateTestTrace()
+
+	type emit struct {
+		start time.Duration
+		row   []float64
+	}
+	run := func(inc *features.Incremental, tr trace.Trace, from int) []emit {
+		var out []emit
+		for _, r := range tr[from:] {
+			inc.Push(r, func(start time.Duration, row []float64) {
+				out = append(out, emit{start, append([]float64(nil), row...)})
+			})
+		}
+		inc.Flush(func(start time.Duration, row []float64) {
+			out = append(out, emit{start, append([]float64(nil), row...)})
+		})
+		return out
+	}
+
+	for _, cut := range []int{0, 1, 57, 200, 399} {
+		ref := features.NewIncremental(width, stride)
+		var refOut []emit
+		for _, r := range tr[:cut] {
+			ref.Push(r, func(start time.Duration, row []float64) {
+				refOut = append(refOut, emit{start, append([]float64(nil), row...)})
+			})
+		}
+		st := ref.State()
+
+		restored, err := features.RestoreIncremental(st)
+		if err != nil {
+			t.Fatalf("cut %d: restore: %v", cut, err)
+		}
+		if !reflect.DeepEqual(restored.State(), st) {
+			t.Fatalf("cut %d: restored state differs from snapshot", cut)
+		}
+
+		got := run(restored, tr, cut)
+		want := run(ref, tr, cut)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("cut %d: restored extractor diverged: got %d rows, want %d", cut, len(got), len(want))
+		}
+	}
+}
+
+// TestIncrementalStateIsACopy pins that State detaches the buffer: later
+// Adds on the live extractor must not mutate an already-taken snapshot.
+func TestIncrementalStateIsACopy(t *testing.T) {
+	inc := features.NewIncremental(100*time.Millisecond, 100*time.Millisecond)
+	tr := stateTestTrace()
+	for _, r := range tr[:50] {
+		inc.Push(r, func(time.Duration, []float64) {})
+	}
+	st := inc.State()
+	frozen := append([]trace.Record(nil), st.Buf...)
+	for _, r := range tr[50:100] {
+		inc.Push(r, func(time.Duration, []float64) {})
+	}
+	if !reflect.DeepEqual(st.Buf, frozen) {
+		t.Fatal("State buffer aliased the live extractor's buffer")
+	}
+}
+
+// TestRestoreIncrementalRejectsBadGeometry pins the validation contract.
+func TestRestoreIncrementalRejectsBadGeometry(t *testing.T) {
+	for _, st := range []features.IncrementalState{
+		{Width: 0, Stride: 100 * time.Millisecond},
+		{Width: 100 * time.Millisecond, Stride: 0},
+		{Width: -time.Second, Stride: time.Second},
+	} {
+		if _, err := features.RestoreIncremental(st); err == nil {
+			t.Errorf("RestoreIncremental(%+v) accepted invalid geometry", st)
+		}
+	}
+}

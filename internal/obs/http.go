@@ -52,12 +52,23 @@ type DebugServer struct {
 // background goroutine until Close. The registry is also published to
 // expvar as "ltefp".
 func StartDebugServer(addr string, r *Registry) (*DebugServer, error) {
+	return StartDebugServerWith(addr, r, nil)
+}
+
+// StartDebugServerWith is StartDebugServer plus caller-supplied handlers
+// mounted on the same mux — how the capture daemon adds /healthz,
+// /verdicts, and /sweep next to the standard debug surface. Extra paths
+// must not collide with the built-in ones.
+func StartDebugServerWith(addr string, r *Registry, extra map[string]http.Handler) (*DebugServer, error) {
 	lis, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: debug server: %w", err)
 	}
 	r.PublishExpvar("ltefp")
 	mux := http.NewServeMux()
+	for path, h := range extra {
+		mux.Handle(path, h)
+	}
 	mux.Handle("/debug/vars", expvar.Handler())
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)

@@ -1,0 +1,320 @@
+// Package resilience holds the failure-handling primitives the capture
+// daemon composes around the streaming pipeline: retry with jittered
+// exponential backoff for restartable stages, a per-stage circuit breaker
+// that stops hammering a persistently failing dependency, and a source
+// guard that degrades a flapping sniffer into counted sheds instead of a
+// pipeline crash.
+//
+// Everything here is deterministic given its inputs: time is injected
+// (Clock/Sleep hooks) and jitter draws come from the repository's seeded
+// sim.RNG, so the daemon's e2e tests replay failure schedules exactly.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"ltefp/internal/obs"
+	"ltefp/internal/sim"
+)
+
+// Backoff computes jittered exponential delays: attempt n (0-based)
+// waits Base·Factor^n, capped at Max, with the final delay drawn
+// uniformly from [delay·(1−Jitter), delay]. The zero value is unusable;
+// use NewBackoff for the daemon's defaults.
+type Backoff struct {
+	Base   time.Duration
+	Max    time.Duration
+	Factor float64
+	// Jitter is the fraction of the delay randomised away (0 disables,
+	// 0.5 means delays land in [half, full]).
+	Jitter float64
+	// RNG drives the jitter draws (required when Jitter > 0).
+	RNG *sim.RNG
+}
+
+// NewBackoff returns the daemon's default schedule: 100 ms doubling to a
+// 10 s cap with 50% jitter.
+func NewBackoff(rng *sim.RNG) Backoff {
+	return Backoff{Base: 100 * time.Millisecond, Max: 10 * time.Second, Factor: 2, Jitter: 0.5, RNG: rng}
+}
+
+// Delay returns the wait before retry attempt n (0-based).
+func (b Backoff) Delay(attempt int) time.Duration {
+	d := float64(b.Base)
+	for i := 0; i < attempt; i++ {
+		d *= b.Factor
+		if d >= float64(b.Max) {
+			d = float64(b.Max)
+			break
+		}
+	}
+	if d > float64(b.Max) {
+		d = float64(b.Max)
+	}
+	if b.Jitter > 0 && b.RNG != nil {
+		d *= 1 - b.Jitter*b.RNG.Float64()
+	}
+	return time.Duration(d)
+}
+
+// Permanent marks an error as not worth retrying; Retry stops and returns
+// it immediately.
+type Permanent struct{ Err error }
+
+// Error implements error.
+func (p Permanent) Error() string { return p.Err.Error() }
+
+// Unwrap exposes the wrapped error to errors.Is/As.
+func (p Permanent) Unwrap() error { return p.Err }
+
+// IsPermanent reports whether err is marked Permanent.
+func IsPermanent(err error) bool {
+	var p Permanent
+	return errors.As(err, &p)
+}
+
+// RetryConfig controls Retry.
+type RetryConfig struct {
+	// Attempts bounds the total tries (default 5; <0 means unbounded).
+	Attempts int
+	Backoff  Backoff
+	// Sleep replaces the inter-attempt wait (default time.Sleep with
+	// context cancellation). Tests inject instant sleeps; the daemon's
+	// supervisor injects the simulation clock.
+	Sleep func(ctx context.Context, d time.Duration) error
+	// OnRetry, when set, observes each failure that will be retried.
+	OnRetry func(attempt int, err error, delay time.Duration)
+}
+
+// sleep is the default Sleep: real time, cancellable.
+func sleep(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Retry runs fn until it succeeds, returns a Permanent error, exhausts
+// the attempt budget, or the context is cancelled. The returned error is
+// the last failure (wrapped with the attempt count when the budget is
+// exhausted).
+func Retry(ctx context.Context, cfg RetryConfig, fn func(ctx context.Context) error) error {
+	attempts := cfg.Attempts
+	if attempts == 0 {
+		attempts = 5
+	}
+	slp := cfg.Sleep
+	if slp == nil {
+		slp = sleep
+	}
+	var last error
+	for attempt := 0; attempts < 0 || attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			if last != nil {
+				return last
+			}
+			return err
+		}
+		err := fn(ctx)
+		if err == nil {
+			return nil
+		}
+		last = err
+		if IsPermanent(err) {
+			return err
+		}
+		if attempts >= 0 && attempt == attempts-1 {
+			break
+		}
+		d := cfg.Backoff.Delay(attempt)
+		if cfg.OnRetry != nil {
+			cfg.OnRetry(attempt, err, d)
+		}
+		if serr := slp(ctx, d); serr != nil {
+			return last
+		}
+	}
+	return fmt.Errorf("resilience: %d attempts exhausted: %w", attempts, last)
+}
+
+// BreakerState is a circuit breaker's position.
+type BreakerState int
+
+// Breaker states: Closed passes calls through, Open fails fast, HalfOpen
+// admits probes.
+const (
+	Closed BreakerState = iota
+	Open
+	HalfOpen
+)
+
+// String names the state for logs and metrics.
+func (s BreakerState) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("BreakerState(%d)", int(s))
+}
+
+// ErrOpen is returned by Breaker.Do while the circuit is open.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig controls a Breaker.
+type BreakerConfig struct {
+	// FailureThreshold is how many consecutive failures trip the circuit
+	// (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays open before admitting a
+	// half-open probe (default 5 s).
+	Cooldown time.Duration
+	// SuccessesToClose is how many consecutive probe successes close the
+	// circuit again (default 2).
+	SuccessesToClose int
+	// Clock replaces time.Now (tests and the simulation-driven daemon).
+	Clock func() time.Time
+	// Metrics, when enabled, counts trips, probes, and fast-fails. Zero
+	// Scope disables.
+	Metrics obs.Scope
+	// OnStateChange, when set, observes every transition.
+	OnStateChange func(from, to BreakerState)
+}
+
+// Breaker is a consecutive-failure circuit breaker, safe for concurrent
+// use.
+type Breaker struct {
+	cfg BreakerConfig
+
+	mu        sync.Mutex
+	state     BreakerState
+	failures  int
+	successes int
+	openedAt  time.Time
+
+	trips, fastFails, probes *obs.Counter
+	bound                    bool
+}
+
+// NewBreaker returns a breaker with the defaults filled in.
+func NewBreaker(cfg BreakerConfig) *Breaker {
+	if cfg.FailureThreshold <= 0 {
+		cfg.FailureThreshold = 5
+	}
+	if cfg.Cooldown <= 0 {
+		cfg.Cooldown = 5 * time.Second
+	}
+	if cfg.SuccessesToClose <= 0 {
+		cfg.SuccessesToClose = 2
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	b := &Breaker{cfg: cfg}
+	b.trips = cfg.Metrics.Counter("breaker_trips")
+	b.fastFails = cfg.Metrics.Counter("breaker_fast_fails")
+	b.probes = cfg.Metrics.Counter("breaker_probes")
+	return b
+}
+
+// State reports the current position (advancing Open→HalfOpen if the
+// cooldown has elapsed).
+func (b *Breaker) State() BreakerState {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	return b.state
+}
+
+// advance moves Open→HalfOpen once the cooldown elapses. Callers hold mu.
+func (b *Breaker) advance() {
+	if b.state == Open && b.cfg.Clock().Sub(b.openedAt) >= b.cfg.Cooldown {
+		b.transition(HalfOpen)
+		b.successes = 0
+	}
+}
+
+// transition updates state and fires the callback. Callers hold mu.
+func (b *Breaker) transition(to BreakerState) {
+	from := b.state
+	if from == to {
+		return
+	}
+	b.state = to
+	if b.cfg.OnStateChange != nil {
+		b.cfg.OnStateChange(from, to)
+	}
+}
+
+// Allow reports whether a call may proceed right now, reserving a probe
+// slot when half-open.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	switch b.state {
+	case Open:
+		b.fastFails.Inc()
+		return false
+	case HalfOpen:
+		b.probes.Inc()
+	}
+	return true
+}
+
+// Record feeds a call outcome into the breaker.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.advance()
+	if err == nil {
+		b.failures = 0
+		if b.state == HalfOpen {
+			b.successes++
+			if b.successes >= b.cfg.SuccessesToClose {
+				b.transition(Closed)
+			}
+		}
+		return
+	}
+	b.successes = 0
+	switch b.state {
+	case HalfOpen:
+		// A failed probe re-opens immediately.
+		b.openedAt = b.cfg.Clock()
+		b.transition(Open)
+		b.trips.Inc()
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.openedAt = b.cfg.Clock()
+			b.transition(Open)
+			b.trips.Inc()
+		}
+	}
+}
+
+// Do runs fn through the breaker: ErrOpen while open, otherwise fn's
+// error recorded into the state machine.
+func (b *Breaker) Do(fn func() error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	err := fn()
+	b.Record(err)
+	return err
+}

@@ -1,0 +1,271 @@
+package resilience_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"ltefp/internal/resilience"
+	"ltefp/internal/sim"
+	"ltefp/internal/trace"
+)
+
+func TestBackoffSchedule(t *testing.T) {
+	b := resilience.Backoff{Base: 100 * time.Millisecond, Max: time.Second, Factor: 2}
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, time.Second, time.Second,
+	}
+	for i, w := range want {
+		if got := b.Delay(i); got != w {
+			t.Errorf("Delay(%d) = %v, want %v", i, got, w)
+		}
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := resilience.NewBackoff(sim.NewRNG(7))
+	for i := 0; i < 8; i++ {
+		full := resilience.Backoff{Base: b.Base, Max: b.Max, Factor: b.Factor}.Delay(i)
+		for trial := 0; trial < 50; trial++ {
+			d := b.Delay(i)
+			if d > full || d < full/2 {
+				t.Fatalf("Delay(%d) = %v outside [%v, %v]", i, d, full/2, full)
+			}
+		}
+	}
+}
+
+func TestRetryStopsOnSuccess(t *testing.T) {
+	calls := 0
+	err := resilience.Retry(context.Background(), resilience.RetryConfig{
+		Sleep: func(context.Context, time.Duration) error { return nil },
+	}, func(context.Context) error {
+		calls++
+		if calls < 3 {
+			return errors.New("transient")
+		}
+		return nil
+	})
+	if err != nil || calls != 3 {
+		t.Fatalf("err = %v, calls = %d; want nil, 3", err, calls)
+	}
+}
+
+func TestRetryExhaustsBudget(t *testing.T) {
+	boom := errors.New("boom")
+	calls := 0
+	err := resilience.Retry(context.Background(), resilience.RetryConfig{
+		Attempts: 4,
+		Sleep:    func(context.Context, time.Duration) error { return nil },
+	}, func(context.Context) error { calls++; return boom })
+	if calls != 4 || !errors.Is(err, boom) {
+		t.Fatalf("calls = %d, err = %v; want 4 attempts wrapping boom", calls, err)
+	}
+}
+
+func TestRetryPermanentShortCircuits(t *testing.T) {
+	boom := errors.New("fatal")
+	calls := 0
+	err := resilience.Retry(context.Background(), resilience.RetryConfig{
+		Sleep: func(context.Context, time.Duration) error { return nil },
+	}, func(context.Context) error {
+		calls++
+		return resilience.Permanent{Err: boom}
+	})
+	if calls != 1 || !errors.Is(err, boom) {
+		t.Fatalf("calls = %d, err = %v; want 1 call returning the permanent error", calls, err)
+	}
+	if !resilience.IsPermanent(err) {
+		t.Error("permanence mark lost through Retry")
+	}
+}
+
+func TestRetryHonoursCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	err := resilience.Retry(ctx, resilience.RetryConfig{
+		Attempts: -1,
+		Sleep: func(ctx context.Context, _ time.Duration) error {
+			cancel()
+			return ctx.Err()
+		},
+	}, func(context.Context) error { calls++; return errors.New("transient") })
+	if calls != 1 || err == nil {
+		t.Fatalf("calls = %d, err = %v; want 1 call and the last failure", calls, err)
+	}
+}
+
+// fakeClock is a manually advanced breaker clock.
+type fakeClock struct{ at time.Time }
+
+func (f *fakeClock) now() time.Time { return f.at }
+
+func TestBreakerLifecycle(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	var transitions []string
+	b := resilience.NewBreaker(resilience.BreakerConfig{
+		FailureThreshold: 3,
+		Cooldown:         time.Second,
+		SuccessesToClose: 2,
+		Clock:            clk.now,
+		OnStateChange: func(from, to resilience.BreakerState) {
+			transitions = append(transitions, from.String()+"->"+to.String())
+		},
+	})
+
+	boom := errors.New("boom")
+	fail := func() error { return b.Do(func() error { return boom }) }
+	ok := func() error { return b.Do(func() error { return nil }) }
+
+	// Two failures stay closed; the third trips it.
+	fail()
+	fail()
+	if b.State() != resilience.Closed {
+		t.Fatal("breaker tripped early")
+	}
+	fail()
+	if b.State() != resilience.Open {
+		t.Fatal("breaker did not trip at the threshold")
+	}
+	if err := fail(); !errors.Is(err, resilience.ErrOpen) {
+		t.Fatalf("open breaker ran the call: %v", err)
+	}
+
+	// Cooldown elapses: one probe is admitted; a failure re-opens.
+	clk.at = clk.at.Add(time.Second)
+	if b.State() != resilience.HalfOpen {
+		t.Fatal("cooldown did not half-open the breaker")
+	}
+	fail()
+	if b.State() != resilience.Open {
+		t.Fatal("failed probe did not re-open")
+	}
+
+	// Next cooldown: two successful probes close it.
+	clk.at = clk.at.Add(time.Second)
+	ok()
+	if b.State() != resilience.HalfOpen {
+		t.Fatal("closed after a single probe success")
+	}
+	ok()
+	if b.State() != resilience.Closed {
+		t.Fatal("did not close after enough probe successes")
+	}
+
+	want := "closed->open open->half-open half-open->open open->half-open half-open->closed"
+	got := ""
+	for i, tr := range transitions {
+		if i > 0 {
+			got += " "
+		}
+		got += tr
+	}
+	if got != want {
+		t.Fatalf("transitions = %q, want %q", got, want)
+	}
+}
+
+// flakySource panics on scheduled calls and otherwise emits one record
+// per slice.
+type flakySource struct {
+	calls   int
+	panicOn map[int]bool
+	now     time.Duration
+	dead    bool
+}
+
+func (f *flakySource) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	f.calls++
+	if f.panicOn[f.calls] {
+		panic("sniffer fault")
+	}
+	if f.dead {
+		panic("sniffer dead")
+	}
+	f.now += 100 * time.Millisecond
+	dst = append(dst, trace.Record{At: f.now - time.Millisecond, CellID: 1, RNTI: 100, Bytes: 42})
+	return dst, f.now, f.now < time.Second
+}
+
+func TestGuardedSourceShedsAndRecovers(t *testing.T) {
+	src := &flakySource{panicOn: map[int]bool{2: true, 3: true}}
+	g := &resilience.GuardedSource{Src: src}
+
+	var records int
+	slices := 0
+	for {
+		out, _, more := g.Next(nil)
+		records += len(out)
+		slices++
+		if !more || slices > 100 {
+			break
+		}
+	}
+	if g.ShedSlices != 2 || g.Panics != 2 {
+		t.Fatalf("ShedSlices = %d, Panics = %d; want 2, 2", g.ShedSlices, g.Panics)
+	}
+	if records != 10 { // 10 healthy slices of 1 record each
+		t.Fatalf("records = %d, want 10", records)
+	}
+	if g.LastErr == nil {
+		t.Fatal("LastErr not recorded")
+	}
+}
+
+func TestGuardedSourceTimeKeepsAdvancing(t *testing.T) {
+	src := &flakySource{panicOn: map[int]bool{1: true, 2: true, 3: true}}
+	g := &resilience.GuardedSource{Src: src}
+	var prev time.Duration
+	for i := 0; i < 3; i++ {
+		_, now, more := g.Next(nil)
+		if now <= prev || !more {
+			t.Fatalf("slice %d: now = %v (prev %v), more = %v; shed slices must advance time", i, now, prev, more)
+		}
+		prev = now
+	}
+}
+
+func TestGuardedSourceGivesUp(t *testing.T) {
+	src := &flakySource{dead: true}
+	g := &resilience.GuardedSource{Src: src, GiveUpAfter: 3}
+	for i := 0; i < 10; i++ {
+		if _, _, more := g.Next(nil); !more {
+			if g.Panics != 3 {
+				t.Fatalf("Panics = %d at give-up, want 3", g.Panics)
+			}
+			return
+		}
+	}
+	t.Fatal("guarded source never gave up on a dead sniffer")
+}
+
+func TestGuardedSourceBreakerPacesProbes(t *testing.T) {
+	clk := &fakeClock{at: time.Unix(0, 0)}
+	src := &flakySource{dead: true}
+	g := &resilience.GuardedSource{
+		Src: src,
+		Breaker: resilience.NewBreaker(resilience.BreakerConfig{
+			FailureThreshold: 2,
+			Cooldown:         time.Hour,
+			Clock:            clk.now,
+		}),
+	}
+	for i := 0; i < 20; i++ {
+		g.Next(nil)
+	}
+	if src.calls != 2 {
+		t.Fatalf("dead sniffer probed %d times behind an open breaker, want 2", src.calls)
+	}
+	if g.ShedSlices != 20 {
+		t.Fatalf("ShedSlices = %d, want 20 (every slice degraded)", g.ShedSlices)
+	}
+
+	// Cooldown elapses: exactly one more probe.
+	clk.at = clk.at.Add(time.Hour)
+	g.Next(nil)
+	if src.calls != 3 {
+		t.Fatalf("half-open breaker probed %d times total, want 3", src.calls)
+	}
+}

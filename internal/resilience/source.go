@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"fmt"
+	"time"
+
+	"ltefp/internal/obs"
+	"ltefp/internal/trace"
+)
+
+// Source mirrors stream.Source structurally, so any pipeline source can
+// be wrapped without importing the stream package here.
+type Source interface {
+	Next(dst trace.Trace) (out trace.Trace, now time.Duration, more bool)
+}
+
+// GuardedSource degrades a flaky sniffer instead of crashing the
+// pipeline: a panicking Next is recovered and converted into an empty
+// slice (simulated time keeps advancing by Slice so downstream windows
+// stay aligned), every shed slice is counted, and a circuit breaker
+// decides when the sniffer is unhealthy enough to stop probing for a
+// cooldown. Only after GiveUpAfter consecutive failures does the source
+// report end-of-stream — the daemon's supervisor then restarts the
+// capture from its last checkpoint.
+//
+// GuardedSource is not safe for concurrent use, matching the Source
+// contract.
+type GuardedSource struct {
+	Src Source
+	// Slice is the simulated time advanced per shed slice (default
+	// 100 ms, the pipeline's default slice).
+	Slice time.Duration
+	// Breaker, when set, gates probes of the wrapped source after
+	// failures; while open, slices are shed without touching the source.
+	Breaker *Breaker
+	// GiveUpAfter ends the stream after this many consecutive failed
+	// probes (default 0: never give up; the breaker alone paces probing).
+	GiveUpAfter int
+	// Metrics counts sheds and recovered panics. Zero Scope disables.
+	Metrics obs.Scope
+
+	// ShedSlices counts slices degraded to empty; Panics counts recovered
+	// source panics; LastErr keeps the newest failure.
+	ShedSlices int64
+	Panics     int64
+	LastErr    error
+
+	consecutive int
+	now         time.Duration
+	shedC       *obs.Counter
+	panicC      *obs.Counter
+	bound       bool
+}
+
+func (g *GuardedSource) bind() {
+	if g.bound {
+		return
+	}
+	g.bound = true
+	g.shedC = g.Metrics.Counter("guard_shed_slices")
+	g.panicC = g.Metrics.Counter("guard_panics")
+	if g.Slice <= 0 {
+		g.Slice = 100 * time.Millisecond
+	}
+}
+
+// shed returns one degraded (empty) slice.
+func (g *GuardedSource) shed(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	g.ShedSlices++
+	g.shedC.Inc()
+	g.now += g.Slice
+	return dst, g.now, true
+}
+
+// probe calls the wrapped source, converting a panic into an error.
+func (g *GuardedSource) probe(dst trace.Trace) (out trace.Trace, now time.Duration, more bool, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			g.Panics++
+			g.panicC.Inc()
+			err = fmt.Errorf("resilience: source panicked: %v", r)
+		}
+	}()
+	out, now, more = g.Src.Next(dst)
+	return out, now, more, nil
+}
+
+// Next implements Source.
+func (g *GuardedSource) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) {
+	g.bind()
+	if g.GiveUpAfter > 0 && g.consecutive >= g.GiveUpAfter {
+		return dst, g.now, false
+	}
+	if g.Breaker != nil && !g.Breaker.Allow() {
+		return g.shed(dst)
+	}
+	out, now, more, err := g.probe(dst)
+	if g.Breaker != nil {
+		g.Breaker.Record(err)
+	}
+	if err != nil {
+		g.LastErr = err
+		g.consecutive++
+		if g.GiveUpAfter > 0 && g.consecutive >= g.GiveUpAfter {
+			return dst, g.now, false
+		}
+		return g.shed(dst)
+	}
+	g.consecutive = 0
+	g.now = now
+	return out, now, more
+}

@@ -1,0 +1,93 @@
+package snapshot
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSnapshotDecode drives the container reader over arbitrary bytes.
+// The invariants: the reader never panics, never allocates unboundedly,
+// and any input it accepts must re-encode to the exact same section
+// content — so a truncated or bit-flipped checkpoint can be rejected but
+// never silently mis-restored.
+func FuzzSnapshotDecode(f *testing.F) {
+	// Seed 1: a healthy two-section container.
+	var healthy bytes.Buffer
+	w, err := NewWriter(&healthy)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Section("stream.stats", []byte{1, 2, 3, 4, 5, 6, 7, 8}); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Section("stream.votes", bytes.Repeat([]byte{0xab}, 40)); err != nil {
+		f.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(healthy.Bytes())
+	// Seed 2: truncated mid-section.
+	f.Add(healthy.Bytes()[:healthy.Len()-9])
+	// Seed 3: bit-flipped payload.
+	flipped := append([]byte(nil), healthy.Bytes()...)
+	flipped[14] ^= 0x10
+	f.Add(flipped)
+	// Seed 4: empty container (header + end marker only).
+	var empty bytes.Buffer
+	ew, err := NewWriter(&empty)
+	if err != nil {
+		f.Fatal(err)
+	}
+	if err := ew.Close(); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(empty.Bytes())
+	// Seed 5: bare garbage.
+	f.Add([]byte("not a snapshot at all"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sections, err := ReadAll(bytes.NewReader(data))
+		if err != nil {
+			return // rejected: exactly what damaged input should get
+		}
+		// Accepted input must round-trip: rewriting the sections in reader
+		// order and reading them back yields identical content.
+		r, rerr := NewReader(bytes.NewReader(data))
+		if rerr != nil {
+			t.Fatalf("ReadAll accepted what NewReader rejects: %v", rerr)
+		}
+		var rebuilt bytes.Buffer
+		w, werr := NewWriter(&rebuilt)
+		if werr != nil {
+			t.Fatal(werr)
+		}
+		for {
+			name, payload, nerr := r.Next()
+			if nerr != nil {
+				break
+			}
+			if !bytes.Equal(payload, sections[name]) {
+				t.Fatalf("section %q differs between Next and ReadAll", name)
+			}
+			if err := w.Section(name, payload); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		round, err := ReadAll(bytes.NewReader(rebuilt.Bytes()))
+		if err != nil {
+			t.Fatalf("re-encoded container failed to decode: %v", err)
+		}
+		if len(round) != len(sections) {
+			t.Fatalf("re-encode changed section count: %d != %d", len(round), len(sections))
+		}
+		for name, payload := range sections {
+			if !bytes.Equal(round[name], payload) {
+				t.Fatalf("re-encode changed section %q", name)
+			}
+		}
+	})
+}

@@ -1,0 +1,311 @@
+// Package snapshot is the repository's versioned binary persistence
+// format: a magic-tagged, length-prefixed, CRC-guarded section container
+// replacing raw encoding/gob for everything that must survive a process
+// restart (trained classifiers, the streaming pipeline's checkpoints).
+//
+// gob's failure mode is the wrong one for checkpoint files: a layout
+// change between writer and reader versions often still decodes — into
+// silently wrong state — and a truncated file can decode a prefix without
+// complaint. This container fails loudly instead:
+//
+//   - an 8-byte magic plus a format version head the file, so a foreign or
+//     older/newer file is rejected by name (ErrMagic, ErrVersion), never
+//     misparsed;
+//   - every section carries its name, an explicit payload length, and a
+//     CRC-32C of name+payload, so truncation and bit flips surface as
+//     ErrTruncated/ErrCorrupt at the damaged section;
+//   - an end marker carries a whole-file CRC-32C, so a file missing its
+//     tail (the classic torn write) can never pass for complete.
+//
+// Section payloads are opaque bytes; the Encoder/Decoder in codec.go give
+// writers a deterministic primitive layer (fixed-width little-endian
+// integers, IEEE-754 bit-pattern floats, length-prefixed strings) so equal
+// state always serialises to equal bytes — the property the daemon's
+// byte-identical checkpoint tests pin.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash"
+	"hash/crc32"
+	"io"
+)
+
+// Version is the current container format version. Readers reject any
+// other version: checkpoint state is too subtle to migrate silently, and
+// an explicit error is exactly what an operator restarting a daemon over
+// an old checkpoint needs to see.
+const Version uint16 = 1
+
+// magic identifies a snapshot container. Eight bytes, never reused across
+// incompatible layouts (layout changes bump Version instead).
+var magic = [8]byte{'L', 'T', 'E', 'F', 'P', 'S', 'N', 'P'}
+
+// Limits keeping a corrupted length prefix from turning into an OOM: no
+// section name beyond 1 KiB, no payload beyond 1 GiB.
+const (
+	maxNameLen    = 1 << 10
+	maxPayloadLen = 1 << 30
+)
+
+var (
+	// ErrMagic marks a file that is not a snapshot container at all.
+	ErrMagic = errors.New("snapshot: bad magic (not a snapshot file)")
+	// ErrVersion marks a container written by an incompatible format
+	// version.
+	ErrVersion = errors.New("snapshot: unsupported format version")
+	// ErrTruncated marks a container that ends mid-structure.
+	ErrTruncated = errors.New("snapshot: truncated")
+	// ErrCorrupt marks a CRC mismatch or an impossible structural value.
+	ErrCorrupt = errors.New("snapshot: corrupt")
+)
+
+// castagnoli is the CRC-32C table (the polynomial with hardware support
+// on both amd64 and arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Writer streams a snapshot container to an io.Writer: header, sections
+// via Section, and the end marker via Close.
+type Writer struct {
+	w    *bufio.Writer
+	file hash.Hash32 // whole-file CRC, header through last section
+	err  error
+	done bool
+}
+
+// NewWriter writes the container header and returns the section writer.
+func NewWriter(w io.Writer) (*Writer, error) {
+	sw := &Writer{w: bufio.NewWriter(w), file: crc32.New(castagnoli)}
+	var hdr [10]byte
+	copy(hdr[:8], magic[:])
+	binary.LittleEndian.PutUint16(hdr[8:], Version)
+	if err := sw.emit(hdr[:]); err != nil {
+		return nil, err
+	}
+	return sw, nil
+}
+
+// emit writes b to both the output and the whole-file CRC.
+func (w *Writer) emit(b []byte) error {
+	if w.err != nil {
+		return w.err
+	}
+	if _, err := w.w.Write(b); err != nil {
+		w.err = fmt.Errorf("snapshot: write: %w", err)
+		return w.err
+	}
+	w.file.Write(b)
+	return nil
+}
+
+// Section appends one named section. Names must be non-empty and unique
+// per file by convention (the reader returns them in order and ReadAll
+// rejects duplicates).
+func (w *Writer) Section(name string, payload []byte) error {
+	if w.done {
+		return fmt.Errorf("snapshot: Section after Close")
+	}
+	if name == "" || len(name) > maxNameLen {
+		return fmt.Errorf("snapshot: invalid section name %q", name)
+	}
+	if len(payload) > maxPayloadLen {
+		return fmt.Errorf("snapshot: section %s payload too large (%d bytes)", name, len(payload))
+	}
+	var pfx [2 * binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(pfx[:], uint64(len(name)))
+	n += binary.PutUvarint(pfx[n:], uint64(len(payload)))
+	if err := w.emit(pfx[:n]); err != nil {
+		return err
+	}
+	sec := crc32.New(castagnoli)
+	sec.Write([]byte(name))
+	sec.Write(payload)
+	if err := w.emit([]byte(name)); err != nil {
+		return err
+	}
+	if err := w.emit(payload); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], sec.Sum32())
+	return w.emit(crc[:])
+}
+
+// Close writes the end marker (a zero name length followed by the
+// whole-file CRC) and flushes. The Writer is unusable afterwards.
+func (w *Writer) Close() error {
+	if w.err != nil {
+		return w.err
+	}
+	if w.done {
+		return nil
+	}
+	w.done = true
+	// The end marker's file CRC covers everything emitted so far,
+	// including the zero byte that introduces the marker itself.
+	if err := w.emit([]byte{0}); err != nil {
+		return err
+	}
+	var crc [4]byte
+	binary.LittleEndian.PutUint32(crc[:], w.file.Sum32())
+	if w.err == nil {
+		if _, err := w.w.Write(crc[:]); err != nil {
+			w.err = fmt.Errorf("snapshot: write: %w", err)
+		}
+	}
+	if w.err != nil {
+		return w.err
+	}
+	if err := w.w.Flush(); err != nil {
+		w.err = fmt.Errorf("snapshot: flush: %w", err)
+	}
+	return w.err
+}
+
+// Reader iterates a snapshot container. Construction validates magic and
+// version; Next steps sections until the end marker, validating each
+// section CRC and finally the whole-file CRC.
+type Reader struct {
+	r    *bufio.Reader
+	file hash.Hash32
+	err  error
+	done bool
+}
+
+// NewReader validates the container header.
+func NewReader(r io.Reader) (*Reader, error) {
+	sr := &Reader{r: bufio.NewReader(r), file: crc32.New(castagnoli)}
+	var hdr [10]byte
+	if _, err := io.ReadFull(sr.r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("%w: reading header: %v", ErrTruncated, err)
+	}
+	if [8]byte(hdr[:8]) != magic {
+		return nil, ErrMagic
+	}
+	sr.file.Write(hdr[:])
+	if v := binary.LittleEndian.Uint16(hdr[8:]); v != Version {
+		return nil, fmt.Errorf("%w: file version %d, this build reads version %d", ErrVersion, v, Version)
+	}
+	return sr, nil
+}
+
+// readFull reads exactly len(b) bytes into b, folding them into the
+// whole-file CRC.
+func (r *Reader) readFull(b []byte) error {
+	if _, err := io.ReadFull(r.r, b); err != nil {
+		return fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	r.file.Write(b)
+	return nil
+}
+
+// uvarint reads one uvarint, CRC-folded byte by byte.
+func (r *Reader) uvarint() (uint64, error) {
+	var x uint64
+	var s uint
+	for i := 0; ; i++ {
+		b, err := r.r.ReadByte()
+		if err != nil {
+			return 0, fmt.Errorf("%w: %v", ErrTruncated, err)
+		}
+		r.file.Write([]byte{b})
+		if i == binary.MaxVarintLen64 {
+			return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+		}
+		if b < 0x80 {
+			if i == binary.MaxVarintLen64-1 && b > 1 {
+				return 0, fmt.Errorf("%w: varint overflow", ErrCorrupt)
+			}
+			return x | uint64(b)<<s, nil
+		}
+		x |= uint64(b&0x7f) << s
+		s += 7
+	}
+}
+
+// Next returns the next section. It returns io.EOF — and only then — after
+// the end marker has been read and the whole-file CRC verified, so a
+// caller that drains to io.EOF has proven the file complete and intact.
+func (r *Reader) Next() (name string, payload []byte, err error) {
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if r.done {
+		return "", nil, io.EOF
+	}
+	fail := func(e error) (string, []byte, error) {
+		r.err = e
+		return "", nil, e
+	}
+	nameLen, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if nameLen == 0 {
+		// End marker: the file CRC covers everything up to and including
+		// the marker byte just read.
+		want := r.file.Sum32()
+		var crc [4]byte
+		if _, err := io.ReadFull(r.r, crc[:]); err != nil {
+			return fail(fmt.Errorf("%w: reading file CRC: %v", ErrTruncated, err))
+		}
+		if got := binary.LittleEndian.Uint32(crc[:]); got != want {
+			return fail(fmt.Errorf("%w: file CRC mismatch (file %08x, computed %08x)", ErrCorrupt, got, want))
+		}
+		r.done = true
+		r.err = io.EOF
+		return "", nil, io.EOF
+	}
+	if nameLen > maxNameLen {
+		return fail(fmt.Errorf("%w: section name length %d", ErrCorrupt, nameLen))
+	}
+	payloadLen, err := r.uvarint()
+	if err != nil {
+		return fail(err)
+	}
+	if payloadLen > maxPayloadLen {
+		return fail(fmt.Errorf("%w: section payload length %d", ErrCorrupt, payloadLen))
+	}
+	buf := make([]byte, nameLen+payloadLen)
+	if err := r.readFull(buf); err != nil {
+		return fail(err)
+	}
+	var crc [4]byte
+	if err := r.readFull(crc[:]); err != nil {
+		return fail(err)
+	}
+	sec := crc32.New(castagnoli)
+	sec.Write(buf)
+	name = string(buf[:nameLen])
+	if got := binary.LittleEndian.Uint32(crc[:]); got != sec.Sum32() {
+		return fail(fmt.Errorf("%w: section %q CRC mismatch (file %08x, computed %08x)", ErrCorrupt, name, got, sec.Sum32()))
+	}
+	return name, buf[nameLen:], nil
+}
+
+// ReadAll drains a container into a name→payload map, rejecting duplicate
+// section names. It only returns once the end marker and whole-file CRC
+// have validated, so a non-nil map is a proven-intact file.
+func ReadAll(r io.Reader) (map[string][]byte, error) {
+	sr, err := NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string][]byte)
+	for {
+		name, payload, err := sr.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("%w: duplicate section %q", ErrCorrupt, name)
+		}
+		out[name] = payload
+	}
+}

@@ -1,0 +1,111 @@
+package stream_test
+
+import (
+	"bytes"
+	"io"
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"ltefp/internal/features"
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/lte/rnti"
+	"ltefp/internal/snapshot"
+	"ltefp/internal/stream"
+	"ltefp/internal/trace"
+)
+
+// benchCheckpoint builds a checkpoint sized like a busy cell: many
+// tracked users, each mid-window with a partially filled vote ring —
+// the state the daemon serialises every checkpoint period.
+func benchCheckpoint(users, recsPerUser, horizon int) *stream.Checkpoint {
+	rng := rand.New(rand.NewPCG(42, 1))
+	c := &stream.Checkpoint{
+		Now: 90 * time.Second,
+		Stats: stream.Stats{
+			Records: 1e6, Rows: 1e4, Predictions: 1e4, Verdicts: 5e3,
+			Users: users, End: 90 * time.Second,
+		},
+	}
+	for u := 0; u < users; u++ {
+		key := stream.Key{CellID: 1, RNTI: rnti.RNTI(100 + u)}
+		st := features.IncrementalState{
+			Width:   time.Second,
+			Stride:  time.Second,
+			Started: true,
+			Next:    91 * time.Second,
+			LastAt:  90 * time.Second,
+		}
+		for r := 0; r < recsPerUser; r++ {
+			st.Buf = append(st.Buf, trace.Record{
+				At:     90*time.Second + time.Duration(r)*time.Millisecond,
+				CellID: 1,
+				RNTI:   key.RNTI,
+				Dir:    dci.Direction(1 + rng.Int64N(2)),
+				Bytes:  int(rng.Int64N(1e5)),
+			})
+		}
+		c.Users = append(c.Users, stream.UserState{Key: key, Inc: st})
+		slots := make([]int16, horizon)
+		for s := range slots {
+			slots[s] = int16(rng.Int64N(9))
+		}
+		c.Votes = append(c.Votes, stream.VoteState{
+			Key: key, Slots: slots, Pos: u % horizon, Fill: horizon,
+		})
+	}
+	return c
+}
+
+// BenchmarkCheckpointWrite measures serialising a 64-user pipeline
+// checkpoint through the snapshot container — the cost the daemon pays
+// at every checkpoint period, so it bounds how often checkpointing is
+// affordable.
+func BenchmarkCheckpointWrite(b *testing.B) {
+	c := benchCheckpoint(64, 32, 15)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w, err := snapshot.NewWriter(io.Discard)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := c.AppendTo(w); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointRestore measures the other direction: parsing the
+// container and rebuilding the checkpoint structs, the startup cost of
+// a daemon restart.
+func BenchmarkCheckpointRestore(b *testing.B) {
+	c := benchCheckpoint(64, 32, 15)
+	var buf bytes.Buffer
+	w, err := snapshot.NewWriter(&buf)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := c.AppendTo(w); err != nil {
+		b.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		b.Fatal(err)
+	}
+	raw := buf.Bytes()
+	b.SetBytes(int64(len(raw)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sections, err := snapshot.ReadAll(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := stream.ReadCheckpoint(sections); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -16,10 +16,14 @@ import (
 // recBatch is one source slice: the records drained plus the simulated
 // time reached (all records with At < now are delivered, so the assembler
 // may close windows ending at or before now). The record slice is owned by
-// the batch and returned to the source's freelist once assembled.
+// the batch and returned to the source's freelist once assembled. A batch
+// with ckpt set is a checkpoint barrier: it carries no records and flows
+// the partially-built checkpoint through every stage, each stage adding
+// its own state as the barrier passes.
 type recBatch struct {
 	recs trace.Trace
 	now  time.Duration
+	ckpt *Checkpoint
 }
 
 // rowBatch is the pipeline's recyclable work bundle. The assembler fills
@@ -35,6 +39,9 @@ type rowBatch struct {
 	rows   [][]float64
 	flat   []float64
 	apps   []string
+	// ckpt marks a checkpoint barrier travelling the row path (the batch
+	// then carries no rows). Cleared when the bundle is recycled.
+	ckpt *Checkpoint
 }
 
 // stageMetrics is one stage's obs handles; all nil (no-op) when disabled.
@@ -69,6 +76,9 @@ type pipeline struct {
 	activeKey *obs.Gauge
 	outOfObs  *obs.Counter
 	retrainC  *obs.Counter
+	ckptC     *obs.Counter
+	ckptMS    *obs.Histogram
+	panicC    *obs.Counter
 
 	// Freelists recycle buffers against the flow of data: record slices
 	// return assemble→source, row bundles verdict→assemble. Both are
@@ -87,13 +97,45 @@ type pipeline struct {
 	// classify-stage scratch, reused across every batch.
 	clfScratch fingerprint.BatchScratch
 
+	// verdict-stage state. Held on the pipeline (instead of stage-local)
+	// so restore can prime it before the stages start and the checkpoint
+	// barrier can read it as it passes through.
+	votes map[Key]*userVote
+	slab  ringSlab
+
+	// nextCkpt is the next simulated-time checkpoint boundary
+	// (source-stage state, meaningful only when CheckpointEvery > 0).
+	nextCkpt time.Duration
+
+	// panicErr records the first recovered stage panic.
+	panicMu  sync.Mutex
+	panicErr error
+
 	st Stats
+}
+
+// fail records the first recovered stage panic.
+func (p *pipeline) fail(err error) {
+	p.panicMu.Lock()
+	if p.panicErr == nil {
+		p.panicErr = err
+	}
+	p.panicMu.Unlock()
+}
+
+// failure returns the first recovered stage panic, nil if none.
+func (p *pipeline) failure() error {
+	p.panicMu.Lock()
+	defer p.panicMu.Unlock()
+	return p.panicErr
 }
 
 // Run executes the pipeline over the source until the source is exhausted
 // or ctx is cancelled. On cancellation the stages drain their in-flight
 // work before returning, and Run reports ctx's error alongside the stats
-// gathered so far.
+// gathered so far. With RecoverPanics set, a panicking stage aborts the
+// pipeline cleanly instead of crashing the process: the remaining stages
+// drain, and Run returns the panic as an error.
 func Run(ctx context.Context, src Source, cfg Config) (*Stats, error) {
 	if cfg.Classifier == nil {
 		return nil, fmt.Errorf("stream: Config.Classifier is required")
@@ -110,32 +152,97 @@ func Run(ctx context.Context, src Source, cfg Config) (*Stats, error) {
 		activeKey: sc.Scope("assemble").Gauge("active_keys"),
 		outOfObs:  sc.Scope("assemble").Counter("out_of_order"),
 		retrainC:  sc.Scope("verdict").Counter("retrain_signals"),
+		ckptC:     sc.Scope("checkpoint").Counter("emitted"),
+		ckptMS:    sc.Scope("checkpoint").Histogram("build_ms", obs.LatencyBuckets()),
+		panicC:    sc.Scope("pipeline").Counter("stage_panics"),
 		users:     make(map[Key]*features.Incremental),
+		votes:     make(map[Key]*userVote),
 		recFree:   make(chan trace.Trace, cfg.QueueDepth+2),
 		rowFree:   make(chan *rowBatch, 2*cfg.QueueDepth+4),
 	}
+	p.slab = ringSlab{horizon: cfg.VoteHorizon, apps: len(p.table.names)}
+	if cfg.CheckpointEvery > 0 {
+		p.nextCkpt = cfg.CheckpointEvery
+	}
+	if cfg.Restore != nil {
+		if err := p.restore(cfg.Restore); err != nil {
+			return nil, err
+		}
+		if cfg.CheckpointEvery > 0 {
+			p.nextCkpt = cfg.Restore.Now - cfg.Restore.Now%cfg.CheckpointEvery + cfg.CheckpointEvery
+		}
+	}
+
+	// A recovered stage panic cancels this internal context so the source
+	// stops producing; the caller's ctx error is still reported from the
+	// parent, never the internal cancel.
+	parent := ctx
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
 
 	recCh := make(chan recBatch, cfg.QueueDepth)
 	rowCh := make(chan *rowBatch, cfg.QueueDepth)
 	predCh := make(chan *rowBatch, cfg.QueueDepth)
 
+	// guard wraps one stage goroutine: with RecoverPanics, a panic is
+	// recorded, the source is cancelled, and the stage's abandoned input
+	// is drained so upstream senders can finish — the pipeline winds down
+	// instead of deadlocking (the stage's own deferred close has already
+	// released its downstream).
+	guard := func(stage string, drain func(), fn func()) {
+		defer func() {
+			if !cfg.RecoverPanics {
+				return
+			}
+			if r := recover(); r != nil {
+				p.fail(fmt.Errorf("stream: %s stage panicked: %v", stage, r))
+				p.panicC.Inc()
+				cancel()
+				if drain != nil {
+					drain()
+				}
+			}
+		}()
+		fn()
+	}
+	drainRecs := func() {
+		for b := range recCh {
+			p.putRecs(b.recs)
+		}
+	}
+	drainRows := func(ch chan *rowBatch) func() {
+		return func() {
+			for b := range ch {
+				p.putBatch(b)
+			}
+		}
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(4)
-	go func() { defer wg.Done(); p.sourceStage(ctx, src, recCh) }()
-	go func() { defer wg.Done(); p.assembleStage(recCh, rowCh) }()
-	go func() { defer wg.Done(); p.classifyStage(rowCh, predCh) }()
-	go func() { defer wg.Done(); p.verdictStage(predCh) }()
+	go func() { defer wg.Done(); guard("source", nil, func() { p.sourceStage(ctx, src, recCh) }) }()
+	go func() { defer wg.Done(); guard("assemble", drainRecs, func() { p.assembleStage(recCh, rowCh) }) }()
+	go func() {
+		defer wg.Done()
+		guard("classify", drainRows(rowCh), func() { p.classifyStage(rowCh, predCh) })
+	}()
+	go func() { defer wg.Done(); guard("verdict", drainRows(predCh), func() { p.verdictStage(predCh) }) }()
 	wg.Wait()
 
 	p.st.Users = len(p.users)
+	var ooo int64
 	for _, inc := range p.users {
-		p.st.OutOfOrder += inc.OutOfOrder
+		ooo += inc.OutOfOrder
 	}
-	if p.st.OutOfOrder > 0 {
-		p.outOfObs.Add(p.st.OutOfOrder)
+	if delta := ooo - p.st.OutOfOrder; delta > 0 {
+		p.outOfObs.Add(delta)
 	}
+	p.st.OutOfOrder = ooo
 	st := p.st
-	return &st, ctx.Err()
+	if err := p.failure(); err != nil {
+		return &st, err
+	}
+	return &st, parent.Err()
 }
 
 // putRecs returns a record slice to the source freelist (dropped if full).
@@ -167,6 +274,7 @@ func (p *pipeline) getBatch() *rowBatch {
 		b.rows = b.rows[:0]
 		b.flat = b.flat[:0]
 		b.apps = b.apps[:0]
+		b.ckpt = nil
 		return b
 	default:
 	}
@@ -226,6 +334,25 @@ func (p *pipeline) sourceStage(ctx context.Context, src Source, out chan<- recBa
 				return
 			}
 		}
+		// Checkpoint barriers ride the same queue as data, so each stage
+		// sees the barrier exactly after the last pre-barrier batch. The
+		// barrier send always blocks (even in shed mode): a checkpoint is
+		// a correctness artefact, not a load-shedding candidate, and the
+		// consumers always drain, so the wait is bounded.
+		if p.cfg.CheckpointEvery > 0 && b.now >= p.nextCkpt {
+			c := &Checkpoint{Now: b.now}
+			c.Stats.Records = p.st.Records
+			c.Stats.ShedRecords = p.st.ShedRecords
+			c.Stats.End = b.now
+			select {
+			case out <- recBatch{now: b.now, ckpt: c}:
+			case <-ctx.Done():
+				return
+			}
+			for p.nextCkpt <= b.now {
+				p.nextCkpt += p.cfg.CheckpointEvery
+			}
+		}
 		p.mSource.depth.Set(int64(len(out)))
 		if !more {
 			return
@@ -242,6 +369,19 @@ func (p *pipeline) assembleStage(in <-chan recBatch, out chan<- *rowBatch) {
 	p.cur = p.getBatch()
 	emit := p.emitRow(out)
 	for b := range in {
+		if b.ckpt != nil {
+			// Flush rows ahead of the barrier so everything assembled from
+			// pre-barrier records reaches the verdict stage first, then
+			// attach this stage's state and forward (always blocking — see
+			// sourceStage).
+			p.flushRows(out)
+			p.captureUsers(b.ckpt)
+			bb := p.getBatch()
+			bb.ckpt = b.ckpt
+			out <- bb
+			p.mAssemble.depth.Set(int64(len(out)))
+			continue
+		}
 		t := p.mAssemble.ms.Start()
 		for _, r := range b.recs {
 			k := Key{CellID: r.CellID, RNTI: r.RNTI}
@@ -342,6 +482,13 @@ func (p *pipeline) flushRows(out chan<- *rowBatch) {
 func (p *pipeline) classifyStage(in <-chan *rowBatch, out chan<- *rowBatch) {
 	defer close(out)
 	for b := range in {
+		if b.ckpt != nil {
+			b.ckpt.Stats.Predictions = p.st.Predictions
+			b.ckpt.Stats.ShedPredictions = p.st.ShedPredictions
+			out <- b
+			p.mClassify.depth.Set(int64(len(out)))
+			continue
+		}
 		t := p.mClassify.ms.Start()
 		b.apps = b.apps[:len(b.rows)]
 		p.cfg.Classifier.PredictBatchInto(b.rows, b.apps, &p.clfScratch)
@@ -379,14 +526,24 @@ type userVote struct {
 // history, and watching confidence for the retrain gate. As the bundle's
 // last reader it returns each one to the freelist.
 func (p *pipeline) verdictStage(in <-chan *rowBatch) {
-	votes := make(map[Key]*userVote)
-	slab := ringSlab{horizon: p.cfg.VoteHorizon, apps: len(p.table.names)}
+	votes := p.votes
 	for b := range in {
+		if b.ckpt != nil {
+			t := p.ckptMS.Start()
+			p.captureVotes(b.ckpt)
+			if p.cfg.OnCheckpoint != nil {
+				p.cfg.OnCheckpoint(b.ckpt)
+			}
+			t.Stop()
+			p.ckptC.Inc()
+			p.putBatch(b)
+			continue
+		}
 		t := p.mVerdict.ms.Start()
 		for i, k := range b.keys {
 			u, ok := votes[k]
 			if !ok {
-				u = slab.get()
+				u = p.slab.get()
 				u.drift = driftMonitor{
 					threshold:  p.cfg.DriftThreshold,
 					minWindows: p.cfg.DriftMinWindows,

@@ -60,6 +60,19 @@ func (s *ReplaySource) Next(dst trace.Trace) (trace.Trace, time.Duration, bool) 
 	return dst, s.now, s.idx < len(s.Trace)
 }
 
+// FastForward positions the replay at a checkpoint's simulated time:
+// records with At < now are skipped (they were delivered before the
+// checkpoint was cut) and the next slice starts at now. now should be a
+// multiple of Slice — checkpoint barriers are emitted at slice
+// boundaries — so the post-restore slice grid matches the original run's.
+func (s *ReplaySource) FastForward(now time.Duration) {
+	s.now = now
+	s.idx = 0
+	for s.idx < len(s.Trace) && s.Trace[s.idx].At < now {
+		s.idx++
+	}
+}
+
 // Window is a half-open interval of simulated time [From, To).
 type Window struct {
 	From, To time.Duration

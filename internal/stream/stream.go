@@ -106,6 +106,31 @@ type Config struct {
 	// scratch — copy to retain. Used by the offline-equivalence tests.
 	TapWindow func(key Key, start time.Duration, row []float64)
 
+	// CheckpointEvery, when positive, emits a checkpoint barrier whenever
+	// the source crosses a multiple of this much simulated time. The
+	// barrier flows through every stage in queue order, so the resulting
+	// Checkpoint is a consistent cut: assembler state after every record
+	// before the barrier, verdict state after every window those records
+	// completed.
+	CheckpointEvery time.Duration
+	// OnCheckpoint receives each completed checkpoint, from the verdict
+	// stage's goroutine. The checkpoint is plain data owned by the
+	// callback; the pipeline never touches it again.
+	OnCheckpoint func(*Checkpoint)
+	// Restore primes the pipeline with a checkpoint's state before the
+	// stages start: per-user window assembly, vote rings, drift latches,
+	// and cumulative stats. The source must resume at Restore.Now (for a
+	// deterministic simulated source, fast-forwarded to that time); the
+	// pipeline then produces verdicts byte-identical to an uninterrupted
+	// run. Restore fails if the checkpoint's window geometry or vote
+	// horizon disagree with this configuration.
+	Restore *Checkpoint
+	// RecoverPanics turns a panicking stage into a clean pipeline
+	// shutdown: in-flight work is drained, Run returns the panic as an
+	// error, and the process survives — the daemon's supervisor then
+	// restarts the capture from its last checkpoint.
+	RecoverPanics bool
+
 	// Metrics, when enabled, receives per-stage counters, queue-depth
 	// gauges, and stage-latency histograms under source./assemble./
 	// classify./verdict. The zero Scope disables instrumentation.

@@ -19,6 +19,7 @@ out="BENCH_$n.json"
 
 micro='BenchmarkForestTrain$|BenchmarkForestPredict$|BenchmarkForestPredictBatch$|BenchmarkForestPredictBatchObs$|BenchmarkWindowExtraction$|BenchmarkDTW$|BenchmarkDTWAligner$|BenchmarkDTWCascade$'
 raw=$(go test -run '^$' -bench "$micro" -benchmem -benchtime 2s .
+	go test -run '^$' -bench 'BenchmarkCheckpointWrite$|BenchmarkCheckpointRestore$' -benchmem -benchtime 2s ./internal/stream
 	go test -run '^$' -bench 'BenchmarkObs' -benchmem -benchtime 1s ./internal/obs
 	go test -run '^$' -bench 'BenchmarkQueuePushPop$' -benchmem -benchtime 2s ./internal/sim
 	go test -run '^$' -bench 'BenchmarkNetworkStep$' -benchmem -benchtime 2s ./internal/lte/network

@@ -31,6 +31,17 @@ go test -race ./internal/attack/correlation/...
 # meaningful when the race detector watches the parallel path.
 echo "== go test -race ./internal/lte/network/..."
 go test -race ./internal/lte/network/...
+# The daemon supervises one goroutine per capture, each checkpointing
+# and restarting the four-stage pipeline; gate a full checkpoint-restore
+# cycle under -race explicitly so the byte-identical-convergence
+# guarantee is always exercised with the detector on.
+echo "== go test -race -run 'TestDaemonCheckpointRestartConvergence' ./internal/daemon"
+go test -race -run 'TestDaemonCheckpointRestartConvergence' ./internal/daemon
 echo "== go test -race $short ./..."
 go test -race $short ./...
+# The e2e harness drives the real binaries as subprocesses (goldens,
+# SIGINT drain, kill -9 checkpoint restore). It builds only under the
+# e2e tag; -short keeps it to the fast golden subset.
+echo "== go test -tags e2e $short -count=1 ./e2e"
+go test -tags e2e $short -count=1 ./e2e
 echo "check: OK"
