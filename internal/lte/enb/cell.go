@@ -110,6 +110,14 @@ type Cell struct {
 	bld   builder
 	arena []byte
 
+	// Incremental aggregates over c.order, maintained at every queue
+	// mutation and state transition so observeTick and Connected never walk
+	// the context table: aggQueue is the summed dl+ul backlog of every
+	// context still in the scheduling order, nConnected the number of
+	// contexts in connected state.
+	aggQueue   int
+	nConnected int
+
 	// stats
 	grantsDL, grantsUL int64
 	bytesDL, bytesUL   int64
@@ -218,15 +226,7 @@ func (c *Cell) Detach(u *ue.UE) (dlPending int) {
 }
 
 // Connected reports the number of UE contexts in connected state.
-func (c *Cell) Connected() int {
-	n := 0
-	for _, ctx := range c.order {
-		if ctx.state == ctxConnected {
-			n++
-		}
-	}
-	return n
-}
+func (c *Cell) Connected() int { return c.nConnected }
 
 // Stats reports cumulative grant and byte counters (DL, UL).
 func (c *Cell) Stats() (grantsDL, grantsUL, bytesDL, bytesUL int64) {
@@ -241,6 +241,7 @@ func (c *Cell) DeliverDL(u *ue.UE, bytes int, now time.Duration) {
 	}
 	if ctx, ok := c.byUE[u]; ok && ctx.state == ctxConnected {
 		ctx.dlQueue += bytes
+		c.aggQueue += bytes
 		return
 	}
 	first := c.dlPending[u] == 0
@@ -258,7 +259,15 @@ func (c *Cell) DeliverUL(u *ue.UE, bytes int, now time.Duration) {
 		return
 	}
 	if ctx, ok := c.byUE[u]; ok && ctx.state == ctxConnected {
-		c.ctl.Push(now+6*sim.TTI, func() { ctx.ulQueue += bytes })
+		c.ctl.Push(now+6*sim.TTI, func() {
+			// The context may have been released (and compacted out of the
+			// scheduling order) during the SR cycle; its queues no longer
+			// count toward the aggregate then.
+			ctx.ulQueue += bytes
+			if ctx.state == ctxConnected {
+				c.aggQueue += bytes
+			}
+		})
 		return
 	}
 	u.AddPendingUL(bytes, now)
@@ -333,15 +342,18 @@ func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int,
 		}
 		ctx.secured = true
 		ctx.state = ctxConnected
+		c.nConnected++
 		ctx.lastActivity = c.cur.now
 		ctx.rntiAge = c.cur.now
 		u.State = ue.Connected
 		u.RNTI = r
 		if pend := u.TakePendingUL(); pend > 0 {
 			ctx.ulQueue += pend
+			c.aggQueue += pend
 		}
 		if pend := c.dlPending[u]; pend > 0 {
 			ctx.dlQueue += pend
+			c.aggQueue += pend
 			delete(c.dlPending, u)
 		}
 	})
@@ -395,6 +407,7 @@ func (c *Cell) BeginHandover(u *ue.UE, targetCellID int, now time.Duration) erro
 	})
 	dl, ul := ctx.dlQueue, ctx.ulQueue
 	ctx.dlQueue, ctx.ulQueue = 0, 0
+	c.aggQueue -= dl + ul
 	c.ctl.Push(now+2*sim.TTI, func() {
 		// The UE keeps its state (Connected) and serving-cell binding until
 		// the target admits it: writes to the UE from here would race with
@@ -422,6 +435,7 @@ func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 	c.byRNTI[r] = ctx
 	c.byUE[u] = ctx
 	c.order = append(c.order, ctx)
+	c.aggQueue += dlQueue + ulQueue
 	c.ctl.Push(now+8*sim.TTI, func() {
 		// Dedicated-preamble RACH completes; no contention resolution, no
 		// plaintext identity on the air.
@@ -431,6 +445,7 @@ func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 			return // released before completion (the UE re-camped elsewhere)
 		}
 		ctx.state = ctxConnected
+		c.nConnected++
 		ctx.lastActivity = c.cur.now
 		ctx.rntiAge = c.cur.now
 		u.State = ue.Connected
@@ -439,9 +454,11 @@ func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 		// at the source and admission here is carried into the new bearer.
 		if pend := u.TakePendingUL(); pend > 0 {
 			ctx.ulQueue += pend
+			c.aggQueue += pend
 		}
 		if pend := c.dlPending[u]; pend > 0 {
 			ctx.dlQueue += pend
+			c.aggQueue += pend
 			delete(c.dlPending, u)
 		}
 	})
@@ -453,6 +470,10 @@ func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 func (c *Cell) releaseQuiet(ctx *ueCtx) {
 	if ctx.state == ctxReleased {
 		return
+	}
+	c.aggQueue -= ctx.dlQueue + ctx.ulQueue
+	if ctx.state == ctxConnected {
+		c.nConnected--
 	}
 	ctx.state = ctxReleased
 	c.byRNTI[ctx.rnti] = nil
@@ -468,6 +489,10 @@ func (c *Cell) release(ctx *ueCtx, withMessage bool) {
 	}
 	if withMessage && c.cur != nil {
 		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
+	}
+	c.aggQueue -= ctx.dlQueue + ctx.ulQueue
+	if ctx.state == ctxConnected {
+		c.nConnected--
 	}
 	ctx.state = ctxReleased
 	c.byRNTI[ctx.rnti] = nil
