@@ -37,6 +37,11 @@ type CaptureOptions struct {
 	// BackgroundApps runs this many noise apps on the victim's own UE
 	// alongside the foreground app (the paper's Fig. 9 setting).
 	BackgroundApps int
+	// Population adds this many mostly-idle background UEs to the cell on
+	// top of the profile's ambient users: they attach early and then wake
+	// only sparsely (~1% concurrently active), so the victim hides in a
+	// metro-scale crowd of attached subscribers.
+	Population int
 	// Defenses applies the paper's countermeasures to the network.
 	Defenses DefenseOptions
 	// Metrics, when non-nil, additionally records per-cell decode-health
@@ -135,6 +140,7 @@ func scenarioFor(opts CaptureOptions, prof operator.Profile, app appmodel.App) c
 		Seed:             opts.Seed,
 		Cells:            []capture.Cell{{ID: 1, Profile: prof}},
 		Sessions:         []capture.Session{sess},
+		Population:       opts.Population,
 		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption, DownlinkOnly: opts.DownlinkOnly},
 		ApplyProfileLoss: true,
 		Metrics:          opts.Metrics.Scope("capture"),

@@ -19,18 +19,20 @@ func trackCmd(args []string) error {
 	duration := fs.Duration("duration", 30*time.Second, "victim session duration")
 	cells := fs.Int("cells", 3, "monitored cells; the victim is handed over through all of them")
 	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = serial; output identical)")
+	population := fs.Int("population", 0, "mostly-idle background UEs per cell (~1% active)")
 	seed := fs.Uint64("seed", 99, "scenario seed")
 	model := fs.String("model", "", "trained model path; when set, fingerprint the tracked trace")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	res, err := ltefp.MultiCellCapture(ltefp.MultiCellOptions{
-		Network:  *network,
-		App:      *app,
-		Duration: *duration,
-		Seed:     *seed,
-		Cells:    *cells,
-		Workers:  *workers,
+		Network:    *network,
+		App:        *app,
+		Duration:   *duration,
+		Seed:       *seed,
+		Cells:      *cells,
+		Workers:    *workers,
+		Population: *population,
 	})
 	if err != nil {
 		return err

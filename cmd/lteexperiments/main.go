@@ -40,6 +40,7 @@ func run(args []string) error {
 	scaleName := fs.String("scale", "quick", "experiment scale: quick or full")
 	seed := fs.Uint64("seed", 1, "master random seed")
 	only := fs.String("only", "", "comma-separated experiment subset (default: all)")
+	population := fs.Int("population", 0, "mostly-idle background UEs per capture cell (~1% active)")
 	metrics := fs.Bool("metrics", false, "print a pipeline metrics report after each experiment")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
 	if err := fs.Parse(args); err != nil {
@@ -54,6 +55,7 @@ func run(args []string) error {
 	default:
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
 	}
+	scale.Population = *population
 
 	want := map[string]bool{}
 	if *only != "" {

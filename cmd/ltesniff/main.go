@@ -46,6 +46,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "random seed")
 	dlOnly := fs.Bool("downlink-only", false, "sniff the downlink channel only")
 	background := fs.Int("background", 0, "noise apps running on the victim UE")
+	population := fs.Int("population", 0, "mostly-idle background UEs attached to the cell (~1% active)")
 	victimOnly := fs.Bool("victim-only", true, "write only records attributed to the victim")
 	out := fs.String("out", "-", "output CSV path (- = stdout)")
 	live := fs.Bool("live", false, "classify the capture while it runs instead of writing a CSV")
@@ -87,6 +88,7 @@ func run(args []string) error {
 		Seed:           *seed,
 		DownlinkOnly:   *dlOnly,
 		BackgroundApps: *background,
+		Population:     *population,
 		Metrics:        reg,
 	}
 	if *live {

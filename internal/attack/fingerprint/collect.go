@@ -38,6 +38,10 @@ type CollectSpec struct {
 	// BackgroundApps, when positive, runs this many noise apps on the
 	// victim's own UE alongside the foreground app (the Fig. 9 setting).
 	BackgroundApps int
+	// Population attaches this many mostly-idle background UEs to the
+	// cell (~1% concurrently active), so campaigns record the victim
+	// inside a metro-scale crowd of attached subscribers.
+	Population int
 	// Window and Stride control feature windowing (defaults as in Config).
 	Window time.Duration
 	Stride time.Duration
@@ -156,6 +160,7 @@ func collectOne(spec CollectSpec, session int) (trace.Trace, error) {
 		Seed:             seed,
 		Cells:            []capture.Cell{{ID: 1, Profile: spec.Profile}},
 		Sessions:         []capture.Session{sess},
+		Population:       spec.Population,
 		Sniffer:          spec.Sniffer,
 		ApplyProfileLoss: spec.ApplyProfileLoss,
 		Metrics:          spec.Metrics,

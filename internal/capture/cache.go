@@ -202,7 +202,7 @@ func (c *captureCache) evictLocked() {
 // registry name), in which case callers must run uncached.
 func scenarioKey(sc Scenario) (string, bool) {
 	h := sha256.New()
-	_, _ = io.WriteString(h, "ltefp-capture-key-v2\n")
+	_, _ = io.WriteString(h, "ltefp-capture-key-v3\n")
 	var buf [8]byte
 	wu64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)
@@ -223,6 +223,7 @@ func scenarioKey(sc Scenario) (string, bool) {
 
 	wu64(sc.Seed)
 	wu64(uint64(sc.Settle))
+	wu64(uint64(sc.Population))
 	wbool(sc.ApplyProfileLoss)
 	wf64(sc.Sniffer.LossProb)
 	wf64(sc.Sniffer.CorruptProb)

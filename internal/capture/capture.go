@@ -93,6 +93,12 @@ type Scenario struct {
 	// Moves schedules cross-cell mobility (handover, reselection) for
 	// session UEs.
 	Moves []Move
+	// Population adds this many mostly-idle background UEs to every cell,
+	// on top of the profile's ambient BackgroundUEs. Population UEs attach
+	// via staggered RACH early in the run and then wake only for sparse
+	// light sessions and paging pushes (~1% concurrently active), modelling
+	// the metro-cell crowd a targeted attack must pick its victim out of.
+	Population int
 	// Workers spreads cell execution across this many goroutines (<= 1 is
 	// serial). Output is byte-identical for every setting; see the fabric
 	// determinism contract in internal/lte/network.
@@ -173,6 +179,16 @@ func prepare(sc Scenario) (*prepared, error) {
 		sniffers = append(sniffers, s)
 		if cs.Profile.InactivityTimeout > maxIdle {
 			maxIdle = cs.Profile.InactivityTimeout
+		}
+	}
+
+	if sc.Population > 0 {
+		for _, cs := range sc.Cells {
+			for i := 0; i < sc.Population; i++ {
+				pu := n.NewUE(fmt.Sprintf("pop-%d-%d", cs.ID, i))
+				n.Camp(pu, cs.ID)
+				n.StartSparseBackground(pu)
+			}
 		}
 	}
 

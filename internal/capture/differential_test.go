@@ -1,0 +1,135 @@
+package capture_test
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/capture"
+	"ltefp/internal/lte/enb"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sim"
+	"ltefp/internal/sniffer"
+)
+
+// captureDigest hashes everything observable about a capture: records,
+// identity events, pagings, TMSI histories, and the health counters.
+func captureDigest(res *capture.Capture) string {
+	h := sha256.New()
+	for _, r := range res.Records {
+		fmt.Fprintf(h, "%v\n", r)
+	}
+	for _, e := range res.Events {
+		fmt.Fprintf(h, "%v\n", e)
+	}
+	for _, p := range res.Pagings {
+		fmt.Fprintf(h, "%v\n", p)
+	}
+	names := make([]string, 0, len(res.TMSIs))
+	for name := range res.TMSIs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(h, "%s %v\n", name, res.TMSIs[name])
+	}
+	fmt.Fprintf(h, "dropped=%d health=%+v\n", res.Dropped, res.Health)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// randomScenario draws a scenario that exercises the scheduler's corners:
+// multiple cells, handovers and reselections, RNTI refresh, traffic
+// morphing, concealed identities, sparse background population, and
+// inactivity timeouts short enough to trigger releases mid-run.
+func randomScenario(t *testing.T, g *sim.RNG) capture.Scenario {
+	t.Helper()
+	networks := []string{"Lab", "Verizon", "AT&T", "T-Mobile"}
+	prof, err := operator.ByName(networks[g.IntN(len(networks))])
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof.InactivityTimeout = time.Duration(g.Uniform(0.3, 2.5) * float64(time.Second))
+	prof.BackgroundUEs = g.IntN(4) // keep ambient load small; Population is the crowd
+	if g.Bool(0.5) {
+		prof.RNTIRefreshEvery = time.Duration(g.Uniform(0.3, 1.5) * float64(time.Second))
+	}
+	if g.Bool(0.5) {
+		prof.GUTIReallocEvery = time.Duration(g.Uniform(1, 3) * float64(time.Second))
+	}
+	prof.PadBuckets = g.Bool(0.3)
+	prof.OneTimeIdentifiers = g.Bool(0.3)
+
+	nCells := 1 + g.IntN(3)
+	cells := make([]capture.Cell, nCells)
+	for i := range cells {
+		cells[i] = capture.Cell{ID: i + 1, Profile: prof}
+	}
+	apps := appmodel.Apps()
+	var sessions []capture.Session
+	var moves []capture.Move
+	nUEs := 1 + g.IntN(2)
+	for u := 0; u < nUEs; u++ {
+		name := fmt.Sprintf("ue-%d", u)
+		start := time.Duration(g.Uniform(0.2, 0.8) * float64(time.Second))
+		dur := time.Duration(g.Uniform(2, 5) * float64(time.Second))
+		sessions = append(sessions, capture.Session{
+			UE:       name,
+			CellID:   1 + g.IntN(nCells),
+			App:      apps[g.IntN(len(apps))],
+			Start:    start,
+			Duration: dur,
+			Day:      1 + g.IntN(3),
+		})
+		if nCells > 1 && g.Bool(0.7) {
+			moves = append(moves, capture.Move{
+				UE:       name,
+				ToCell:   1 + g.IntN(nCells),
+				At:       start + dur/2,
+				Handover: g.Bool(0.6),
+			})
+		}
+	}
+	return capture.Scenario{
+		Seed:       g.Uint64(),
+		Cells:      cells,
+		Sessions:   sessions,
+		Moves:      moves,
+		Population: g.IntN(3) * 15,
+		Sniffer: sniffer.Config{
+			CorruptProb:  0.002,
+			DownlinkOnly: g.Bool(0.25),
+		},
+		ApplyProfileLoss: true,
+		// Long enough past the last session for inactivity releases (and
+		// their timers) to fire inside the run.
+		Settle: prof.InactivityTimeout + 1500*time.Millisecond,
+	}
+}
+
+// TestActiveSchedulerMatchesDenseWalk is the tentpole differential: the
+// O(active) scheduling ring, timer wheel, lazy CQI, and context recycling
+// must reproduce the dense reference walk byte for byte on randomized
+// scenarios covering handover, refresh, morphing, concealment, population
+// churn, and mid-run inactivity releases.
+func TestActiveSchedulerMatchesDenseWalk(t *testing.T) {
+	g := sim.NewRNG(0xd1f7)
+	for i := 0; i < 10; i++ {
+		sc := randomScenario(t, g)
+		prev := enb.SetDenseReference(true)
+		dense, errDense := capture.Run(sc)
+		enb.SetDenseReference(false)
+		active, errActive := capture.Run(sc)
+		enb.SetDenseReference(prev)
+		if errDense != nil || errActive != nil {
+			t.Fatalf("scenario %d: dense err=%v active err=%v", i, errDense, errActive)
+		}
+		if d, a := captureDigest(dense), captureDigest(active); d != a {
+			t.Errorf("scenario %d (seed %d, %d cells, %d sessions, pop %d): dense %s != active %s",
+				i, sc.Seed, len(sc.Cells), len(sc.Sessions), sc.Population, d, a)
+		}
+	}
+}

@@ -53,6 +53,12 @@ type Scale struct {
 	// HistoryFactor scales the Table V itinerary's 5–10 minute session
 	// durations (1.0 reproduces the paper's timings).
 	HistoryFactor float64
+
+	// Population attaches this many mostly-idle background UEs to every
+	// capture cell (~1% concurrently active), so campaigns measure the
+	// attack against metro-scale crowded cells. Zero keeps the historical
+	// behaviour (profile ambient users only).
+	Population int
 }
 
 // Quick returns a CI-sized scale: every experiment shape in minutes.
@@ -199,6 +205,7 @@ func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64,
 			Seed:             seed + uint64(i+1)*7919,
 			Sniffer:          cfg,
 			ApplyProfileLoss: true,
+			Population:       scale.Population,
 			Metrics:          pipelineScope(),
 		}
 	})

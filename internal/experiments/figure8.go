@@ -88,6 +88,7 @@ func Figure8(scale Scale, seed uint64) (*Figure8Result, error) {
 				Seed:             seed + uint64(day)*6701 + uint64(ai+1)*433,
 				Sniffer:          cfg,
 				ApplyProfileLoss: true,
+				Population:       scale.Population,
 				Metrics:          pipelineScope(),
 			})
 			if err != nil {

@@ -79,6 +79,7 @@ func Figure9(scale Scale, seed uint64) (*Figure9Result, error) {
 			Sniffer:          cfg,
 			ApplyProfileLoss: true,
 			BackgroundApps:   bg,
+			Population:       scale.Population,
 			Metrics:          pipelineScope(),
 		})
 		if err != nil {

@@ -65,6 +65,7 @@ func Concealment(scale Scale, seed uint64) (*ConcealmentResult, error) {
 				Start:    500 * time.Millisecond,
 				Duration: scale.MsgDur * 2,
 			}},
+			Population:       scale.Population,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption},
 			ApplyProfileLoss: true,
 		})

@@ -93,6 +93,7 @@ func Retraining(scale Scale, seed uint64) (*RetrainingResult, error) {
 				Seed:             seed + uint64(day)*6701 + uint64(ai+1)*433,
 				Sniffer:          cfg,
 				ApplyProfileLoss: true,
+				Population:       scale.Population,
 				Metrics:          pipelineScope(),
 			})
 			if err != nil {

@@ -63,6 +63,7 @@ func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 			Seed:             seed + uint64(i+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption},
 			ApplyProfileLoss: true,
+			Population:       scale.Population,
 			Metrics:          pipelineScope(),
 		}
 	})

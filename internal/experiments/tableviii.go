@@ -72,6 +72,7 @@ func TableVIII(scale Scale, seed uint64) (*TableVIIIResult, error) {
 			Seed:             seed + 2749 + uint64(ai+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
 			ApplyProfileLoss: true,
+			Population:       scale.Population,
 			Metrics:          pipelineScope(),
 		})
 		if err != nil {

@@ -60,6 +60,7 @@ func WindowSweep(scale Scale, seed uint64) (*WindowSweepResult, error) {
 			Seed:             seed + 52289 + uint64(i+1)*7919,
 			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption, DownlinkOnly: true},
 			ApplyProfileLoss: true,
+			Population:       scale.Population,
 			Metrics:          pipelineScope(),
 		}
 	})

@@ -59,6 +59,24 @@ type ueCtx struct {
 	nextULSF     int64
 	harq         int
 	secured      bool // AS security active: no more plaintext
+
+	// ordIdx is this context's current position in c.order, kept in step
+	// by enroll and compaction so the active ring can reproduce the dense
+	// walk's rotation order without walking.
+	ordIdx int
+	// inRing marks membership in c.active.
+	inRing bool
+	// idleArmed marks a live inactivity deadline on the timer wheel for
+	// this tenancy, keeping the chain at one entry per context: without
+	// it, every queue drain of a chatty UE would park another
+	// soon-to-be-stale entry in the wheel.
+	idleArmed bool
+	// gen counts tenancies of this (free-list-recycled) allocation.
+	// Deferred closures and timer-wheel entries capture the generation
+	// they were created under and go inert if the context has since been
+	// recycled for a different UE. The dense reference never recycles, so
+	// there the guards never trip.
+	gen uint32
 }
 
 // Cell is one eNodeB cell.
@@ -79,6 +97,28 @@ type Cell struct {
 	byUE   map[*ue.UE]*ueCtx
 	order  []*ueCtx // deterministic scheduling order
 	rrPtr  int      // round-robin rotation pointer
+
+	// active is the active-set scheduling ring: the contexts in connected
+	// state with nonzero queues, sorted by ordIdx. scheduleData visits
+	// only these, so a TTI costs O(active UEs) while thousands of parked
+	// connections cost nothing. Unused by the dense reference.
+	active []*ueCtx
+	// free recycles released ueCtx allocations (their gen bumped) so
+	// population-scale churn does not allocate per connection.
+	free []*ueCtx
+	// pendingRelease lists contexts released since the last compaction;
+	// compaction scans only from the lowest released slot and skips
+	// entirely on ticks that released nothing.
+	pendingRelease []*ueCtx
+	// wheel holds the inactivity-release and RNTI-refresh deadlines that
+	// the dense reference discovers by walking every context every tick.
+	wheel timerWheel
+	// dense selects the retained O(attached) reference scheduler
+	// (see SetDenseReference).
+	dense bool
+	// lastTick is the subframe index of the most recent Tick, -1 before
+	// the first; serial-phase code uses it to bound lazy CQI catch-up.
+	lastTick int64
 
 	// dlPending buffers downlink bytes for idle UEs until paging brings
 	// them back to connected mode.
@@ -166,12 +206,28 @@ func (c *Cell) SetMetrics(sc obs.Scope) {
 	}
 }
 
+// denseReference, when true, makes NewCell build cells that schedule with
+// the retained O(attached-UEs) dense-walk implementation instead of the
+// active-set ring and timer wheel. The two produce bit-for-bit identical
+// subframes; the reference exists so differential tests and baseline
+// benchmarks can pin that equivalence. Toggle only from tests and
+// benchmarks, never while cells are constructed concurrently.
+var denseReference bool
+
+// SetDenseReference switches the scheduler implementation used by
+// subsequently constructed cells and returns the previous setting.
+func SetDenseReference(v bool) (prev bool) {
+	prev = denseReference
+	denseReference = v
+	return prev
+}
+
 // NewCell returns an empty cell.
 func NewCell(id int, p operator.Profile, core *epc.Core, rng *sim.RNG) (*Cell, error) {
 	if err := p.Validate(); err != nil {
 		return nil, fmt.Errorf("enb: %w", err)
 	}
-	return &Cell{
+	c := &Cell{
 		ID:        id,
 		Profile:   p,
 		core:      core,
@@ -181,7 +237,11 @@ func NewCell(id int, p operator.Profile, core *epc.Core, rng *sim.RNG) (*Cell, e
 		byUE:      make(map[*ue.UE]*ueCtx),
 		dlPending: make(map[*ue.UE]int),
 		camped:    make(map[*ue.UE]bool),
-	}, nil
+		dense:     denseReference,
+		lastTick:  -1,
+	}
+	c.wheel.cur = -1
+	return c, nil
 }
 
 // AddObserver registers a subframe observer (a sniffer).
@@ -233,6 +293,116 @@ func (c *Cell) Stats() (grantsDL, grantsUL, bytesDL, bytesUL int64) {
 	return c.grantsDL, c.grantsUL, c.bytesDL, c.bytesUL
 }
 
+// newCtx returns a blank context, recycling a released one when possible.
+// A recycled context keeps only its (bumped) generation number.
+func (c *Cell) newCtx() *ueCtx {
+	if n := len(c.free); n > 0 {
+		ctx := c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		return ctx
+	}
+	return &ueCtx{}
+}
+
+// enroll appends a context to the scheduling order and starts its UE's
+// lazy channel-walk accrual at the next epoch the dense reference would
+// step it.
+func (c *Cell) enroll(ctx *ueCtx) {
+	ctx.ordIdx = len(c.order)
+	c.order = append(c.order, ctx)
+	if !c.dense {
+		next := c.cqiLimit() + 1
+		ctx.ue.StartCQIAccrual((next + 99) / 100 * 100)
+	}
+}
+
+// cqiLimit is the highest subframe index whose channel-walk epoch a CQI
+// read at this moment must reflect. The dense reference steps channels
+// late in the tick — after data scheduling and releases — so reads inside
+// a Tick see epochs strictly before the current subframe, and reads
+// between ticks (fabric serial phase) see epochs up to the last one.
+func (c *Cell) cqiLimit() int64 {
+	if c.cur != nil {
+		return c.sf.Index - 1
+	}
+	return c.lastTick
+}
+
+// SyncChannel replays any channel-walk epochs the cell's lazy schedule
+// still owes the UE, so out-of-band readers (the network's session-quality
+// sampling) observe the same CQI the dense reference would show.
+func (c *Cell) SyncChannel(u *ue.UE) { u.CatchUpCQI(c.cqiLimit()) }
+
+// ringAdd inserts a connected context with pending bytes into the active
+// scheduling ring, keeping it sorted by scheduling-order position. No-op
+// for the dense reference and for contexts already present.
+func (c *Cell) ringAdd(ctx *ueCtx) {
+	if c.dense || ctx.inRing {
+		return
+	}
+	i, n := 0, len(c.active)
+	for i < n {
+		h := int(uint(i+n) >> 1)
+		if c.active[h].ordIdx < ctx.ordIdx {
+			i = h + 1
+		} else {
+			n = h
+		}
+	}
+	c.active = append(c.active, nil)
+	copy(c.active[i+1:], c.active[i:])
+	c.active[i] = ctx
+	ctx.inRing = true
+}
+
+// ringRemove takes a context out of the active ring (release paths call
+// it eagerly; drained entries are instead pruned by the post-visit sweep).
+func (c *Cell) ringRemove(ctx *ueCtx) {
+	if !ctx.inRing {
+		return
+	}
+	i, n := 0, len(c.active)
+	for i < n {
+		h := int(uint(i+n) >> 1)
+		if c.active[h].ordIdx < ctx.ordIdx {
+			i = h + 1
+		} else {
+			n = h
+		}
+	}
+	copy(c.active[i:], c.active[i+1:])
+	c.active[len(c.active)-1] = nil
+	c.active = c.active[:len(c.active)-1]
+	ctx.inRing = false
+}
+
+// armIdle schedules the inactivity-release deadline for a connected
+// context whose queues are empty: the first tick at which the dense walk's
+// now-lastActivity >= timeout test would pass. Each tenancy keeps at most
+// one live entry: while one is armed, later activity just moves
+// lastActivity, and the entry re-arms itself at the new deadline when it
+// fires and fails re-validation (see fireIdle).
+func (c *Cell) armIdle(ctx *ueCtx) {
+	if c.dense || ctx.state != ctxConnected || ctx.idleArmed {
+		return
+	}
+	ctx.idleArmed = true
+	at := int64((ctx.lastActivity + c.Profile.InactivityTimeout + sim.TTI - 1) / sim.TTI)
+	c.wheel.arm(ctx, timerIdle, at)
+}
+
+// armRefresh schedules the next C-RNTI refresh occasion: the first
+// multiple-of-32 tick at which the RNTI's age exceeds the profile period,
+// matching the dense walk's every-32-TTI scan.
+func (c *Cell) armRefresh(ctx *ueCtx) {
+	if c.dense || c.Profile.RNTIRefreshEvery <= 0 || ctx.state != ctxConnected {
+		return
+	}
+	first := int64((ctx.rntiAge + c.Profile.RNTIRefreshEvery + sim.TTI - 1) / sim.TTI)
+	c.wheel.arm(ctx, timerRefresh, (first+31)/32*32)
+}
+
 // DeliverDL hands downlink payload for a UE to the cell (as arriving from
 // the core network). Idle UEs are paged.
 func (c *Cell) DeliverDL(u *ue.UE, bytes int, now time.Duration) {
@@ -242,6 +412,7 @@ func (c *Cell) DeliverDL(u *ue.UE, bytes int, now time.Duration) {
 	if ctx, ok := c.byUE[u]; ok && ctx.state == ctxConnected {
 		ctx.dlQueue += bytes
 		c.aggQueue += bytes
+		c.ringAdd(ctx)
 		return
 	}
 	first := c.dlPending[u] == 0
@@ -259,14 +430,17 @@ func (c *Cell) DeliverUL(u *ue.UE, bytes int, now time.Duration) {
 		return
 	}
 	if ctx, ok := c.byUE[u]; ok && ctx.state == ctxConnected {
+		g := ctx.gen
 		c.ctl.Push(now+6*sim.TTI, func() {
-			// The context may have been released (and compacted out of the
-			// scheduling order) during the SR cycle; its queues no longer
-			// count toward the aggregate then.
-			ctx.ulQueue += bytes
-			if ctx.state == ctxConnected {
-				c.aggQueue += bytes
+			// The context may have been released — and possibly recycled for
+			// another UE — during the SR cycle; the stale request then dies
+			// here, exactly as the dense reference's compaction hides it.
+			if ctx.gen != g || ctx.state != ctxConnected {
+				return
 			}
+			ctx.ulQueue += bytes
+			c.aggQueue += bytes
+			c.ringAdd(ctx)
 		})
 		return
 	}
@@ -300,10 +474,12 @@ func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int,
 		u.State = ue.Idle
 		return
 	}
-	ctx := &ueCtx{ue: u, rnti: r, state: ctxAccess}
+	ctx := c.newCtx()
+	ctx.ue, ctx.rnti, ctx.state = u, r, ctxAccess
 	c.byRNTI[r] = ctx
 	c.byUE[u] = ctx
-	c.order = append(c.order, ctx)
+	c.enroll(ctx)
+	g := ctx.gen
 
 	tmsi, hasTMSI, random := u.Identity()
 	if c.Profile.OneTimeIdentifiers {
@@ -335,7 +511,7 @@ func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int,
 	// connection is then live.
 	c.ctl.Push(now+9*sim.TTI, func() {
 		c.cur.control(c, r, dci.Format1A, 2, rrc.SecurityModeCommand{})
-		if ctx.state != ctxAccess {
+		if ctx.gen != g || ctx.state != ctxAccess {
 			// Released mid-access (the UE re-camped elsewhere): the context
 			// stays dead and the UE — now another cell's — is not touched.
 			return
@@ -356,6 +532,12 @@ func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int,
 			c.aggQueue += pend
 			delete(c.dlPending, u)
 		}
+		if ctx.dlQueue > 0 || ctx.ulQueue > 0 {
+			c.ringAdd(ctx)
+		} else {
+			c.armIdle(ctx)
+		}
+		c.armRefresh(ctx)
 	})
 }
 
@@ -408,13 +590,22 @@ func (c *Cell) BeginHandover(u *ue.UE, targetCellID int, now time.Duration) erro
 	dl, ul := ctx.dlQueue, ctx.ulQueue
 	ctx.dlQueue, ctx.ulQueue = 0, 0
 	c.aggQueue -= dl + ul
+	c.ringRemove(ctx)
+	// With its queues carried off, the context is idle-eligible: should the
+	// release below somehow not run (it always does today), the inactivity
+	// deadline still reclaims it, exactly as the dense walk would.
+	c.armIdle(ctx)
+	g := ctx.gen
 	c.ctl.Push(now+2*sim.TTI, func() {
 		// The UE keeps its state (Connected) and serving-cell binding until
 		// the target admits it: writes to the UE from here would race with
 		// its owning shard, and traffic arriving in the gap buffers against
 		// the UE or the source cell instead of triggering spurious
-		// contention-based access.
-		c.releaseQuiet(ctx)
+		// contention-based access. The generation guard covers the context
+		// having been released by other means and recycled meanwhile.
+		if ctx.gen == g {
+			c.releaseQuiet(ctx)
+		}
 		c.hoSink(u, targetCellID, dl, ul)
 	})
 	return nil
@@ -431,17 +622,21 @@ func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 		u.State = ue.Idle
 		return
 	}
-	ctx := &ueCtx{ue: u, rnti: r, state: ctxAccess, secured: true, dlQueue: dlQueue, ulQueue: ulQueue}
+	ctx := c.newCtx()
+	ctx.ue, ctx.rnti, ctx.state = u, r, ctxAccess
+	ctx.secured = true
+	ctx.dlQueue, ctx.ulQueue = dlQueue, ulQueue
 	c.byRNTI[r] = ctx
 	c.byUE[u] = ctx
-	c.order = append(c.order, ctx)
+	c.enroll(ctx)
 	c.aggQueue += dlQueue + ulQueue
+	g := ctx.gen
 	c.ctl.Push(now+8*sim.TTI, func() {
 		// Dedicated-preamble RACH completes; no contention resolution, no
 		// plaintext identity on the air.
 		c.cur.sf.RACH = append(c.cur.sf.RACH, phy.Preamble{ID: 60 + c.rng.IntN(4)})
 		c.cur.control(c, r, dci.Format1A, 2, nil)
-		if ctx.state != ctxAccess {
+		if ctx.gen != g || ctx.state != ctxAccess {
 			return // released before completion (the UE re-camped elsewhere)
 		}
 		ctx.state = ctxConnected
@@ -461,6 +656,12 @@ func (c *Cell) AdmitHandover(u *ue.UE, dlQueue, ulQueue int, now time.Duration) 
 			c.aggQueue += pend
 			delete(c.dlPending, u)
 		}
+		if ctx.dlQueue > 0 || ctx.ulQueue > 0 {
+			c.ringAdd(ctx)
+		} else {
+			c.armIdle(ctx)
+		}
+		c.armRefresh(ctx)
 	})
 }
 
@@ -479,6 +680,15 @@ func (c *Cell) releaseQuiet(ctx *ueCtx) {
 	c.byRNTI[ctx.rnti] = nil
 	delete(c.byUE, ctx.ue)
 	c.alloc.Release(ctx.rnti)
+	if !c.dense {
+		c.ringRemove(ctx)
+		// Settle the channel-walk epochs owed up to the point the dense
+		// reference would last have stepped this UE, then freeze the walk.
+		ctx.ue.CatchUpCQI(c.cqiLimit())
+		ctx.ue.StopCQIAccrual()
+		c.pendingRelease = append(c.pendingRelease, ctx)
+	}
+	// ctx is compacted out of c.order at the end of the current Tick.
 }
 
 // release tears down a UE context. withMessage emits the (encrypted)
@@ -490,17 +700,9 @@ func (c *Cell) release(ctx *ueCtx, withMessage bool) {
 	if withMessage && c.cur != nil {
 		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
 	}
-	c.aggQueue -= ctx.dlQueue + ctx.ulQueue
-	if ctx.state == ctxConnected {
-		c.nConnected--
-	}
-	ctx.state = ctxReleased
-	c.byRNTI[ctx.rnti] = nil
-	delete(c.byUE, ctx.ue)
-	c.alloc.Release(ctx.rnti)
+	c.releaseQuiet(ctx)
 	if ctx.ue.CellID == c.ID {
 		ctx.ue.State = ue.Idle
 		ctx.ue.RNTI = 0
 	}
-	// ctx is compacted out of c.order at the end of the current Tick.
 }

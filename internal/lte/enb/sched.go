@@ -1,6 +1,7 @@
 package enb
 
 import (
+	"slices"
 	"time"
 
 	"ltefp/internal/lte/dci"
@@ -44,16 +45,30 @@ func (c *Cell) Tick(now time.Duration) *phy.Subframe {
 		ulPRBLeft: c.Profile.PRBs,
 	}
 	c.cur = b
-	c.ctl.PopDue(now)
-	c.scheduleData(b)
-	c.checkInactivity(now)
-	if c.Profile.RNTIRefreshEvery > 0 && b.sf.Index%32 == 0 {
-		c.refreshRNTIs(now)
+	if c.dense {
+		c.ctl.PopDue(now)
+		c.scheduleData(b)
+		c.checkInactivity(now)
+		if c.Profile.RNTIRefreshEvery > 0 && b.sf.Index%32 == 0 {
+			c.refreshRNTIs(now)
+		}
+		if b.sf.Index%100 == 0 {
+			c.stepChannels()
+		}
+		c.compactOrder()
+	} else {
+		// O(active) phase order mirrors the dense reference exactly: the
+		// wheel replaces the inactivity and refresh walks, channel walks
+		// advance lazily at their read sites, and compaction runs only on
+		// ticks that released a context.
+		c.wheel.advance(b.sf.Index)
+		c.ctl.PopDue(now)
+		c.scheduleDataActive(b)
+		c.fireIdle(now)
+		c.fireRefresh(now)
+		c.compactOrderActive()
 	}
-	if b.sf.Index%100 == 0 {
-		c.stepChannels()
-	}
-	c.compactOrder()
+	c.lastTick = b.sf.Index
 	c.cur = nil
 	if c.m.enabled {
 		c.observeTick(b)
@@ -164,60 +179,136 @@ func (b *builder) tryEmit(c *Cell, r rnti.RNTI, f dci.Format, agg, nprb, mcs int
 	return tbBytes, true
 }
 
-// scheduleData runs the per-TTI data scheduler: a rotating round-robin
-// over connected UEs, granting downlink assignments (format 1A) and uplink
-// grants (format 0) against the remaining PRB budget.
+// scheduleData runs the per-TTI data scheduler of the dense reference: a
+// rotating round-robin over every enrolled context, granting downlink
+// assignments (format 1A) and uplink grants (format 0) against the
+// remaining PRB budget.
 func (c *Cell) scheduleData(b *builder) {
 	n := len(c.order)
 	if n == 0 {
 		return
 	}
-	p := &c.Profile
+	idx := c.rrPtr
 	for i := 0; i < n; i++ {
-		ctx := c.order[(c.rrPtr+i)%n]
-		if ctx.state != ctxConnected {
-			continue
-		}
-		mcs := ctx.ue.MCS()
-		if ctx.dlQueue > 0 && b.sf.Index >= ctx.nextDLSF && b.dlPRBLeft > 0 {
-			if granted := c.grant(b, ctx, dci.Format1A, mcs, ctx.dlQueue, b.dlPRBLeft); granted > 0 {
-				if granted > ctx.dlQueue {
-					granted = ctx.dlQueue
-				}
-				ctx.dlQueue -= granted
-				c.aggQueue -= granted
-				ctx.lastActivity = b.now
-				// Contention jitter delays the start of service for a new
-				// burst; a backlogged UE keeps its scheduling cadence, as
-				// under any work-conserving scheduler.
-				ctx.nextDLSF = b.sf.Index + int64(p.SchedPeriodTTI)
-				if ctx.dlQueue == 0 {
-					ctx.nextDLSF += c.jitter()
-				}
-				c.grantsDL++
-				c.bytesDL += int64(granted)
-				c.m.grantsDL.Inc()
-			}
-		}
-		if ctx.ulQueue > 0 && b.sf.Index >= ctx.nextULSF && b.ulPRBLeft > 0 {
-			if granted := c.grant(b, ctx, dci.Format0, mcs, ctx.ulQueue, b.ulPRBLeft); granted > 0 {
-				if granted > ctx.ulQueue {
-					granted = ctx.ulQueue
-				}
-				ctx.ulQueue -= granted
-				c.aggQueue -= granted
-				ctx.lastActivity = b.now
-				ctx.nextULSF = b.sf.Index + int64(p.SchedPeriodTTI)
-				if ctx.ulQueue == 0 {
-					ctx.nextULSF += c.jitter()
-				}
-				c.grantsUL++
-				c.bytesUL += int64(granted)
-				c.m.grantsUL.Inc()
-			}
+		c.visitData(b, c.order[idx])
+		idx++
+		if idx == n {
+			idx = 0
 		}
 	}
-	c.rrPtr = (c.rrPtr + 1) % n
+	c.rrPtr++
+	if c.rrPtr == n {
+		c.rrPtr = 0
+	}
+}
+
+// scheduleDataActive is scheduleData over the active ring: it visits only
+// the contexts with pending bytes, in exactly the sequence the dense
+// rotation would reach them — the ring is sorted by scheduling-order
+// position, so splitting it at the rotation pointer reproduces the
+// rotated walk — then prunes entries the visits drained. Contexts whose
+// scheduling interval has not yet come up stay in the ring and take the
+// same no-op visit the dense walk gives them.
+func (c *Cell) scheduleDataActive(b *builder) {
+	n := len(c.order)
+	if n == 0 {
+		return
+	}
+	if a := c.active; len(a) > 0 {
+		i, j := 0, len(a)
+		for i < j {
+			h := int(uint(i+j) >> 1)
+			if a[h].ordIdx < c.rrPtr {
+				i = h + 1
+			} else {
+				j = h
+			}
+		}
+		for _, ctx := range a[i:] {
+			c.visitData(b, ctx)
+		}
+		for _, ctx := range a[:i] {
+			c.visitData(b, ctx)
+		}
+	}
+	c.rrPtr++
+	if c.rrPtr == n {
+		c.rrPtr = 0
+	}
+	kept := c.active[:0]
+	for _, ctx := range c.active {
+		if ctx.dlQueue > 0 || ctx.ulQueue > 0 {
+			kept = append(kept, ctx)
+		} else {
+			ctx.inRing = false
+		}
+	}
+	for i := len(kept); i < len(c.active); i++ {
+		c.active[i] = nil
+	}
+	c.active = kept
+}
+
+// visitData gives one context its round-robin turn. This is the dense
+// walk's per-slot behaviour — including the order of every RNG draw —
+// factored out so the reference and the active ring share it bit for bit.
+// The channel-walk catch-up is a no-op under the dense reference, whose
+// eager stepChannels keeps every UE current.
+func (c *Cell) visitData(b *builder, ctx *ueCtx) {
+	if ctx.state != ctxConnected {
+		return
+	}
+	wantDL := ctx.dlQueue > 0 && b.sf.Index >= ctx.nextDLSF && b.dlPRBLeft > 0
+	wantUL := ctx.ulQueue > 0 && b.sf.Index >= ctx.nextULSF && b.ulPRBLeft > 0
+	if !wantDL && !wantUL {
+		return
+	}
+	ctx.ue.CatchUpCQI(b.sf.Index - 1)
+	mcs := ctx.ue.MCS()
+	p := &c.Profile
+	gotGrant := false
+	if wantDL {
+		if granted := c.grant(b, ctx, dci.Format1A, mcs, ctx.dlQueue, b.dlPRBLeft); granted > 0 {
+			if granted > ctx.dlQueue {
+				granted = ctx.dlQueue
+			}
+			ctx.dlQueue -= granted
+			c.aggQueue -= granted
+			ctx.lastActivity = b.now
+			// Contention jitter delays the start of service for a new
+			// burst; a backlogged UE keeps its scheduling cadence, as
+			// under any work-conserving scheduler.
+			ctx.nextDLSF = b.sf.Index + int64(p.SchedPeriodTTI)
+			if ctx.dlQueue == 0 {
+				ctx.nextDLSF += c.jitter()
+			}
+			gotGrant = true
+			c.grantsDL++
+			c.bytesDL += int64(granted)
+			c.m.grantsDL.Inc()
+		}
+	}
+	if wantUL {
+		if granted := c.grant(b, ctx, dci.Format0, mcs, ctx.ulQueue, b.ulPRBLeft); granted > 0 {
+			if granted > ctx.ulQueue {
+				granted = ctx.ulQueue
+			}
+			ctx.ulQueue -= granted
+			c.aggQueue -= granted
+			ctx.lastActivity = b.now
+			ctx.nextULSF = b.sf.Index + int64(p.SchedPeriodTTI)
+			if ctx.ulQueue == 0 {
+				ctx.nextULSF += c.jitter()
+			}
+			gotGrant = true
+			c.grantsUL++
+			c.bytesUL += int64(granted)
+			c.m.grantsUL.Inc()
+		}
+	}
+	if gotGrant && ctx.dlQueue == 0 && ctx.ulQueue == 0 {
+		c.armIdle(ctx)
+	}
 }
 
 // grant sizes and emits one data grant, returning the transport block size
@@ -337,10 +428,10 @@ func aggForCQI(cqi float64) int {
 	}
 }
 
-// refreshRNTIs implements the paper's §VIII-B countermeasure: connected
-// UEs whose C-RNTI has aged past the refresh period get a fresh one via an
-// encrypted reconfiguration. A passive observer sees the old RNTI fall
-// silent and an unlinkable new one appear, resetting its tracking state.
+// refreshRNTIs is the dense reference's side of the paper's §VIII-B
+// countermeasure: every 32 TTIs it scans for connected UEs whose C-RNTI
+// has aged past the refresh period. A passive observer sees the old RNTI
+// fall silent and an unlinkable new one appear, resetting its tracking.
 func (c *Cell) refreshRNTIs(now time.Duration) {
 	for _, ctx := range c.order {
 		if ctx.state != ctxConnected {
@@ -349,25 +440,96 @@ func (c *Cell) refreshRNTIs(now time.Duration) {
 		if now-ctx.rntiAge < c.Profile.RNTIRefreshEvery {
 			continue
 		}
-		fresh, err := c.alloc.Allocate()
-		if err != nil {
-			continue // RNTI space exhausted: keep the old one this round
-		}
-		// Encrypted RRCConnectionReconfiguration on the old identity.
-		c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
-		c.byRNTI[ctx.rnti] = nil
-		c.alloc.Release(ctx.rnti)
-		ctx.rnti = fresh
-		ctx.rntiAge = now
-		c.byRNTI[fresh] = ctx
-		ctx.ue.RNTI = fresh
-		c.m.rntiRefreshes.Inc()
+		c.refreshOne(ctx, now)
 	}
 }
 
-// checkInactivity releases UEs whose connections have been silent past the
-// operator's inactivity timeout — the mechanism behind the RNTI churn the
-// paper's tracker must survive.
+// refreshOne gives one connected context a fresh C-RNTI via an encrypted
+// reconfiguration, reporting false when the RNTI space is exhausted (the
+// old identity is kept for this round).
+func (c *Cell) refreshOne(ctx *ueCtx, now time.Duration) bool {
+	fresh, err := c.alloc.Allocate()
+	if err != nil {
+		return false
+	}
+	// Encrypted RRCConnectionReconfiguration on the old identity.
+	c.cur.control(c, ctx.rnti, dci.Format1A, 1, nil)
+	c.byRNTI[ctx.rnti] = nil
+	c.alloc.Release(ctx.rnti)
+	ctx.rnti = fresh
+	ctx.rntiAge = now
+	c.byRNTI[fresh] = ctx
+	ctx.ue.RNTI = fresh
+	c.m.rntiRefreshes.Inc()
+	return true
+}
+
+// fireRefresh processes the refresh occasions the wheel surfaced for this
+// tick. Entries are re-validated against live state — the walk's own
+// conditions — then acted on in scheduling-order position, so the emitted
+// reconfigurations and RNG draws sequence exactly as the dense scan's.
+// Each refresh (or exhaustion retry) arms the context's next occasion.
+func (c *Cell) fireRefresh(now time.Duration) {
+	due := c.wheel.dueRefresh
+	if len(due) == 0 {
+		return
+	}
+	slices.SortFunc(due, func(a, b timerEntry) int { return a.ctx.ordIdx - b.ctx.ordIdx })
+	for _, e := range due {
+		ctx := e.ctx
+		if e.gen != ctx.gen || ctx.state != ctxConnected {
+			continue
+		}
+		if now-ctx.rntiAge < c.Profile.RNTIRefreshEvery {
+			continue // refreshed since arming; the newer entry covers it
+		}
+		if c.refreshOne(ctx, now) {
+			c.armRefresh(ctx)
+		} else {
+			c.wheel.arm(ctx, timerRefresh, e.at+32) // retry next occasion
+		}
+	}
+	c.wheel.dueRefresh = due[:0]
+}
+
+// fireIdle processes the inactivity deadlines the wheel surfaced for this
+// tick. A deadline is a hint, not a command: the release conditions are
+// re-validated in full, so a context is released at exactly the tick the
+// dense walk would pick. A fired entry ends its tenancy's one-entry
+// chain; if the context is merely not idle long enough (activity since
+// arming moved the deadline), the chain re-arms at the new deadline, and
+// if it is busy, the ring sweep re-arms when the queues next drain.
+func (c *Cell) fireIdle(now time.Duration) {
+	due := c.wheel.dueIdle
+	if len(due) == 0 {
+		return
+	}
+	slices.SortFunc(due, func(a, b timerEntry) int { return a.ctx.ordIdx - b.ctx.ordIdx })
+	for _, e := range due {
+		ctx := e.ctx
+		if e.gen != ctx.gen {
+			continue // stale tenancy: the recycled context owns its own chain
+		}
+		ctx.idleArmed = false
+		if ctx.state != ctxConnected {
+			continue
+		}
+		if ctx.dlQueue > 0 || ctx.ulQueue > 0 {
+			continue
+		}
+		if now-ctx.lastActivity < c.Profile.InactivityTimeout {
+			c.armIdle(ctx)
+			continue
+		}
+		c.release(ctx, true)
+	}
+	c.wheel.dueIdle = due[:0]
+}
+
+// checkInactivity is the dense reference's release scan: every tick it
+// walks all contexts for connections silent past the operator's
+// inactivity timeout — the mechanism behind the RNTI churn the paper's
+// tracker must survive.
 func (c *Cell) checkInactivity(now time.Duration) {
 	for _, ctx := range c.order {
 		if ctx.state != ctxConnected {
@@ -382,8 +544,9 @@ func (c *Cell) checkInactivity(now time.Duration) {
 	}
 }
 
-// stepChannels advances every attached UE's channel random walk (called
-// every 100 subframes).
+// stepChannels eagerly advances every attached UE's channel random walk
+// (dense reference only, every 100 subframes); the active scheduler
+// instead replays owed epochs at each read site via ue.CatchUpCQI.
 func (c *Cell) stepChannels() {
 	for _, ctx := range c.order {
 		if ctx.state != ctxReleased {
@@ -392,7 +555,8 @@ func (c *Cell) stepChannels() {
 	}
 }
 
-// compactOrder drops released contexts from the scheduling ring.
+// compactOrder drops released contexts from the scheduling order (dense
+// reference; rescans the whole table every tick).
 func (c *Cell) compactOrder() {
 	kept := c.order[:0]
 	for _, ctx := range c.order {
@@ -409,4 +573,46 @@ func (c *Cell) compactOrder() {
 	} else {
 		c.rrPtr %= len(c.order)
 	}
+}
+
+// compactOrderActive drops released contexts from the scheduling order and
+// recycles their allocations. It runs only on ticks that released
+// something, scanning from the lowest released slot, and replicates the
+// dense compaction's slot shifts and rotation-pointer arithmetic exactly —
+// the surviving contexts' ordIdx values are their dense positions.
+func (c *Cell) compactOrderActive() {
+	if len(c.pendingRelease) == 0 {
+		return
+	}
+	first := c.pendingRelease[0].ordIdx
+	for _, ctx := range c.pendingRelease[1:] {
+		if ctx.ordIdx < first {
+			first = ctx.ordIdx
+		}
+	}
+	kept := first
+	for i := first; i < len(c.order); i++ {
+		ctx := c.order[i]
+		if ctx.state == ctxReleased {
+			continue
+		}
+		c.order[kept] = ctx
+		ctx.ordIdx = kept
+		kept++
+	}
+	for i := kept; i < len(c.order); i++ {
+		c.order[i] = nil
+	}
+	c.order = c.order[:kept]
+	if len(c.order) == 0 {
+		c.rrPtr = 0
+	} else {
+		c.rrPtr %= len(c.order)
+	}
+	for _, ctx := range c.pendingRelease {
+		g := ctx.gen
+		*ctx = ueCtx{gen: g + 1}
+		c.free = append(c.free, ctx)
+	}
+	c.pendingRelease = c.pendingRelease[:0]
 }

@@ -1,0 +1,135 @@
+package enb
+
+// timerKind says what a wheel entry is a deadline for.
+type timerKind uint8
+
+const (
+	timerIdle    timerKind = iota // inactivity-release check
+	timerRefresh                  // C-RNTI refresh occasion
+)
+
+const (
+	wheelL1Bits  = 8
+	wheelL1Slots = 1 << wheelL1Bits // 256 slots of 1 TTI
+	wheelL2Slots = 256              // 256 slots of 256 TTIs
+	wheelL1Span  = int64(wheelL1Slots)
+	wheelL2Span  = int64(wheelL1Slots) * int64(wheelL2Slots) // 65 536 TTIs ≈ 65 s
+)
+
+// timerEntry is one armed deadline. Entries are hints, not commands: the
+// consumer re-validates against current context state when one fires, so
+// arming never needs to find and cancel a stale entry — the stale entry
+// just fails validation. The generation number guards against the harder
+// staleness: a context that was released and recycled for a different UE
+// before the deadline came up.
+type timerEntry struct {
+	ctx  *ueCtx
+	gen  uint32
+	kind timerKind
+	at   int64 // absolute fire tick (subframe index)
+}
+
+// timerWheel is a two-level hierarchical timer wheel in TTI units. Level 1
+// resolves the next 256 ticks exactly; level 2 buckets the next ~65 s in
+// 256-tick slots that cascade down as the wheel reaches them; anything
+// beyond that sits in an overflow list visited once per level-2 lap.
+// Advancing one tick is O(1) plus the entries actually due, which is what
+// lets a cell with thousands of parked-but-connected UEs pay nothing per
+// TTI for their pending inactivity and refresh deadlines.
+type timerWheel struct {
+	cur  int64 // last advanced tick; -1 before the first Tick
+	l1   [wheelL1Slots][]timerEntry
+	l2   [wheelL2Slots][]timerEntry
+	over []timerEntry
+
+	// dueIdle/dueRefresh collect this tick's expiries for the cell to
+	// validate and act on; the cell truncates them after processing.
+	dueIdle    []timerEntry
+	dueRefresh []timerEntry
+}
+
+// arm schedules a deadline for ctx at the given absolute tick, capturing
+// the context's current generation. Deadlines at or before the wheel's
+// position are clamped to the next tick (the earliest the cell will look).
+func (w *timerWheel) arm(ctx *ueCtx, kind timerKind, at int64) {
+	if at <= w.cur {
+		at = w.cur + 1
+	}
+	w.place(timerEntry{ctx: ctx, gen: ctx.gen, kind: kind, at: at})
+}
+
+func (w *timerWheel) place(e timerEntry) {
+	switch d := e.at - w.cur; {
+	case d <= wheelL1Span:
+		s := e.at & (wheelL1Slots - 1)
+		w.l1[s] = append(w.l1[s], e)
+	case d <= wheelL2Span:
+		s := (e.at >> wheelL1Bits) & (wheelL2Slots - 1)
+		w.l2[s] = append(w.l2[s], e)
+	default:
+		w.over = append(w.over, e)
+	}
+}
+
+// advance steps the wheel to tick `to`, appending every entry due at each
+// crossed tick to the per-kind due list. Normal operation advances by
+// exactly one tick per call.
+func (w *timerWheel) advance(to int64) {
+	for w.cur < to {
+		w.cur++
+		t := w.cur
+		if t&(wheelL2Span-1) == 0 && len(w.over) > 0 {
+			// Once per level-2 lap: pull the overflow entries that now fit
+			// the wheel proper. Strictly-less keeps an entry exactly one
+			// full lap away in overflow, so it can never land in the level-2
+			// slot currently cascading.
+			keep := w.over[:0]
+			for _, e := range w.over {
+				if e.at-t < wheelL2Span {
+					w.place(e)
+				} else {
+					keep = append(keep, e)
+				}
+			}
+			for i := len(keep); i < len(w.over); i++ {
+				w.over[i] = timerEntry{}
+			}
+			w.over = keep
+		}
+		if t&(wheelL1Span-1) == 0 {
+			// Cascade the level-2 slot covering the next 256 ticks down into
+			// level 1. Every entry here has at ∈ [t, t+256), so place()
+			// never appends back into the slot being drained.
+			s := (t >> wheelL1Bits) & (wheelL2Slots - 1)
+			if entries := w.l2[s]; len(entries) > 0 {
+				w.l2[s] = entries[:0]
+				for _, e := range entries {
+					w.place(e)
+				}
+				for i := len(w.l2[s]); i < len(entries); i++ {
+					entries[i] = timerEntry{}
+				}
+			}
+		}
+		s := t & (wheelL1Slots - 1)
+		if entries := w.l1[s]; len(entries) > 0 {
+			// An entry armed for exactly one lap ahead (at == t+256) shares
+			// this slot; re-placing appends it back at an index never past
+			// the one being read, so iterating the snapshot stays safe.
+			w.l1[s] = entries[:0]
+			for _, e := range entries {
+				switch {
+				case e.at != t:
+					w.place(e)
+				case e.kind == timerIdle:
+					w.dueIdle = append(w.dueIdle, e)
+				default:
+					w.dueRefresh = append(w.dueRefresh, e)
+				}
+			}
+			for i := len(w.l1[s]); i < len(entries); i++ {
+				entries[i] = timerEntry{}
+			}
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package enb
+
+import (
+	"testing"
+
+	"ltefp/internal/sim"
+)
+
+// TestWheelFiresExactlyOnSchedule arms entries across every span class —
+// level 1, level 2, overflow, and already-past deadlines — and advances
+// tick by tick checking each fires exactly once at exactly
+// max(at, cur+1): never early, never late, including wraparound far past
+// the 65 536-tick level-2 span.
+func TestWheelFiresExactlyOnSchedule(t *testing.T) {
+	g := sim.NewRNG(0x77ee1)
+	var w timerWheel
+	w.cur = -1
+	w.advance(0) // the first Tick lands on subframe 0
+
+	const horizon = 200_000
+	type key struct {
+		ctx  *ueCtx
+		kind timerKind
+	}
+	expected := make(map[int64][]key) // fire tick -> armed entries
+	armed := 0
+	arm := func(at int64, kind timerKind) {
+		ctx := &ueCtx{gen: uint32(armed)}
+		w.arm(ctx, kind, at)
+		fire := at
+		if fire <= w.cur {
+			fire = w.cur + 1 // arm clamps past deadlines to the next tick
+		}
+		expected[fire] = append(expected[fire], key{ctx, kind})
+		armed++
+	}
+
+	// Boundary deltas around the slot, lap, and span edges.
+	for _, d := range []int64{-5, 0, 1, 2, 255, 256, 257, 511, 512,
+		65_535, 65_536, 65_537, 131_072, 180_000} {
+		arm(w.cur+d, timerIdle)
+		arm(w.cur+d, timerRefresh)
+	}
+
+	for tick := int64(1); tick <= horizon; tick++ {
+		if g.Bool(0.01) {
+			arm(tick+int64(g.IntN(190_000)), timerKind(g.IntN(2)))
+		}
+		w.advance(tick)
+		got := make(map[key]int)
+		for _, e := range w.dueIdle {
+			if e.kind != timerIdle {
+				t.Fatalf("tick %d: refresh entry in dueIdle", tick)
+			}
+			got[key{e.ctx, e.kind}]++
+		}
+		for _, e := range w.dueRefresh {
+			if e.kind != timerRefresh {
+				t.Fatalf("tick %d: idle entry in dueRefresh", tick)
+			}
+			got[key{e.ctx, e.kind}]++
+		}
+		want := make(map[key]int)
+		for _, k := range expected[tick] {
+			want[k]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("tick %d: %d distinct entries fired, want %d", tick, len(got), len(want))
+		}
+		for k, n := range want {
+			if got[k] != n {
+				t.Fatalf("tick %d: entry fired %d times, want %d", tick, got[k], n)
+			}
+		}
+		w.dueIdle = w.dueIdle[:0]
+		w.dueRefresh = w.dueRefresh[:0]
+		delete(expected, tick)
+	}
+	for at := range expected {
+		if at <= horizon {
+			t.Fatalf("entry due at tick %d never fired", at)
+		}
+	}
+}
+
+// TestWheelBatchAdvanceMatchesSingleStep drives two wheels with the same
+// arms, one advanced a tick at a time and one in coarse jumps, and checks
+// the accumulated due lists agree — the wheel must not skip slots when a
+// cell catches up over a gap.
+func TestWheelBatchAdvanceMatchesSingleStep(t *testing.T) {
+	g := sim.NewRNG(0xba7c4)
+	var step, batch timerWheel
+	step.cur, batch.cur = -1, -1
+	ctxs := make([]*ueCtx, 300)
+	for i := range ctxs {
+		ctxs[i] = &ueCtx{gen: uint32(i)}
+		at := int64(g.IntN(150_000))
+		kind := timerKind(g.IntN(2))
+		step.arm(ctxs[i], kind, at)
+		batch.arm(ctxs[i], kind, at)
+	}
+	const horizon = 160_000
+	for tick := int64(0); tick <= horizon; tick++ {
+		step.advance(tick)
+	}
+	for tick := int64(0); tick <= horizon; {
+		tick += int64(1 + g.IntN(700))
+		if tick > horizon {
+			tick = horizon
+		}
+		batch.advance(tick)
+		if tick == horizon {
+			break
+		}
+	}
+	type key struct {
+		ctx  *ueCtx
+		kind timerKind
+	}
+	collect := func(w *timerWheel) map[key]int {
+		m := make(map[key]int)
+		for _, e := range w.dueIdle {
+			m[key{e.ctx, e.kind}]++
+		}
+		for _, e := range w.dueRefresh {
+			m[key{e.ctx, e.kind}]++
+		}
+		return m
+	}
+	s, b := collect(&step), collect(&batch)
+	if len(s) != len(b) {
+		t.Fatalf("single-step fired %d entries, batch %d", len(s), len(b))
+	}
+	for k, n := range s {
+		if b[k] != n {
+			t.Fatalf("entry fired %d times single-step, %d batched", n, b[k])
+		}
+	}
+}
+
+// TestWheelStaleGeneration checks the recycling guard: arming captures the
+// context's generation, so a context released and recycled before its
+// deadline fires with the stale generation for the consumer to reject.
+func TestWheelStaleGeneration(t *testing.T) {
+	var w timerWheel
+	w.cur = -1
+	w.advance(0)
+	ctx := &ueCtx{gen: 1}
+	w.arm(ctx, timerIdle, 100)
+	*ctx = ueCtx{gen: 2} // released, recycled for another UE
+	w.advance(100)
+	if len(w.dueIdle) != 1 {
+		t.Fatalf("fired %d entries, want 1", len(w.dueIdle))
+	}
+	if e := w.dueIdle[0]; e.gen == ctx.gen {
+		t.Fatal("stale entry carries the recycled generation; the consumer cannot reject it")
+	}
+}

@@ -122,6 +122,93 @@ func TestFabricWorkerCountInvariance(t *testing.T) {
 	}
 }
 
+// fabricPopulationDigest builds a fabric whose cells each carry a sparse
+// background population on top of the victim's itinerary, runs it on the
+// given worker count, and hashes everything observable. The run is long
+// enough to cover the population's staggered attach churn, the resulting
+// inactivity releases, and the first paging wakeups.
+func fabricPopulationDigest(t *testing.T, nCells, popPerCell, workers int) string {
+	t.Helper()
+	n := network.New(1234)
+	n.SetWorkers(workers)
+	p := fabricProfile()
+	srng := sim.NewRNG(0x90b)
+	snifs := make([]*sniffer.Sniffer, 0, nCells)
+	for id := 1; id <= nCells; id++ {
+		c, err := n.AddCell(id, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sniffer.New(sniffer.Config{}, srng.Fork())
+		c.AddObserver(s)
+		snifs = append(snifs, s)
+	}
+	for id := 1; id <= nCells; id++ {
+		for i := 0; i < popPerCell; i++ {
+			u := n.NewUE(fmt.Sprintf("pop-%d-%d", id, i))
+			n.Camp(u, id)
+			n.StartSparseBackground(u)
+		}
+	}
+	apps := appmodel.Apps()
+	v := n.NewUE("victim")
+	n.Camp(v, 1)
+	n.ScheduleSession(v, 1, apps[0], 500*time.Millisecond, 3*time.Second, 1)
+	n.ScheduleMove(v, 2, 1500*time.Millisecond, true)
+	n.Run(40 * time.Second)
+
+	h := sha256.New()
+	for i, s := range snifs {
+		fmt.Fprintf(h, "cell %d\n", i+1)
+		for _, r := range s.Records() {
+			fmt.Fprintf(h, "%v\n", r)
+		}
+		for _, e := range s.IdentityEvents() {
+			fmt.Fprintf(h, "%v\n", e)
+		}
+		for _, pg := range s.PagingEvents() {
+			fmt.Fprintf(h, "%v\n", pg)
+		}
+	}
+	fmt.Fprintf(h, "victim cell=%d state=%v tmsi=%v\n", v.CellID, v.State, n.TMSIHistory(v))
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestFabricPopulationWorkerInvariance extends the invariance guarantee to
+// population-scale cells: a fabric crowded with sparse background UEs must
+// stay byte-identical at every worker count, pinned against a golden so
+// the population semantics cannot drift unnoticed. Regenerate
+// testdata/fabric_pop.golden with -update only for an intentional change.
+func TestFabricPopulationWorkerInvariance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("population fabric run takes a few seconds; skipped with -short")
+	}
+	if old := runtime.GOMAXPROCS(0); old < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(old)
+	}
+	const cells, pop = 8, 120
+	serial := fabricPopulationDigest(t, cells, pop, 1)
+	for _, w := range []int{4, runtime.GOMAXPROCS(0)} {
+		if got := fabricPopulationDigest(t, cells, pop, w); got != serial {
+			t.Fatalf("workers=%d digest %s diverged from serial %s", w, got, serial)
+		}
+	}
+	golden := filepath.Join("testdata", "fabric_pop.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(serial+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.TrimSpace(string(want)); got != serial {
+		t.Fatalf("population fabric digest %s diverged from golden %s", serial, got)
+	}
+}
+
 // TestFabricCrossShardForwarding proves arrivals scheduled on one shard
 // reach a UE that has since been handed to another cell: the originating
 // shard forwards them through the mailbox instead of dropping them.

@@ -207,7 +207,12 @@ func (n *Network) ScheduleSession(u *ue.UE, cellID int, app appmodel.App, start,
 			n.Camp(u, cellID)
 		}
 		// Adaptive apps see the session's channel: quality is derived
-		// from the UE's channel state at session start.
+		// from the UE's channel state at session start. The serving cell
+		// settles any lazily-deferred channel-walk epochs first, so this
+		// out-of-band read matches the eager reference bit for bit.
+		if c, ok := n.cells[u.CellID]; ok {
+			c.SyncChannel(u)
+		}
 		env := appmodel.Env{Quality: (u.CQI - 1) / 14}
 		n.pushArrivals(u, app.SessionEnv(g, dur, day, env), start)
 	})
@@ -270,10 +275,15 @@ func deliver(c *enb.Cell, u *ue.UE, a appmodel.Arrival, now time.Duration) {
 	}
 }
 
+// backgroundPool is the shared, read-only app pool background UEs draw
+// from; built once, since a population-scale fabric would otherwise
+// allocate one pool per attached UE.
+var backgroundPool = appmodel.BackgroundPool()
+
 // startBackground keeps a UE running an endless rotation of background
 // apps, generating traffic in bounded chunks so memory stays flat.
 func (n *Network) startBackground(u *ue.UE) {
-	pool := appmodel.BackgroundPool()
+	pool := backgroundPool
 	g := n.rng.Fork()
 	var step func()
 	step = func() {
@@ -286,6 +296,38 @@ func (n *Network) startBackground(u *ue.UE) {
 		n.queue.Push(base+dur+time.Duration(g.Uniform(2, 20)*float64(time.Second)), step)
 	}
 	n.queue.Push(time.Duration(g.Uniform(0, 10)*float64(time.Second)), step)
+}
+
+// StartSparseBackground keeps a UE in the mostly-idle duty cycle of a
+// population-scale cell. The UE attaches early in the run — a staggered
+// keep-alive-sized uplink datagram takes it through contention-based
+// RACH — and thereafter wakes rarely: long think gaps (three to ten
+// simulated minutes) separate short light app sessions, with one wakeup
+// in five being a standalone mobile-terminated push that reaches the UE
+// through paging. At steady state roughly 1% of such UEs are moving data
+// at any instant, which is what makes them background: they crowd the
+// cell's context table and RNTI space without crowding the air interface.
+func (n *Network) StartSparseBackground(u *ue.UE) {
+	pool := backgroundPool
+	g := n.rng.Fork()
+	var step func()
+	step = func() {
+		base := n.clock.Now()
+		if g.Bool(0.2) {
+			// Mobile-terminated push: pages the UE if it has gone idle.
+			n.pushArrivals(u, []appmodel.Arrival{{Bytes: 120 + g.IntN(1280), Dir: dci.Downlink}}, base)
+		} else {
+			app := pool[g.IntN(len(pool))]
+			dur := time.Duration(g.Uniform(2, 6) * float64(time.Second))
+			n.pushArrivals(u, app.Session(g, dur, 1), base)
+		}
+		n.queue.Push(base+time.Duration(g.Uniform(180, 600)*float64(time.Second)), step)
+	}
+	attach := time.Duration(g.Uniform(0.05, 10) * float64(time.Second))
+	n.queue.Push(attach, func() {
+		n.pushArrivals(u, []appmodel.Arrival{{Bytes: 80 + g.IntN(120), Dir: dci.Uplink}}, n.clock.Now())
+		n.queue.Push(n.clock.Now()+time.Duration(g.Uniform(30, 600)*float64(time.Second)), step)
+	})
 }
 
 // scheduleGUTIRealloc periodically refreshes a UE's TMSI while it is idle,

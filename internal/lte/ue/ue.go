@@ -74,17 +74,26 @@ type UE struct {
 	cqiMean float64
 	cqiWalk float64
 
+	// cqiNextEpoch is the next multiple-of-100 subframe at which the
+	// attached UE's channel walk takes a step, or -1 while the walk is
+	// frozen (UE holds no cell context). The eNodeB advances the walk
+	// lazily: instead of stepping every attached UE at every epoch, it
+	// calls CatchUpCQI when the value is about to be read, which replays
+	// exactly the steps an eager walk would have taken.
+	cqiNextEpoch int64
+
 	rng *sim.RNG
 }
 
 // New returns an idle, unattached UE.
 func New(name string, imsi epc.IMSI, rng *sim.RNG) *UE {
 	return &UE{
-		Name:   name,
-		IMSI:   imsi,
-		State:  Idle,
-		CellID: NoCell,
-		rng:    rng,
+		Name:         name,
+		IMSI:         imsi,
+		State:        Idle,
+		CellID:       NoCell,
+		cqiNextEpoch: -1,
+		rng:          rng,
 	}
 }
 
@@ -108,6 +117,27 @@ func (u *UE) StepCQI(dt time.Duration) {
 	}
 	if u.CQI > 15 {
 		u.CQI = 15
+	}
+}
+
+// StartCQIAccrual begins lazy channel-walk accounting: firstEpoch is the
+// first multiple-of-100 subframe at which an eager per-epoch walk would
+// step this UE. The eNodeB calls this when it creates a UE context.
+func (u *UE) StartCQIAccrual(firstEpoch int64) { u.cqiNextEpoch = firstEpoch }
+
+// StopCQIAccrual freezes the channel walk (the UE context was released).
+// The caller must CatchUpCQI first, or pending epochs are lost.
+func (u *UE) StopCQIAccrual() { u.cqiNextEpoch = -1 }
+
+// CatchUpCQI replays every pending channel-walk epoch at subframe index
+// <= limit, drawing from the UE's own RNG stream exactly as the eager
+// per-epoch walk would, so the resulting CQI — and every later draw from
+// this UE's stream — is bit-identical to the eager schedule. It is a
+// no-op while accrual is stopped or the UE is already caught up.
+func (u *UE) CatchUpCQI(limit int64) {
+	for u.cqiNextEpoch >= 0 && u.cqiNextEpoch <= limit {
+		u.StepCQI(100 * sim.TTI)
+		u.cqiNextEpoch += 100
 	}
 }
 

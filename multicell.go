@@ -42,6 +42,10 @@ type MultiCellOptions struct {
 	// Workers spreads cell simulation across goroutines (<= 1 serial);
 	// output is byte-identical at every setting.
 	Workers int
+	// Population adds this many mostly-idle background UEs per cell (~1%
+	// concurrently active), so the tracker must chain the victim through
+	// cells crowded with attached subscribers.
+	Population int
 	// Tracking tunes the cross-cell tracker; the zero value uses the
 	// defaults of identity.TrackConfig.
 	Tracking TrackingOptions
@@ -147,6 +151,7 @@ func MultiCellCapture(opts MultiCellOptions) (*MultiCellResult, error) {
 			Duration: opts.Duration,
 		}},
 		Moves:            moves,
+		Population:       opts.Population,
 		Sniffer:          sniffer.Config{CorruptProb: baselineCorruption},
 		ApplyProfileLoss: true,
 		Workers:          opts.Workers,
