@@ -39,3 +39,4 @@ bench:
 fuzz-smoke:
 	$(GO) test ./internal/lte/dci -run '^$$' -fuzz 'FuzzDCIRoundTrip' -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sniffer -run '^$$' -fuzz 'FuzzBlindDecode' -fuzztime $(FUZZTIME)
+	$(GO) test . -run '^$$' -fuzz 'FuzzDefenseConfig' -fuzztime $(FUZZTIME)

@@ -242,6 +242,49 @@ func BenchmarkBlindDecode(b *testing.B) {
 	}
 }
 
+// BenchmarkDefendedCapture60s measures the same 60-second commercial
+// capture as BenchmarkCapture60s with a moderate defense composition
+// enabled — the per-TTI cost of the shaping machinery when it is actually
+// on (its off-state cost is zero by the byte-identity contract).
+func BenchmarkDefendedCapture60s(b *testing.B) {
+	def := ltefp.Defense{
+		RNTIRefresh:        2 * time.Second,
+		TrafficMorphing:    true,
+		GrantQuantum:       256,
+		DummyBurstProb:     0.05,
+		DummyBurstMaxBytes: 1200,
+		SmartPaging:        true,
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := ltefp.Capture(ltefp.CaptureOptions{
+			Network:  "T-Mobile",
+			App:      "YouTube",
+			Duration: time.Minute,
+			Seed:     uint64(i + 1),
+			Defenses: def,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Defense.OverheadBytes() == 0 {
+			b.Fatal("defended capture measured zero overhead")
+		}
+	}
+}
+
+// BenchmarkParetoSweep runs the quick-scale defense arms race (eight
+// compositions, adaptive attacker retrained per composition) and reports
+// how much adaptive F1 the all-shaping composition costs the attacker.
+func BenchmarkParetoSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.Pareto(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].AdaptiveF1-res.Rows[len(res.Rows)-1].AdaptiveF1, "f1-cost-to-attacker")
+	}
+}
+
 // BenchmarkCapture60s measures simulating and capturing one 60-second
 // victim session on a loaded commercial cell.
 func BenchmarkCapture60s(b *testing.B) {

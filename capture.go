@@ -49,32 +49,6 @@ type CaptureOptions struct {
 	Metrics *obs.Registry
 }
 
-// DefenseOptions enables the countermeasures of §VIII-B/§VIII-C on a
-// simulated network, to measure how much of the attack survives them.
-type DefenseOptions struct {
-	// RNTIRefresh, when positive, reassigns every connected UE's C-RNTI
-	// at this period via encrypted signalling.
-	RNTIRefresh time.Duration
-	// TrafficMorphing pads every grant to power-of-two size buckets.
-	TrafficMorphing bool
-	// ConcealIdentities replaces TMSIs with 5G-style one-time pseudonyms
-	// in connection establishment and paging.
-	ConcealIdentities bool
-}
-
-// apply copies the options onto a profile.
-func (d DefenseOptions) apply(p *operator.Profile) {
-	if d.RNTIRefresh > 0 {
-		p.RNTIRefreshEvery = d.RNTIRefresh
-	}
-	if d.TrafficMorphing {
-		p.PadBuckets = true
-	}
-	if d.ConcealIdentities {
-		p.OneTimeIdentifiers = true
-	}
-}
-
 // CaptureResult is what the attacker's sniffer recorded.
 type CaptureResult struct {
 	// Victim holds the records attributed to the victim via identity
@@ -88,6 +62,9 @@ type CaptureResult struct {
 	// Health summarises the sniffer's decode health for this capture — the
 	// numbers a fingerprinting result must be interpreted next to.
 	Health CaptureHealth
+	// Defense is the measured overhead of the enabled defenses (zero when
+	// no defense is on).
+	Defense DefenseCost
 }
 
 // CaptureHealth is the sniffer-side decode-health summary of one capture.
@@ -167,6 +144,9 @@ func Capture(opts CaptureOptions) (*CaptureResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Defenses.Validate(); err != nil {
+		return nil, err
+	}
 	opts.Defenses.apply(&prof)
 	if opts.Duration <= 0 {
 		opts.Duration = time.Minute
@@ -176,9 +156,10 @@ func Capture(opts CaptureOptions) (*CaptureResult, error) {
 		return nil, fmt.Errorf("ltefp: %w", err)
 	}
 	out := &CaptureResult{
-		Victim: fromTrace(res.UserTrace("victim")),
-		All:    fromTrace(res.Records),
-		Health: healthFrom(res.Health),
+		Victim:  fromTrace(res.UserTrace("victim")),
+		All:     fromTrace(res.Records),
+		Health:  healthFrom(res.Health),
+		Defense: costFrom(res.Defense),
 	}
 	for _, e := range res.Events {
 		if e.HasTMSI {

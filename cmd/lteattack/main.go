@@ -23,6 +23,14 @@
 // reconstructed trace —
 //
 //	lteattack track -cells 4 -app "WhatsApp Call" -model model.gob -seed 9
+//
+// Presence probing (paging-channel extension): silently push traffic at a
+// target and correlate the broadcast paging channel to test whether the
+// subscriber is present in the monitored area; -defenses evaluates smart
+// paging and identity concealment against it —
+//
+//	lteattack presence -population 20 -probes 6 -seed 7
+//	lteattack presence -defenses smartpaging,conceal -seed 7
 package main
 
 import (
@@ -36,7 +44,7 @@ import (
 
 func main() {
 	if len(os.Args) < 2 {
-		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate|sweep|track [flags]")
+		fmt.Fprintln(os.Stderr, "lteattack: usage: lteattack fingerprint|history|correlate|sweep|track|presence [flags]")
 		os.Exit(2)
 	}
 	var err error
@@ -51,6 +59,8 @@ func main() {
 		err = sweepCmd(os.Args[2:])
 	case "track":
 		err = trackCmd(os.Args[2:])
+	case "presence":
+		err = presenceCmd(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}

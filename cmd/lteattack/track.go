@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ltefp"
+	"ltefp/internal/cliflag"
 )
 
 // trackCmd runs the cross-cell tracking attack: a victim moves through a
@@ -23,6 +24,14 @@ func trackCmd(args []string) error {
 	seed := fs.Uint64("seed", 99, "scenario seed")
 	model := fs.String("model", "", "trained model path; when set, fingerprint the tracked trace")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cliflag.Check(
+		cliflag.PositiveDuration("duration", *duration),
+		cliflag.Positive("cells", *cells),
+		cliflag.NonNegative("workers", *workers),
+		cliflag.NonNegative("population", *population),
+	); err != nil {
 		return err
 	}
 	res, err := ltefp.MultiCellCapture(ltefp.MultiCellOptions{

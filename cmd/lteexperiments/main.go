@@ -10,8 +10,8 @@
 //
 // where -only is a comma-separated subset of
 // table3,table4,table5,table6,table7,table8,fig8,fig9,cost plus the
-// ablation/extension studies defenses,windowsweep,twsweep,retraining,
-// concealment. -metrics appends a per-run pipeline health report after
+// ablation/extension studies defenses,pareto,windowsweep,twsweep,
+// retraining,concealment. -metrics appends a per-run pipeline health report after
 // each experiment (never part of the table rendering itself), and
 // -debug-addr serves /debug/vars, /debug/pprof/ and /metrics while the
 // experiments run.
@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"ltefp/internal/cliflag"
 	"ltefp/internal/experiments"
 	"ltefp/internal/obs"
 )
@@ -44,6 +45,9 @@ func run(args []string) error {
 	metrics := fs.Bool("metrics", false, "print a pipeline metrics report after each experiment")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cliflag.NonNegative("population", *population); err != nil {
 		return err
 	}
 	var scale experiments.Scale
@@ -109,6 +113,7 @@ func run(args []string) error {
 		{"fig9", func() (fmt.Stringer, error) { return experiments.Figure9(scale, *seed) }},
 		{"cost", func() (fmt.Stringer, error) { return experiments.CostModel(), nil }},
 		{"defenses", func() (fmt.Stringer, error) { return experiments.Defenses(scale, *seed) }},
+		{"pareto", func() (fmt.Stringer, error) { return experiments.Pareto(scale, *seed) }},
 		{"windowsweep", func() (fmt.Stringer, error) { return experiments.WindowSweep(scale, *seed) }},
 		{"twsweep", func() (fmt.Stringer, error) { return experiments.TwSweep(scale, *seed) }},
 		{"retraining", func() (fmt.Stringer, error) { return experiments.Retraining(scale, *seed) }},

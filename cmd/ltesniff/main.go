@@ -27,6 +27,7 @@ import (
 	"time"
 
 	"ltefp"
+	"ltefp/internal/cliflag"
 	"ltefp/internal/obs"
 )
 
@@ -55,6 +56,14 @@ func run(args []string) error {
 	metrics := fs.Bool("metrics", false, "dump the metrics registry to stderr after the capture")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := cliflag.Check(
+		cliflag.PositiveDuration("duration", *duration),
+		cliflag.Positive("day", *day),
+		cliflag.NonNegative("background", *background),
+		cliflag.NonNegative("population", *population),
+	); err != nil {
 		return err
 	}
 	if *list {

@@ -1,0 +1,54 @@
+package ltefp
+
+import (
+	"testing"
+	"time"
+
+	"ltefp/internal/lte/operator"
+)
+
+// FuzzDefenseConfig hammers the defense configuration surface: ParseDefense
+// must never panic, every spec it accepts must pass Validate, a valid
+// Defense applied to a profile must leave the profile valid, and composing
+// a defense with the zero value must be the identity.
+func FuzzDefenseConfig(f *testing.F) {
+	f.Add("")
+	f.Add("full")
+	f.Add("refresh=2s,morph,conceal,quant=256,dummy=0.05:1200,cr=20ms:400,smartpaging")
+	f.Add("quant=-1")
+	f.Add("dummy=2:0")
+	f.Add("cr=1ns:5")
+	f.Add("refresh=,morph")
+	f.Add("dummy=0.5")
+	f.Add(",,,")
+	f.Add("quant=9999999999999999999")
+	f.Fuzz(func(t *testing.T, spec string) {
+		d, err := ParseDefense(spec)
+		if err != nil {
+			if d != (Defense{}) {
+				t.Fatalf("ParseDefense(%q) errored but returned non-zero %+v", spec, d)
+			}
+			return
+		}
+		if verr := d.Validate(); verr != nil {
+			t.Fatalf("ParseDefense(%q) accepted a Defense that fails Validate: %v", spec, verr)
+		}
+		if got := ComposeDefenses(d, Defense{}); got != d {
+			t.Fatalf("ComposeDefenses(%+v, zero) = %+v, want identity", d, got)
+		}
+		if got := ComposeDefenses(Defense{}, d); got != d {
+			t.Fatalf("ComposeDefenses(zero, %+v) = %+v, want identity", d, got)
+		}
+		prof, err := operator.ByName("Lab")
+		if err != nil {
+			t.Fatal(err)
+		}
+		d.apply(&prof)
+		if perr := prof.Validate(); perr != nil {
+			t.Fatalf("valid Defense %+v produced an invalid profile: %v", d, perr)
+		}
+		if d.ConstantRatePeriod >= time.Millisecond && prof.ConstantRatePeriodTTI < 1 {
+			t.Fatalf("ConstantRatePeriod %v applied as %d TTIs", d.ConstantRatePeriod, prof.ConstantRatePeriodTTI)
+		}
+	})
+}

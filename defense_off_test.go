@@ -1,0 +1,111 @@
+package ltefp
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"ltefp/internal/lte/operator"
+)
+
+// TestDefensesOffByteIdentical pins the determinism contract of the defense
+// machinery: the zero Defense is a true no-op. Applying it must leave every
+// operator profile byte-identical, and a capture with an explicitly composed
+// empty defense must equal the default capture byte for byte — across the
+// single-cell path, the multi-cell fabric, and the streaming pipeline — with
+// a zero measured DefenseCost.
+func TestDefensesOffByteIdentical(t *testing.T) {
+	// Profile level: the zero Defense must not touch a single field, on
+	// every built-in network (a mutated field would also shift the capture
+	// memoization key and silently fork cached and uncached runs).
+	for _, name := range Networks() {
+		prof, err := operator.ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		applied := prof
+		Defense{}.apply(&applied)
+		if !reflect.DeepEqual(prof, applied) {
+			t.Fatalf("zero Defense mutated profile %q:\n got %+v\nwant %+v", name, applied, prof)
+		}
+		composed := ComposeDefenses(Defense{}, Defense{})
+		if composed.Enabled() {
+			t.Fatalf("composing zero defenses yielded an enabled defense: %+v", composed)
+		}
+	}
+
+	app := Apps()[0].Name
+
+	t.Run("capture", func(t *testing.T) {
+		base := CaptureOptions{App: app, Duration: 2 * time.Second, Seed: 42, Population: 10}
+		plain, err := Capture(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defended := base
+		defended.Defenses = ComposeDefenses()
+		off, err := Capture(defended)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, off) {
+			t.Fatal("zero Defense changed single-cell capture output")
+		}
+		if off.Defense != (DefenseCost{}) {
+			t.Fatalf("zero Defense reported a non-zero cost: %+v", off.Defense)
+		}
+	})
+
+	t.Run("fabric", func(t *testing.T) {
+		base := MultiCellOptions{App: app, Duration: 3 * time.Second, Seed: 7, Cells: 3, Population: 8, Workers: 3}
+		plain, err := MultiCellCapture(base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defended := base
+		defended.Defenses = ComposeDefenses()
+		off, err := MultiCellCapture(defended)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, off) {
+			t.Fatal("zero Defense changed multi-cell capture output")
+		}
+		if off.Defense != (DefenseCost{}) {
+			t.Fatalf("zero Defense reported a non-zero cost: %+v", off.Defense)
+		}
+	})
+
+	t.Run("stream", func(t *testing.T) {
+		td, err := CollectTraining(TrainingOptions{
+			SessionsPerApp:  1,
+			SessionDuration: 10 * time.Second,
+			Seed:            3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		model, err := TrainFingerprinter(td, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := LiveOptions{
+			Capture: CaptureOptions{App: app, Duration: 2 * time.Second, Seed: 42},
+			Model:   model,
+		}
+		plain, err := LiveCapture(context.Background(), base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defended := base
+		defended.Capture.Defenses = ComposeDefenses()
+		off, err := LiveCapture(context.Background(), defended)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(plain, off) {
+			t.Fatalf("zero Defense changed streaming output:\n got %+v\nwant %+v", off, plain)
+		}
+	})
+}

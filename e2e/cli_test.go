@@ -128,6 +128,57 @@ func TestLteexperimentsCost(t *testing.T) {
 	harness.Golden(t, "lteexperiments_cost", got)
 }
 
+// TestLteattackPresence pins the paging-channel presence probe's ranked
+// output: on the undefended Lab network the victim answers every probe,
+// and the identity-concealment defense flips the verdict to ABSENT.
+func TestLteattackPresence(t *testing.T) {
+	res := harness.Run(t, 2*time.Minute, "lteattack", "presence",
+		"-population", "20", "-probes", "6", "-seed", "7")
+	if res.ExitCode != 0 {
+		t.Fatalf("lteattack presence exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	harness.Golden(t, "lteattack_presence", res.Stdout)
+
+	res = harness.Run(t, 2*time.Minute, "lteattack", "presence",
+		"-population", "20", "-probes", "6", "-seed", "7", "-defenses", "smartpaging,conceal")
+	if res.ExitCode != 0 {
+		t.Fatalf("defended lteattack presence exited %d\nstderr:\n%s", res.ExitCode, res.Stderr)
+	}
+	if !strings.Contains(res.Stdout, "verdict: ABSENT") {
+		t.Errorf("conceal+smartpaging did not hide the victim:\n%s", res.Stdout)
+	}
+	if !strings.Contains(res.Stdout, "defense cost:") {
+		t.Errorf("defended run printed no measured cost line:\n%s", res.Stdout)
+	}
+}
+
+// TestBadFlagsExitNonZero pins the flag-validation sweep: every binary
+// must refuse nonsense values with a clear message and a non-zero exit
+// code instead of forwarding them into the simulation.
+func TestBadFlagsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"ltesniff", []string{"-population", "-5"}, "-population must not be negative"},
+		{"ltesniff", []string{"-duration", "-3s"}, "-duration must be positive"},
+		{"lteattack", []string{"track", "-cells", "0"}, "-cells must be positive"},
+		{"lteattack", []string{"presence", "-probes", "-1"}, "-probes must be positive"},
+		{"lteattack", []string{"presence", "-defenses", "bogus"}, "unknown defense token"},
+		{"lteexperiments", []string{"-population", "-3"}, "-population must not be negative"},
+	}
+	for _, tc := range cases {
+		res := harness.Run(t, time.Minute, tc.name, tc.args...)
+		if res.ExitCode == 0 {
+			t.Errorf("%s %v exited 0, want failure", tc.name, tc.args)
+		}
+		if !strings.Contains(res.Stderr, tc.want) {
+			t.Errorf("%s %v stderr %q does not mention %q", tc.name, tc.args, res.Stderr, tc.want)
+		}
+	}
+}
+
 // TestLtesniffLiveInterruptDrains is the regression test for the -live
 // SIGINT fix: interrupting a live capture must drain the pipeline, print
 // the final verdicts gathered so far, and exit 0 — not die mid-stream

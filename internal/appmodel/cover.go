@@ -1,0 +1,54 @@
+package appmodel
+
+import (
+	"math"
+	"time"
+
+	"ltefp/internal/lte/dci"
+	"ltefp/internal/sim"
+)
+
+// Cover traffic generators: the application-layer side of the defense
+// suite. Dummy bursts must be indistinguishable from real app traffic, so
+// their sizes are drawn from the same heavy-tailed shape the catalog's
+// generators produce rather than uniformly — a uniform dummy distribution
+// would itself be a fingerprint.
+
+// dummyBurstMinBytes is the smallest dummy burst worth injecting: anything
+// below a keep-alive-sized datagram would stand out against real traffic.
+const dummyBurstMinBytes = 60
+
+// DummyBurstBytes samples the size of one injected dummy burst, bounded by
+// maxBytes. Sizes are log-uniform between a keep-alive floor and the cap,
+// mimicking the push-notification-to-media-chunk spread of real background
+// traffic. maxBytes at or below the floor degrades to the floor.
+func DummyBurstBytes(g *sim.RNG, maxBytes int) int {
+	if maxBytes <= dummyBurstMinBytes {
+		return dummyBurstMinBytes
+	}
+	lo, hi := math.Log(float64(dummyBurstMinBytes)), math.Log(float64(maxBytes))
+	n := int(math.Exp(g.Uniform(lo, hi)))
+	if n < dummyBurstMinBytes {
+		n = dummyBurstMinBytes
+	}
+	if n > maxBytes {
+		n = maxBytes
+	}
+	return n
+}
+
+// ProbeStream builds the attacker-side arrival stream of a paging
+// presence probe: count silent downlink pushes of bytes each, spaced gap
+// apart. Each push reaches an idle victim only through paging, so the
+// paging channel's response timing is what the probe correlates against
+// (Sørseth et al.'s presence-testing methodology, delivered here as silent
+// app-layer messages). The gap must exceed the operator's inactivity
+// timeout, or later probes find the victim still connected and page
+// nothing.
+func ProbeStream(count, bytes int, gap time.Duration) []Arrival {
+	out := make([]Arrival, count)
+	for i := range out {
+		out[i] = Arrival{At: time.Duration(i) * gap, Bytes: bytes, Dir: dci.Downlink}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+// Package presence implements the paging-channel presence-testing attack:
+// the attacker triggers silent downlink pushes toward a target at chosen
+// times (a messaging app delivers them without any user-visible
+// notification) and watches the broadcast paging channel. An idle target
+// is paged within one paging cycle of each probe, so the TMSI whose paging
+// record keeps answering the probe schedule — against a background of
+// unrelated pages — reveals whether the subscriber is present in the
+// monitored area (Shaik et al.; Sørseth et al.'s experimental analysis of
+// LTE paging exposure). Coarsened "smart paging" cycles enlarge the
+// per-occasion anonymity set and blur the timing correlation; rotating
+// paging pseudonyms destroy the linkage entirely.
+package presence
+
+import (
+	"sort"
+	"time"
+
+	"ltefp/internal/sniffer"
+)
+
+// Candidate is one TMSI's correlation against the probe schedule.
+type Candidate struct {
+	// TMSI is the paged identity.
+	TMSI uint32
+	// Hits is the number of probes answered by at least one paging of
+	// this TMSI inside the correlation window.
+	Hits int
+	// InWindow counts this TMSI's paging records inside any window,
+	// Outside those elsewhere — a TMSI that pages constantly scores high
+	// by accident and is down-ranked by its outside activity.
+	InWindow int
+	Outside  int
+	// Score is Hits over the number of probes.
+	Score float64
+}
+
+// Score correlates observed paging records against the probe schedule:
+// a paging at time t answers the latest probe p with p <= t < p+window.
+// Candidates are ranked by probe hits, then by fewest out-of-window
+// pages (background chatter), then by TMSI for determinism.
+func Score(pagings []sniffer.PagingEvent, probes []time.Duration, window time.Duration) []Candidate {
+	if len(probes) == 0 || window <= 0 {
+		return nil
+	}
+	sorted := append([]time.Duration(nil), probes...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	type tally struct {
+		hit      map[int]bool
+		inWindow int
+		outside  int
+	}
+	byTMSI := make(map[uint32]*tally)
+	for _, pg := range pagings {
+		t := byTMSI[pg.TMSI]
+		if t == nil {
+			t = &tally{hit: make(map[int]bool)}
+			byTMSI[pg.TMSI] = t
+		}
+		// Latest probe at or before the paging.
+		i := sort.Search(len(sorted), func(i int) bool { return sorted[i] > pg.At }) - 1
+		if i >= 0 && pg.At-sorted[i] < window {
+			t.hit[i] = true
+			t.inWindow++
+		} else {
+			t.outside++
+		}
+	}
+	out := make([]Candidate, 0, len(byTMSI))
+	for tmsi, t := range byTMSI {
+		out = append(out, Candidate{
+			TMSI:     tmsi,
+			Hits:     len(t.hit),
+			InWindow: t.inWindow,
+			Outside:  t.outside,
+			Score:    float64(len(t.hit)) / float64(len(sorted)),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Hits != out[j].Hits {
+			return out[i].Hits > out[j].Hits
+		}
+		if out[i].Outside != out[j].Outside {
+			return out[i].Outside < out[j].Outside
+		}
+		return out[i].TMSI < out[j].TMSI
+	})
+	return out
+}
+
+// AnonymitySet counts the distinct TMSIs paged inside at least one probe
+// window — the crowd the attacker must tell the target apart from. Smart
+// paging grows it by batching more subscribers into each occasion.
+func AnonymitySet(cands []Candidate) int {
+	n := 0
+	for _, c := range cands {
+		if c.InWindow > 0 {
+			n++
+		}
+	}
+	return n
+}

@@ -202,7 +202,7 @@ func (c *captureCache) evictLocked() {
 // registry name), in which case callers must run uncached.
 func scenarioKey(sc Scenario) (string, bool) {
 	h := sha256.New()
-	_, _ = io.WriteString(h, "ltefp-capture-key-v3\n")
+	_, _ = io.WriteString(h, "ltefp-capture-key-v4\n")
 	var buf [8]byte
 	wu64 := func(v uint64) {
 		binary.LittleEndian.PutUint64(buf[:], v)

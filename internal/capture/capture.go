@@ -14,6 +14,7 @@ import (
 
 	"ltefp/internal/appmodel"
 	"ltefp/internal/identity"
+	"ltefp/internal/lte/enb"
 	"ltefp/internal/lte/network"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/lte/ue"
@@ -137,6 +138,8 @@ type Capture struct {
 	Dropped int64
 	// Health aggregates every sniffer's capture-health counters.
 	Health sniffer.Stats
+	// Defense aggregates every cell's defense-overhead counters.
+	Defense enb.DefenseStats
 }
 
 // prepared is a scenario instantiated but not yet (fully) run: the network,
@@ -271,6 +274,7 @@ func Run(sc Scenario) (*Capture, error) {
 		out.Dropped += st.Dropped
 		addHealth(&out.Health, st)
 	}
+	n.EachCell(func(c *enb.Cell) { out.Defense.Add(c.DefenseStats()) })
 	out.Records.Sort()
 	sort.SliceStable(out.Events, func(i, j int) bool { return out.Events[i].At < out.Events[j].At })
 	out.Mapper = identity.Build(out.Events, out.Records, maxIdle+2*time.Second)

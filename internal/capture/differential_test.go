@@ -62,6 +62,20 @@ func randomScenario(t *testing.T, g *sim.RNG) capture.Scenario {
 	}
 	prof.PadBuckets = g.Bool(0.3)
 	prof.OneTimeIdentifiers = g.Bool(0.3)
+	if g.Bool(0.3) {
+		prof.GrantQuantum = 128 << g.IntN(3)
+	}
+	if g.Bool(0.3) {
+		prof.DummyBurstProb = g.Uniform(0.02, 0.3)
+		prof.DummyBurstMaxBytes = 200 + g.IntN(1400)
+	}
+	if g.Bool(0.3) {
+		prof.ConstantRatePeriodTTI = 10 + g.IntN(50)
+		prof.ConstantRateBytes = 100 + g.IntN(600)
+	}
+	if g.Bool(0.3) {
+		prof.PagingCycleTTI = 32 << g.IntN(3)
+	}
 
 	nCells := 1 + g.IntN(3)
 	cells := make([]capture.Cell, nCells)

@@ -1,0 +1,55 @@
+// Package cliflag validates parsed command-line flag values for the
+// repository's binaries. The flag package accepts any well-formed integer
+// or duration, so every command used to forward nonsense like
+// `-population -5` straight into the simulation; these helpers turn such
+// values into a uniform error before any work starts, and the caller's
+// usual error path maps that to a non-zero exit.
+package cliflag
+
+import (
+	"fmt"
+	"time"
+)
+
+// NonNegative rejects a negative integer flag.
+func NonNegative(name string, v int) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must not be negative (got %d)", name, v)
+	}
+	return nil
+}
+
+// Positive rejects a zero or negative integer flag.
+func Positive(name string, v int) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive (got %d)", name, v)
+	}
+	return nil
+}
+
+// NonNegativeDuration rejects a negative duration flag.
+func NonNegativeDuration(name string, v time.Duration) error {
+	if v < 0 {
+		return fmt.Errorf("-%s must not be negative (got %v)", name, v)
+	}
+	return nil
+}
+
+// PositiveDuration rejects a zero or negative duration flag.
+func PositiveDuration(name string, v time.Duration) error {
+	if v <= 0 {
+		return fmt.Errorf("-%s must be positive (got %v)", name, v)
+	}
+	return nil
+}
+
+// Check returns the first error in the list, so a command can validate all
+// of its flags in one statement.
+func Check(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

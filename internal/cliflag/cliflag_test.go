@@ -1,0 +1,40 @@
+package cliflag
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidators(t *testing.T) {
+	if err := NonNegative("population", -5); err == nil {
+		t.Error("NonNegative accepted -5")
+	}
+	if err := NonNegative("population", 0); err != nil {
+		t.Errorf("NonNegative rejected 0: %v", err)
+	}
+	if err := Positive("cells", 0); err == nil {
+		t.Error("Positive accepted 0")
+	}
+	if err := Positive("cells", 3); err != nil {
+		t.Errorf("Positive rejected 3: %v", err)
+	}
+	if err := NonNegativeDuration("gap", -time.Second); err == nil {
+		t.Error("NonNegativeDuration accepted -1s")
+	}
+	if err := PositiveDuration("duration", 0); err == nil {
+		t.Error("PositiveDuration accepted 0")
+	}
+	if err := PositiveDuration("duration", time.Minute); err != nil {
+		t.Errorf("PositiveDuration rejected 1m: %v", err)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	if err := Check(nil, nil); err != nil {
+		t.Errorf("Check(nil, nil) = %v", err)
+	}
+	want := Positive("cells", -1)
+	if got := Check(nil, want, NonNegative("x", -1)); got != want {
+		t.Errorf("Check returned %v, want first error %v", got, want)
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestParetoTiny runs the defense arms race at tiny scale and pins its
+// structural guarantees: the baseline anchors the overhead axis at zero,
+// the static and adaptive attackers coincide only where they share a
+// classifier, shaping defenses actually cost bytes, and the frontier
+// marking is non-empty and deterministic.
+func TestParetoTiny(t *testing.T) {
+	res, err := Pareto(tinyScale(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 5 {
+		t.Fatalf("pareto swept %d compositions, want >= 5", len(res.Rows))
+	}
+	base := res.Rows[0]
+	if base.Name != "none" {
+		t.Fatalf("row 0 is %q, want the undefended baseline", base.Name)
+	}
+	if base.Overhead != 0 {
+		t.Errorf("baseline overhead %v, want 0", base.Overhead)
+	}
+	// On the baseline the static attacker IS the adaptive attacker (same
+	// classifier, same held-out windows); anywhere else they may differ.
+	if base.StaticF1 != base.AdaptiveF1 {
+		t.Errorf("baseline static F1 %v != adaptive F1 %v", base.StaticF1, base.AdaptiveF1)
+	}
+	costly, frontier := 0, 0
+	for _, row := range res.Rows {
+		if row.Overhead > 0 {
+			costly++
+		}
+		if row.Frontier {
+			frontier++
+		}
+		if row.Windows <= 0 {
+			t.Errorf("%s evaluated zero windows", row.Name)
+		}
+	}
+	if costly == 0 {
+		t.Error("no composition reported positive byte overhead")
+	}
+	if frontier == 0 {
+		t.Error("no composition on the Pareto frontier")
+	}
+	if s := res.String(); !strings.Contains(s, "static-F1") || !strings.Contains(s, "adaptive-F1") {
+		t.Errorf("rendering lost an attacker column:\n%s", s)
+	}
+
+	again, err := Pareto(tinyScale(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.String() != again.String() {
+		t.Errorf("pareto not deterministic:\n%s\nvs\n%s", res.String(), again.String())
+	}
+}
+
+// TestMarkFrontier pins the dominance rule on synthetic rows.
+func TestMarkFrontier(t *testing.T) {
+	rows := []ParetoRow{
+		{Name: "baseline", AdaptiveF1: 0.90, Overhead: 0},     // frontier: cheapest
+		{Name: "good", AdaptiveF1: 0.60, Overhead: 0.10},      // frontier
+		{Name: "dominated", AdaptiveF1: 0.70, Overhead: 0.20}, /* beaten by "good" on both axes */
+		{Name: "strong", AdaptiveF1: 0.40, Overhead: 0.50},    // frontier: most protective
+	}
+	markFrontier(rows)
+	want := map[string]bool{"baseline": true, "good": true, "dominated": false, "strong": true}
+	for _, r := range rows {
+		if r.Frontier != want[r.Name] {
+			t.Errorf("%s frontier=%v, want %v", r.Name, r.Frontier, want[r.Name])
+		}
+	}
+}

@@ -124,6 +124,13 @@ type Cell struct {
 	// them back to connected mode.
 	dlPending map[*ue.UE]int
 
+	// pagingAt collects the idle UEs to be paged at each upcoming paging
+	// occasion, keyed by the occasion's subframe index. The first UE queued
+	// for an occasion schedules one flush closure; every UE queued for the
+	// same occasion shares it, so the occasion emits batched paging
+	// messages instead of one PRNTI message per UE.
+	pagingAt map[int64][]*ue.UE
+
 	// camped registers every UE currently parked on this cell. Deferred
 	// control closures (paging occasions, paging responses) consult it
 	// before touching a UE: a UE that re-camped elsewhere since the closure
@@ -162,8 +169,51 @@ type Cell struct {
 	grantsDL, grantsUL int64
 	bytesDL, bytesUL   int64
 
+	// defense accumulates the measured overhead of every enabled defense
+	// mechanism. Always maintained (plain integer adds on paths that
+	// already mutate the same cache lines), so overhead reporting never
+	// perturbs scheduling output.
+	defense DefenseStats
+
 	m cellMetrics
 }
+
+// DefenseStats are a cell's cumulative defense-overhead counters: the
+// byte cost of padding-style defenses (split by mechanism), and the
+// paging channel's message/record/latency tallies from which smart
+// paging's PDCCH savings and added delay are computed.
+type DefenseStats struct {
+	// PadBytes counts downlink+uplink bytes the bucket-morphing and
+	// grant-quantization defenses inflated grants by, beyond the
+	// scheduler's baseline sizing (baseline over-granting and TBS
+	// granularity are not charged — a defenseless cell reports zero).
+	PadBytes int64
+	// DummyBytes counts bytes injected by the dummy-burst defense.
+	DummyBytes int64
+	// CoverBytes counts bytes injected by the constant-rate top-up.
+	CoverBytes int64
+	// PagingMessages and PagingRecords count emitted paging messages and
+	// the records they carried; their ratio is the batching factor.
+	PagingMessages int64
+	PagingRecords  int64
+	// PagingDelayTTIs sums, over all paging requests, the subframes
+	// between downlink arrival and the paging occasion that served it —
+	// the latency cost of coarsened (smart) paging cycles.
+	PagingDelayTTIs int64
+}
+
+// Add accumulates another cell's counters (for fleet-wide aggregation).
+func (s *DefenseStats) Add(o DefenseStats) {
+	s.PadBytes += o.PadBytes
+	s.DummyBytes += o.DummyBytes
+	s.CoverBytes += o.CoverBytes
+	s.PagingMessages += o.PagingMessages
+	s.PagingRecords += o.PagingRecords
+	s.PagingDelayTTIs += o.PagingDelayTTIs
+}
+
+// DefenseStats reports the cell's cumulative defense-overhead counters.
+func (c *Cell) DefenseStats() DefenseStats { return c.defense }
 
 // cellMetrics caches the scheduler's observability handles. The zero value
 // (enabled=false) keeps the per-TTI summary computations off entirely; the
@@ -180,6 +230,11 @@ type cellMetrics struct {
 	paddingEvents *obs.Counter
 	pdcchBlocked  *obs.Counter
 	rntiRefreshes *obs.Counter
+	padBytes      *obs.Counter
+	dummyBytes    *obs.Counter
+	coverBytes    *obs.Counter
+	pagingMsgs    *obs.Counter
+	pagingRecords *obs.Counter
 }
 
 // SetMetrics points the cell's scheduler instrumentation at a scope:
@@ -203,6 +258,11 @@ func (c *Cell) SetMetrics(sc obs.Scope) {
 		paddingEvents: sc.Counter("padding_events"),
 		pdcchBlocked:  sc.Counter("pdcch_blocked"),
 		rntiRefreshes: sc.Counter("rnti_refreshes"),
+		padBytes:      sc.Counter("defense_pad_bytes"),
+		dummyBytes:    sc.Counter("defense_dummy_bytes"),
+		coverBytes:    sc.Counter("defense_cover_bytes"),
+		pagingMsgs:    sc.Counter("paging_messages"),
+		pagingRecords: sc.Counter("paging_records"),
 	}
 }
 
@@ -541,30 +601,98 @@ func (c *Cell) scheduleRAR(u *ue.UE, cause rrc.EstablishmentCause, preamble int,
 	})
 }
 
-// schedulePaging emits a paging record for an idle UE and has it respond
-// with mobile-terminated access.
+// pagingCycle is the paging-occasion period: every UE's paging frame
+// recurs at this interval. The default 32 ms matches a common DRX
+// configuration; the smart-paging defense coarsens it via the profile.
+func (c *Cell) pagingCycle() time.Duration {
+	if n := c.Profile.PagingCycleTTI; n > 0 {
+		return time.Duration(n) * sim.TTI
+	}
+	return 32 * sim.TTI
+}
+
+// pagingBatchMax is the per-message paging record cap (LTE carries at
+// most 16 records in one Paging message).
+func (c *Cell) pagingBatchMax() int {
+	if n := c.Profile.PagingBatchMax; n > 0 {
+		return n
+	}
+	return 16
+}
+
+// schedulePaging queues an idle UE for its next paging occasion. A
+// downlink arrival landing exactly on an occasion boundary is paged in
+// that same subframe — the eNodeB assembles the paging message before the
+// subframe goes on the air — not a full cycle later. All UEs queued for
+// one occasion share batched paging messages (see flushPaging).
 func (c *Cell) schedulePaging(u *ue.UE, now time.Duration) {
-	// Next paging occasion: paging frames recur every 32 ms.
-	const pagingCycle = 32 * sim.TTI
-	due := now + pagingCycle - now%pagingCycle
-	c.ctl.Push(due, func() {
+	cycle := c.pagingCycle()
+	due := now + cycle - now%cycle
+	if now%cycle == 0 {
+		due = now
+	}
+	c.defense.PagingDelayTTIs += int64((due - now) / sim.TTI)
+	occ := int64(due / sim.TTI)
+	if c.pagingAt == nil {
+		c.pagingAt = make(map[int64][]*ue.UE)
+	}
+	pending := c.pagingAt[occ]
+	c.pagingAt[occ] = append(pending, u)
+	if len(pending) == 0 {
+		c.ctl.Push(due, func() { c.flushPaging(occ) })
+	}
+}
+
+// flushPaging emits one paging occasion's records, batching up to the
+// profile's per-message cap into each PRNTI message — same-occasion
+// records share the PDCCH and the paging PRBs, as on a real eNodeB,
+// instead of each UE costing its own message. Every paged UE then answers
+// with mobile-terminated access on the standard timeline.
+func (c *Cell) flushPaging(occ int64) {
+	ues := c.pagingAt[occ]
+	delete(c.pagingAt, occ)
+	batchMax := c.pagingBatchMax()
+	var records []rrc.PagingRecord
+	var paged []*ue.UE
+	flush := func() {
+		if len(records) == 0 {
+			return
+		}
+		// A paging record is S-TMSI sized; four fit in one robust PRB.
+		nprb := (len(records) + 3) / 4
+		c.cur.control(c, rnti.PRNTI, dci.Format1A, nprb, rrc.Paging{Records: records})
+		c.defense.PagingMessages++
+		c.defense.PagingRecords += int64(len(records))
+		if c.m.enabled {
+			c.m.pagingMsgs.Inc()
+			c.m.pagingRecords.Add(int64(len(records)))
+		}
+		for _, pu := range paged {
+			pu := pu
+			c.ctl.Push(c.cur.now+6*sim.TTI, func() {
+				c.RequestConnection(pu, rrc.CauseMTAccess, c.cur.now)
+			})
+		}
+		records, paged = nil, nil
+	}
+	for _, u := range ues {
 		// The camped check must come first: a UE that moved on belongs to
 		// another cell's shard and may not even be read from this one.
 		if !c.camped[u] || !u.HasTMSI || u.State != ue.Idle || u.CellID != c.ID {
-			return
+			continue
 		}
 		shown := uint32(u.TMSI)
 		if c.Profile.OneTimeIdentifiers {
 			// Rotating paging pseudonym: useless for passive tracking.
 			shown = uint32(c.rng.Uint64())
 		}
-		c.cur.control(c, rnti.PRNTI, dci.Format1A, 1, rrc.Paging{
-			Records: []rrc.PagingRecord{{TMSI: shown}},
-		})
-		c.ctl.Push(c.cur.now+6*sim.TTI, func() {
-			c.RequestConnection(u, rrc.CauseMTAccess, c.cur.now)
-		})
-	})
+		records = append(records, rrc.PagingRecord{TMSI: shown})
+		paged = append(paged, u)
+		if len(records) == batchMax {
+			flush()
+		}
+	}
+	flush()
 }
 
 // BeginHandover starts the source side of an X2-style handover of a

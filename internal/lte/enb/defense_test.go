@@ -113,3 +113,93 @@ func TestOneTimeIdentifiers(t *testing.T) {
 	}
 	_ = rnti.RNTI(0)
 }
+
+// TestGrantQuantizationDefense checks that distinct small payloads collapse
+// onto the quantization lattice: with a 256-byte quantum every sub-quantum
+// payload is granted either one or two quanta, so at most two transport
+// block sizes appear where an undefended scheduler would show three.
+func TestGrantQuantizationDefense(t *testing.T) {
+	p := operator.Lab()
+	p.GrantQuantum = 256
+	r := newRig(t, p)
+	u := r.newUE("a")
+	r.cell.DeliverUL(u, 1, r.now)
+	r.run(50 * time.Millisecond)
+	sizes := make(map[int]bool)
+	for _, payload := range []int{130, 180, 230} {
+		before := len(r.rec.subframes)
+		r.cell.DeliverDL(u, payload, r.now)
+		r.run(50 * time.Millisecond)
+		for _, sf := range r.rec.subframes[before:] {
+			for i := range sf.PDCCH {
+				msg, err := dci.Parse(sf.PDCCH[i].Payload)
+				if err != nil || msg.Format != dci.Format1A || msg.MCS == 0 {
+					continue
+				}
+				b, err := msg.TransportBlockBytes()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b < 256 {
+					t.Fatalf("quantized block %d smaller than one quantum", b)
+				}
+				sizes[b] = true
+			}
+		}
+	}
+	if len(sizes) > 2 {
+		t.Fatalf("quantized block sizes = %v, want at most the one- and two-quantum lattice points", sizes)
+	}
+	if r.cell.DefenseStats().PadBytes == 0 {
+		t.Fatal("quantization over-grants accrued no measured padding overhead")
+	}
+}
+
+// TestDummyBurstDefense checks cover-burst injection: a connected but
+// otherwise silent UE keeps receiving downlink grants carrying dummy
+// payload, and the injected bytes are accounted as overhead.
+func TestDummyBurstDefense(t *testing.T) {
+	p := operator.Lab()
+	p.DummyBurstProb = 1
+	p.DummyBurstMaxBytes = 1200
+	r := newRig(t, p)
+	u := r.newUE("a")
+	r.cell.DeliverUL(u, 100, r.now)
+	r.run(500 * time.Millisecond)
+	if u.State != ue.Connected {
+		t.Fatal("UE did not stay connected under dummy bursts")
+	}
+	st := r.cell.DefenseStats()
+	if st.DummyBytes == 0 {
+		t.Fatal("no dummy bytes injected with DummyBurstProb=1")
+	}
+	_, _, bytesDL, _ := r.cell.Stats()
+	if bytesDL == 0 {
+		t.Fatal("dummy bursts never reached the air interface")
+	}
+}
+
+// TestConstantRateDefense checks the constant-rate top-up: with no real
+// downlink at all, the scheduler still serves at least ConstantRateBytes
+// per period, so the observable rate is flat regardless of the app.
+func TestConstantRateDefense(t *testing.T) {
+	p := operator.Lab()
+	p.ConstantRatePeriodTTI = 20
+	p.ConstantRateBytes = 300
+	r := newRig(t, p)
+	u := r.newUE("a")
+	r.cell.DeliverUL(u, 100, r.now)
+	r.run(500 * time.Millisecond)
+	if u.State != ue.Connected {
+		t.Fatal("UE did not stay connected under constant-rate cover")
+	}
+	st := r.cell.DefenseStats()
+	if st.CoverBytes == 0 {
+		t.Fatal("no cover bytes injected")
+	}
+	_, _, bytesDL, _ := r.cell.Stats()
+	// ~25 periods over 500 ms at 300 bytes each, minus ramp-up slack.
+	if bytesDL < 4000 {
+		t.Fatalf("served %d downlink bytes, want a sustained constant-rate floor", bytesDL)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"slices"
 	"time"
 
+	"ltefp/internal/appmodel"
 	"ltefp/internal/lte/dci"
 	"ltefp/internal/lte/phy"
 	"ltefp/internal/lte/rnti"
@@ -47,6 +48,7 @@ func (c *Cell) Tick(now time.Duration) *phy.Subframe {
 	c.cur = b
 	if c.dense {
 		c.ctl.PopDue(now)
+		c.applyShaping(b)
 		c.scheduleData(b)
 		c.checkInactivity(now)
 		if c.Profile.RNTIRefreshEvery > 0 && b.sf.Index%32 == 0 {
@@ -63,6 +65,7 @@ func (c *Cell) Tick(now time.Duration) *phy.Subframe {
 		// ticks that released a context.
 		c.wheel.advance(b.sf.Index)
 		c.ctl.PopDue(now)
+		c.applyShaping(b)
 		c.scheduleDataActive(b)
 		c.fireIdle(now)
 		c.fireRefresh(now)
@@ -177,6 +180,48 @@ func (b *builder) tryEmit(c *Cell, r rnti.RNTI, f dci.Format, agg, nprb, mcs int
 	*budget -= nprb
 	*rbNext = rbStart + nprb
 	return tbBytes, true
+}
+
+// applyShaping runs the traffic-shaping defenses that inject bytes ahead
+// of data scheduling: per-frame dummy bursts and the constant-rate
+// downlink top-up. Both walk c.order in index order — identical on the
+// dense and active paths — so every RNG draw and queue mutation sequences
+// the same way on both, preserving the differential contract. With both
+// defenses off this costs two branch tests per tick.
+func (c *Cell) applyShaping(b *builder) {
+	p := &c.Profile
+	if p.DummyBurstProb > 0 && b.sf.Index%10 == 0 {
+		for _, ctx := range c.order {
+			if ctx.state != ctxConnected {
+				continue
+			}
+			if !c.rng.Bool(p.DummyBurstProb) {
+				continue
+			}
+			n := appmodel.DummyBurstBytes(c.rng, p.DummyBurstMaxBytes)
+			ctx.dlQueue += n
+			c.aggQueue += n
+			c.ringAdd(ctx)
+			c.defense.DummyBytes += int64(n)
+			c.m.dummyBytes.Add(int64(n))
+		}
+	}
+	if period := int64(p.ConstantRatePeriodTTI); period > 0 && b.sf.Index%period == 0 {
+		for _, ctx := range c.order {
+			if ctx.state != ctxConnected {
+				continue
+			}
+			deficit := p.ConstantRateBytes - ctx.dlQueue
+			if deficit <= 0 {
+				continue
+			}
+			ctx.dlQueue += deficit
+			c.aggQueue += deficit
+			c.ringAdd(ctx)
+			c.defense.CoverBytes += int64(deficit)
+			c.m.coverBytes.Add(int64(deficit))
+		}
+	}
 }
 
 // scheduleData runs the per-TTI data scheduler of the dense reference: a
@@ -330,8 +375,28 @@ func (c *Cell) grant(b *builder, ctx *ueCtx, f dci.Format, mcs, queued, prbLeft 
 		want += c.rng.IntN(pad + 1)
 		c.m.paddingEvents.Inc()
 	}
+	morphBase := want
 	if p.PadBuckets {
 		want = padBucket(want)
+	}
+	if q := p.GrantQuantum; q > 0 {
+		// Quantize the grant onto a coarse byte lattice with one quantum of
+		// random slack: all payloads collapse onto few distinct transport
+		// block targets, and the random step keeps the lattice position from
+		// leaking the payload's residue.
+		steps := (want + q - 1) / q
+		if steps < 1 {
+			steps = 1
+		}
+		steps += c.rng.IntN(2)
+		want = steps * q
+	}
+	// Defense cost accounting charges only the morphing/quantization
+	// inflation, not the baseline over-granting (PaddingProb, TBS
+	// granularity, link-adaptation slack) an undefended network shows.
+	if over := int64(want - morphBase); over > 0 {
+		c.defense.PadBytes += over
+		c.m.padBytes.Add(over)
 	}
 	itbs, _, err := tbs.ForMCS(mcs)
 	if err != nil {

@@ -99,6 +99,14 @@ func (n *Network) AddCell(id int, p operator.Profile) (*enb.Cell, error) {
 	return c, nil
 }
 
+// EachCell visits every cell in creation order (the deterministic order
+// used for aggregation across the fabric).
+func (n *Network) EachCell(fn func(*enb.Cell)) {
+	for _, id := range n.cellOrder {
+		fn(n.cells[id])
+	}
+}
+
 // Cell returns the cell with the given ID.
 func (n *Network) Cell(id int) (*enb.Cell, error) {
 	c, ok := n.cells[id]

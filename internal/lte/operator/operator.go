@@ -94,6 +94,40 @@ type Profile struct {
 	// only single-use pseudonyms, so a passive observer can no longer bind
 	// RNTIs to a stable subscriber identity across connections.
 	OneTimeIdentifiers bool
+
+	// GrantQuantum, when positive, rounds every data grant up to a
+	// randomized multiple of this many bytes (the grant's payload size is
+	// quantized onto a coarse lattice, with one quantum of random slack).
+	// Collapsing transport-block sizes onto few distinct values destroys
+	// the fine-grained size feature at a bounded padding cost.
+	GrantQuantum int
+
+	// DummyBurstProb, when positive, injects a fake downlink burst into
+	// each connected UE's queue with this probability per 10 ms frame.
+	// Dummy bursts are real grants carrying garbage, so a passive observer
+	// cannot separate them from application traffic; DummyBurstMaxBytes
+	// bounds each burst's size.
+	DummyBurstProb     float64
+	DummyBurstMaxBytes int
+
+	// ConstantRatePeriodTTI, when positive, puts a constant-rate floor
+	// under each connected UE's downlink: at every period boundary the
+	// scheduler tops the UE's queue up to ConstantRateBytes with cover
+	// traffic, so the served byte rate never drops below the floor and the
+	// downlink no longer goes quiet between application bursts.
+	ConstantRatePeriodTTI int
+	ConstantRateBytes     int
+
+	// PagingCycleTTI overrides the paging-occasion period in subframes
+	// (0 = the default 32 ms cycle). Coarser occasions batch more paging
+	// records per message and blur paging-timing correlation, at the cost
+	// of added paging latency — the "smart paging" mitigation against
+	// presence probing.
+	PagingCycleTTI int
+
+	// PagingBatchMax caps how many paging records one paging message
+	// carries (0 = the default 16, the LTE maximum).
+	PagingBatchMax int
 }
 
 // Validate checks the profile for configuration errors.
@@ -115,6 +149,24 @@ func (p *Profile) Validate() error {
 		return fmt.Errorf("operator: %s: CaptureLoss %.3f outside [0, 1)", p.Name, p.CaptureLoss)
 	case p.PaddingProb < 0 || p.PaddingProb > 1:
 		return fmt.Errorf("operator: %s: PaddingProb %.3f outside [0, 1]", p.Name, p.PaddingProb)
+	case p.GrantQuantum < 0:
+		return fmt.Errorf("operator: %s: GrantQuantum %d negative", p.Name, p.GrantQuantum)
+	case p.DummyBurstProb < 0 || p.DummyBurstProb > 1:
+		return fmt.Errorf("operator: %s: DummyBurstProb %.3f outside [0, 1]", p.Name, p.DummyBurstProb)
+	case p.DummyBurstProb > 0 && p.DummyBurstMaxBytes < 1:
+		return fmt.Errorf("operator: %s: DummyBurstProb set with DummyBurstMaxBytes %d", p.Name, p.DummyBurstMaxBytes)
+	case p.DummyBurstMaxBytes < 0:
+		return fmt.Errorf("operator: %s: DummyBurstMaxBytes %d negative", p.Name, p.DummyBurstMaxBytes)
+	case p.ConstantRatePeriodTTI < 0:
+		return fmt.Errorf("operator: %s: ConstantRatePeriodTTI %d negative", p.Name, p.ConstantRatePeriodTTI)
+	case p.ConstantRatePeriodTTI > 0 && p.ConstantRateBytes < 1:
+		return fmt.Errorf("operator: %s: ConstantRatePeriodTTI set with ConstantRateBytes %d", p.Name, p.ConstantRateBytes)
+	case p.ConstantRateBytes < 0:
+		return fmt.Errorf("operator: %s: ConstantRateBytes %d negative", p.Name, p.ConstantRateBytes)
+	case p.PagingCycleTTI < 0:
+		return fmt.Errorf("operator: %s: PagingCycleTTI %d negative", p.Name, p.PagingCycleTTI)
+	case p.PagingBatchMax < 0 || p.PagingBatchMax > 16:
+		return fmt.Errorf("operator: %s: PagingBatchMax %d outside [0, 16]", p.Name, p.PagingBatchMax)
 	}
 	return nil
 }

@@ -49,6 +49,9 @@ type MultiCellOptions struct {
 	// Tracking tunes the cross-cell tracker; the zero value uses the
 	// defaults of identity.TrackConfig.
 	Tracking TrackingOptions
+	// Defenses applies composable countermeasures to every cell in the
+	// deployment (see Defense); the zero value is the undefended network.
+	Defenses Defense
 }
 
 // TrackingOptions are the attacker-tunable knobs of the cross-cell
@@ -97,6 +100,9 @@ type MultiCellResult struct {
 	Bindings []IdentityBinding
 	// Health aggregates every sniffer's decode-health counters.
 	Health CaptureHealth
+	// Defense is the measured overhead of the enabled defenses across the
+	// whole deployment (zero when no defense is on).
+	Defense DefenseCost
 }
 
 // MultiCellCapture simulates a victim moving through a monitored multi-cell
@@ -109,6 +115,10 @@ func MultiCellCapture(opts MultiCellOptions) (*MultiCellResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := opts.Defenses.Validate(); err != nil {
+		return nil, err
+	}
+	opts.Defenses.apply(&prof)
 	if opts.Duration <= 0 {
 		opts.Duration = time.Minute
 	}
@@ -167,10 +177,11 @@ func MultiCellCapture(opts MultiCellOptions) (*MultiCellResult, error) {
 		MinContinuity:  opts.Tracking.MinContinuity,
 	})
 	out := &MultiCellResult{
-		Victim: fromTrace(identity.TraceFor(segs, res.Records)),
-		Mapped: fromTrace(res.UserTrace("victim")),
-		All:    fromTrace(res.Records),
-		Health: healthFrom(res.Health),
+		Victim:  fromTrace(identity.TraceFor(segs, res.Records)),
+		Mapped:  fromTrace(res.UserTrace("victim")),
+		All:     fromTrace(res.Records),
+		Health:  healthFrom(res.Health),
+		Defense: costFrom(res.Defense),
 	}
 	for _, s := range segs {
 		out.Segments = append(out.Segments, TrackedSegment{

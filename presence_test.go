@@ -1,0 +1,80 @@
+package ltefp
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPresenceProbeDetectsVictim pins the presence attack end to end: on
+// an undefended network the victim's TMSI answers every probe and tops the
+// ranking; rotating paging pseudonyms (ConcealIdentities) destroy the
+// correlation outright; smart paging keeps service working while charging
+// the measured latency the defense trades for its batching.
+func TestPresenceProbeDetectsVictim(t *testing.T) {
+	base := PresenceOptions{Seed: 7, Population: 20, Probes: 6}
+
+	plain, err := PresenceProbe(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !plain.Detected {
+		t.Fatalf("undefended probe did not detect the victim: %+v", plain.Candidates)
+	}
+	if top := plain.Candidates[0]; !top.IsVictim || top.Hits != base.Probes {
+		t.Fatalf("top candidate %+v, want the victim answering all %d probes", top, base.Probes)
+	}
+
+	conceal := base
+	conceal.Defenses = Defense{ConcealIdentities: true}
+	hidden, err := PresenceProbe(conceal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hidden.Detected {
+		t.Fatalf("victim detected through rotating paging pseudonyms: %+v", hidden.Candidates)
+	}
+
+	smart := base
+	smart.Defenses = Defense{SmartPaging: true}
+	batched, err := PresenceProbe(smart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batched.Defense.PagingDelay <= plain.Defense.PagingDelay {
+		t.Fatalf("smart paging delay %v not above undefended %v", batched.Defense.PagingDelay, plain.Defense.PagingDelay)
+	}
+	if batched.PagingsObserved == 0 {
+		t.Fatal("smart paging silenced the paging channel entirely")
+	}
+}
+
+// TestPresenceProbeDeterministic pins reproducibility: identical options
+// yield identical rankings.
+func TestPresenceProbeDeterministic(t *testing.T) {
+	opts := PresenceOptions{Seed: 11, Population: 10, Probes: 4, Window: 750 * time.Millisecond}
+	a, err := PresenceProbe(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PresenceProbe(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Candidates) != len(b.Candidates) || a.Detected != b.Detected || a.AnonymitySet != b.AnonymitySet {
+		t.Fatalf("non-deterministic presence result:\n%+v\n%+v", a, b)
+	}
+	for i := range a.Candidates {
+		if a.Candidates[i] != b.Candidates[i] {
+			t.Fatalf("candidate %d differs: %+v vs %+v", i, a.Candidates[i], b.Candidates[i])
+		}
+	}
+}
+
+// TestPresenceProbeRejectsBadGap pins the configuration guard: a probe gap
+// at or below the inactivity timeout never finds the victim idle.
+func TestPresenceProbeRejectsBadGap(t *testing.T) {
+	_, err := PresenceProbe(PresenceOptions{Seed: 1, ProbeGap: time.Second})
+	if err == nil {
+		t.Fatal("probe gap below the inactivity timeout was accepted")
+	}
+}

@@ -23,12 +23,13 @@ raw=$(go test -run '^$' -bench "$micro" -benchmem -benchtime 2s .
 	go test -run '^$' -bench 'BenchmarkObs' -benchmem -benchtime 1s ./internal/obs
 	go test -run '^$' -bench 'BenchmarkQueuePushPop$' -benchmem -benchtime 2s ./internal/sim
 	go test -run '^$' -bench 'BenchmarkNetworkStep$' -benchmem -benchtime 2s ./internal/lte/network
-	go test -run '^$' -bench 'BenchmarkCapture60s$|BenchmarkCapture60sObs$|BenchmarkStream60s$' -benchmem -benchtime 5x .
+	go test -run '^$' -bench 'BenchmarkCapture60s$|BenchmarkCapture60sObs$|BenchmarkDefendedCapture60s$|BenchmarkStream60s$' -benchmem -benchtime 5x .
 	go test -run '^$' -bench 'BenchmarkFabric128Cells$' -benchmem -benchtime 5x .
 	go test -run '^$' -bench 'BenchmarkCapture60sPop10k$' -benchmem -benchtime 1x .
 	go test -run '^$' -bench 'BenchmarkFabric128CellsPop1k$' -benchmem -benchtime 5x .
 	go test -run '^$' -bench 'BenchmarkSweep256Users$|BenchmarkSweepBrute256Users$' -benchmem -benchtime 3x .
-	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 3x .)
+	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 3x .
+	go test -run '^$' -bench 'BenchmarkParetoSweep$' -benchmem -benchtime 1x .)
 echo "$raw"
 
 # One JSON object per benchmark line; go's -bench output is stable enough

@@ -43,6 +43,11 @@ go test -race -run 'TestActiveSchedulerMatchesDenseWalk' ./internal/capture
 # guarantee is always exercised with the detector on.
 echo "== go test -race -run 'TestDaemonCheckpointRestartConvergence' ./internal/daemon"
 go test -race -run 'TestDaemonCheckpointRestartConvergence' ./internal/daemon
+# The defense no-op contract spans all three capture paths (batch,
+# fabric, stream); gate it explicitly under the detector so the
+# zero-Defense byte-identity can never be filtered out of a run.
+echo "== go test -race -run 'TestDefensesOffByteIdentical' ."
+go test -race -run 'TestDefensesOffByteIdentical' .
 echo "== go test -race $short ./..."
 go test -race $short ./...
 # The e2e harness drives the real binaries as subprocesses (goldens,
