@@ -19,6 +19,7 @@ import (
 
 	"ltefp"
 	"ltefp/internal/appmodel"
+	"ltefp/internal/artifact"
 	"ltefp/internal/attack/fingerprint"
 	"ltefp/internal/capture"
 	"ltefp/internal/experiments"
@@ -285,6 +286,71 @@ func BenchmarkParetoSweep(b *testing.B) {
 	}
 }
 
+// warmArtifactStore points the shared artifact store at a fresh disk
+// directory, runs populate once to fill it, and restores the memory-only
+// default when the benchmark ends. Each timed iteration should call
+// capture.ResetCache first so it measures a restarted process serving
+// entirely from the disk tier.
+func warmArtifactStore(b *testing.B, populate func() error) {
+	b.Helper()
+	capture.ResetCache()
+	if err := artifact.Default.SetDir(b.TempDir()); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() {
+		if err := artifact.Default.SetDir(""); err != nil {
+			b.Error(err)
+		}
+		capture.ResetCache()
+	})
+	if err := populate(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkTableIIIWarm is BenchmarkTableIII served from a populated
+// artifact store: an untimed cold run fills the disk tier, then every
+// timed iteration drops the memory tier (simulating a restarted process)
+// and regenerates the table from persisted captures, window matrices,
+// datasets, and forests. Compare against BenchmarkTableIII for the
+// cache's end-to-end speedup.
+func BenchmarkTableIIIWarm(b *testing.B) {
+	warmArtifactStore(b, func() error {
+		_, err := experiments.TableIII(experiments.Quick(), 1)
+		return err
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		capture.ResetCache()
+		res, err := experiments.TableIII(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Confusions[experiments.DownUp].WeightedF1(), "weighted-f1")
+	}
+}
+
+// BenchmarkParetoSweepWarm is BenchmarkParetoSweep served from a
+// populated artifact store; its speedup over the cold sweep is the
+// BENCH_10 headline. The eight compositions re-extract nothing: shared
+// scenarios dedupe through the capture tier and every dataset and
+// retrained forest loads from disk.
+func BenchmarkParetoSweepWarm(b *testing.B) {
+	warmArtifactStore(b, func() error {
+		_, err := experiments.Pareto(experiments.Quick(), 1)
+		return err
+	})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		capture.ResetCache()
+		res, err := experiments.Pareto(experiments.Quick(), 1)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Rows[0].AdaptiveF1-res.Rows[len(res.Rows)-1].AdaptiveF1, "f1-cost-to-attacker")
+	}
+}
+
 // BenchmarkCapture60s measures simulating and capturing one 60-second
 // victim session on a loaded commercial cell.
 func BenchmarkCapture60s(b *testing.B) {
@@ -417,6 +483,51 @@ func BenchmarkCapture60sPop10k(b *testing.B) {
 			b.ReportMetric(ttis/b.Elapsed().Seconds(), "TTI/sec")
 		})
 	}
+}
+
+// TestCapturePop10kAllocBudget pins the allocation cost of one
+// population-scale capture: the BenchmarkCapture60sPop10k scenario (60 s
+// victim session on a cell with 10 000 resident background UEs) must
+// stay under budget end to end. The measured rate is ~344k allocations —
+// dominated by the one-time population setup (~34 per attached UE:
+// identity build, GUTI-realloc scheduling, sparse background arrivals) —
+// and the budget carries ~30% headroom. A per-retry or per-tick
+// allocation regressing into the congested scheduler path blows far past
+// it: the retry-closure pattern this guard was added against costs ~565k
+// allocations on its own.
+func TestCapturePop10kAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second population capture; skipped with -short")
+	}
+	if raceEnabled {
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
+	app, err := appmodel.ByName("YouTube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	profile := operator.TMobile()
+	profile.InactivityTimeout = 15 * time.Minute
+	scenario := capture.Scenario{
+		Seed:  1,
+		Cells: []capture.Cell{{ID: 1, Profile: profile}},
+		Sessions: []capture.Session{{
+			UE: "victim", CellID: 1, App: app,
+			Start: 500 * time.Millisecond, Duration: time.Minute,
+		}},
+		Population: 10_000,
+		Settle:     2 * time.Second,
+	}
+	per := testing.AllocsPerRun(3, func() {
+		if _, err := capture.Run(scenario); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 450_000
+	if per > budget {
+		t.Fatalf("population capture allocates %.0f per run, budget %d", per, budget)
+	}
+	t.Logf("population capture: %.0f allocs per run (budget %d)", per, budget)
 }
 
 // BenchmarkFabric128CellsPop1k is BenchmarkFabric128Cells at population

@@ -70,6 +70,21 @@ func main() {
 	}
 }
 
+// cacheDirFlag registers the shared -cache-dir flag on a subcommand, and
+// applyCacheDir points the artifact store at it after parsing: captures
+// (and everything derived from them) persist across invocations and may
+// be shared with ltesniff and lteexperiments.
+func cacheDirFlag(fs *flag.FlagSet) *string {
+	return fs.String("cache-dir", "", "persistent artifact cache directory shared with the other tools; empty = memory-only")
+}
+
+func applyCacheDir(dir string) error {
+	if dir == "" {
+		return nil
+	}
+	return ltefp.SetCacheDir(dir)
+}
+
 func loadModel(path string) (*ltefp.Fingerprinter, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -91,7 +106,11 @@ func fingerprintCmd(args []string) error {
 	app := fs.String("app", "YouTube", "app for live capture (ground truth)")
 	duration := fs.Duration("duration", time.Minute, "live capture duration")
 	seed := fs.Uint64("seed", 99, "live capture seed")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyCacheDir(*cacheDir); err != nil {
 		return err
 	}
 	fp, err := loadModel(*model)
@@ -134,7 +153,11 @@ func historyCmd(args []string) error {
 	network := fs.String("network", "T-Mobile", "network environment")
 	seed := fs.Uint64("seed", 99, "scenario seed")
 	minutes := fs.Float64("minutes", 3, "minutes per zone visit")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyCacheDir(*cacheDir); err != nil {
 		return err
 	}
 	fp, err := loadModel(*model)
@@ -179,7 +202,11 @@ func correlateCmd(args []string) error {
 	pairs := fs.Int("pairs", 6, "pairs per label to simulate")
 	duration := fs.Duration("duration", 75*time.Second, "conversation duration")
 	seed := fs.Uint64("seed", 99, "scenario seed")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyCacheDir(*cacheDir); err != nil {
 		return err
 	}
 	ev, err := ltefp.CollectContactPairs(*network, *app, *pairs, *duration, *seed)

@@ -25,7 +25,11 @@ func presenceCmd(args []string) error {
 	workers := fs.Int("workers", 0, "simulation worker goroutines (0 = serial; output identical)")
 	topk := fs.Int("topk", 5, "ranked candidates to print")
 	defenses := fs.String("defenses", "", "defense spec, e.g. smartpaging,conceal or full (see ltefp.ParseDefense)")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyCacheDir(*cacheDir); err != nil {
 		return err
 	}
 	if err := cliflag.Check(

@@ -28,7 +28,11 @@ func sweepCmd(args []string) error {
 	workers := fs.Int("workers", 0, "parallel shards (0 = GOMAXPROCS)")
 	seed := fs.Uint64("seed", 99, "population seed")
 	metrics := fs.Bool("metrics", false, "print the cascade funnel counters to stderr")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyCacheDir(*cacheDir); err != nil {
 		return err
 	}
 	if *users < 2 {

@@ -23,7 +23,11 @@ func trackCmd(args []string) error {
 	population := fs.Int("population", 0, "mostly-idle background UEs per cell (~1% active)")
 	seed := fs.Uint64("seed", 99, "scenario seed")
 	model := fs.String("model", "", "trained model path; when set, fingerprint the tracked trace")
+	cacheDir := cacheDirFlag(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := applyCacheDir(*cacheDir); err != nil {
 		return err
 	}
 	if err := cliflag.Check(

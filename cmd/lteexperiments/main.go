@@ -6,7 +6,7 @@
 // Usage:
 //
 //	lteexperiments [-scale quick|full] [-seed N] [-only list]
-//	               [-metrics] [-debug-addr host:port]
+//	               [-cache-dir path] [-metrics] [-debug-addr host:port]
 //
 // where -only is a comma-separated subset of
 // table3,table4,table5,table6,table7,table8,fig8,fig9,cost plus the
@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"ltefp"
 	"ltefp/internal/cliflag"
 	"ltefp/internal/experiments"
 	"ltefp/internal/obs"
@@ -42,6 +43,7 @@ func run(args []string) error {
 	seed := fs.Uint64("seed", 1, "master random seed")
 	only := fs.String("only", "", "comma-separated experiment subset (default: all)")
 	population := fs.Int("population", 0, "mostly-idle background UEs per capture cell (~1% active)")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory (captures, window matrices, datasets, trained forests); empty = memory-only")
 	metrics := fs.Bool("metrics", false, "print a pipeline metrics report after each experiment")
 	debugAddr := fs.String("debug-addr", "", "serve /debug/vars, /debug/pprof/ and /metrics on this address")
 	if err := fs.Parse(args); err != nil {
@@ -60,6 +62,11 @@ func run(args []string) error {
 		return fmt.Errorf("unknown scale %q (want quick or full)", *scaleName)
 	}
 	scale.Population = *population
+	if *cacheDir != "" {
+		if err := ltefp.SetCacheDir(*cacheDir); err != nil {
+			return err
+		}
+	}
 
 	want := map[string]bool{}
 	if *only != "" {

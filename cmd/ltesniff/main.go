@@ -49,6 +49,7 @@ func run(args []string) error {
 	background := fs.Int("background", 0, "noise apps running on the victim UE")
 	population := fs.Int("population", 0, "mostly-idle background UEs attached to the cell (~1% active)")
 	victimOnly := fs.Bool("victim-only", true, "write only records attributed to the victim")
+	cacheDir := fs.String("cache-dir", "", "persistent artifact cache directory shared with the other tools; empty = memory-only")
 	out := fs.String("out", "-", "output CSV path (- = stdout)")
 	live := fs.Bool("live", false, "classify the capture while it runs instead of writing a CSV")
 	model := fs.String("model", "", "fingerprinter model for -live (as saved by Fingerprinter.Save); trains a small one when empty")
@@ -65,6 +66,11 @@ func run(args []string) error {
 		cliflag.NonNegative("population", *population),
 	); err != nil {
 		return err
+	}
+	if *cacheDir != "" {
+		if err := ltefp.SetCacheDir(*cacheDir); err != nil {
+			return err
+		}
 	}
 	if *list {
 		fmt.Println("networks:")

@@ -1,0 +1,453 @@
+package artifact
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"ltefp/internal/snapshot"
+)
+
+// blobCodec is the test codec: a length-prefixed byte payload whose
+// in-memory size is its length.
+type blobCodec struct {
+	kind    Kind
+	version uint32
+}
+
+func (c blobCodec) Kind() Kind      { return c.kind }
+func (c blobCodec) Version() uint32 { return c.version }
+
+func (c blobCodec) Encode(e *snapshot.Encoder, v any) error {
+	b, ok := v.([]byte)
+	if !ok {
+		return fmt.Errorf("blobCodec got %T", v)
+	}
+	e.Blob(b)
+	return nil
+}
+
+func (c blobCodec) Decode(d *snapshot.Decoder) (any, error) {
+	b := d.Blob()
+	if err := d.Err(); err != nil {
+		return nil, err
+	}
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out, nil
+}
+
+func (c blobCodec) Size(v any) int64 {
+	b, ok := v.([]byte)
+	if !ok {
+		return 0
+	}
+	return int64(len(b))
+}
+
+var testCodec = blobCodec{kind: "testblob", version: 1}
+
+func keyOf(s string) Key {
+	h := NewHasher("artifact-test")
+	h.Str(s)
+	return h.Key()
+}
+
+func blob(n int, fill byte) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = fill
+	}
+	return b
+}
+
+func TestMemoryHitAndSingleflight(t *testing.T) {
+	s := NewStore(1 << 20)
+	var computes atomic.Int64
+	compute := func() (any, error) {
+		computes.Add(1)
+		return blob(100, 7), nil
+	}
+	const goroutines = 16
+	results := make([]any, goroutines)
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, err := s.GetOrCompute(testCodec, keyOf("a"), compute)
+			if err != nil {
+				t.Error(err)
+			}
+			results[i] = v
+		}(i)
+	}
+	wg.Wait()
+	if n := computes.Load(); n != 1 {
+		t.Fatalf("computed %d times, want singleflight = 1", n)
+	}
+	for i := 1; i < goroutines; i++ {
+		if fmt.Sprintf("%p", results[i]) != fmt.Sprintf("%p", results[0]) {
+			t.Fatal("concurrent callers observed different values")
+		}
+	}
+	st := s.ReadStats().PerKind["testblob"]
+	if st.Misses != 1 || st.MemHits != goroutines-1 {
+		t.Fatalf("stats = %+v, want 1 miss, %d hits", st, goroutines-1)
+	}
+}
+
+func TestErrorsNotMemoized(t *testing.T) {
+	s := NewStore(1 << 20)
+	calls := 0
+	_, err := s.GetOrCompute(testCodec, keyOf("fail"), func() (any, error) {
+		calls++
+		return nil, fmt.Errorf("boom")
+	})
+	if err == nil {
+		t.Fatal("want compute error surfaced")
+	}
+	v, err := s.GetOrCompute(testCodec, keyOf("fail"), func() (any, error) {
+		calls++
+		return blob(10, 1), nil
+	})
+	if err != nil || len(v.([]byte)) != 10 {
+		t.Fatalf("retry after failure: v=%v err=%v", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times, want 2 (failure not memoized)", calls)
+	}
+}
+
+func TestBytesBoundedEviction(t *testing.T) {
+	s := NewStore(250)
+	for i := 0; i < 3; i++ {
+		_, err := s.GetOrCompute(testCodec, keyOf(fmt.Sprintf("k%d", i)), func() (any, error) {
+			return blob(100, byte(i)), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := s.ReadStats()
+	if st.Entries != 2 || st.BytesUsed != 200 {
+		t.Fatalf("after 3 inserts under a 250-byte budget: %d entries, %d bytes; want 2 entries, 200 bytes", st.Entries, st.BytesUsed)
+	}
+	ks := st.PerKind["testblob"]
+	if ks.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", ks.Evictions)
+	}
+	// k0 was least recently used; k2 must still be resident.
+	computed := false
+	if _, err := s.GetOrCompute(testCodec, keyOf("k2"), func() (any, error) {
+		computed = true
+		return blob(100, 2), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if computed {
+		t.Fatal("most recently used entry was evicted")
+	}
+}
+
+func TestOversizedEntryStillServed(t *testing.T) {
+	// An entry larger than the whole budget must be computed, returned, and
+	// then evicted — never block or thrash.
+	s := NewStore(50)
+	v, err := s.GetOrCompute(testCodec, keyOf("big"), func() (any, error) {
+		return blob(500, 1), nil
+	})
+	if err != nil || len(v.([]byte)) != 500 {
+		t.Fatalf("oversized entry: v=%v err=%v", v, err)
+	}
+	st := s.ReadStats()
+	if st.Entries != 0 || st.BytesUsed != 0 {
+		t.Fatalf("oversized entry stayed resident: %+v", st)
+	}
+}
+
+func TestDisabledStoreBypasses(t *testing.T) {
+	s := NewStore(0)
+	calls := 0
+	for i := 0; i < 2; i++ {
+		if _, err := s.GetOrCompute(testCodec, keyOf("x"), func() (any, error) {
+			calls++
+			return blob(10, 0), nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if calls != 2 {
+		t.Fatalf("disabled store memoized (calls=%d)", calls)
+	}
+	if st := s.ReadStats().PerKind["testblob"]; st.Bypasses != 2 {
+		t.Fatalf("bypasses = %d, want 2", st.Bypasses)
+	}
+}
+
+// diskStore returns a store whose memory tier is disabled, so every access
+// exercises the disk tier.
+func diskStore(t *testing.T, dir string) *Store {
+	t.Helper()
+	s := NewStore(0)
+	if err := s.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestDiskTierRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	w := diskStore(t, dir)
+	want := blob(1000, 9)
+	if _, err := w.GetOrCompute(testCodec, keyOf("d"), func() (any, error) { return want, nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A second store (a separate "process") must hit disk, not recompute.
+	r := diskStore(t, dir)
+	v, err := r.GetOrCompute(testCodec, keyOf("d"), func() (any, error) {
+		t.Fatal("recomputed despite a valid disk entry")
+		return nil, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := v.([]byte)
+	if len(got) != len(want) {
+		t.Fatalf("disk round trip: %d bytes, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("disk round trip differs at byte %d", i)
+		}
+	}
+	st := r.ReadStats().PerKind["testblob"]
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("stats = %+v, want pure disk hit", st)
+	}
+}
+
+// entryFile locates the single .snap file under dir.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	var found string
+	err := filepath.Walk(dir, func(path string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() && filepath.Ext(path) == ".snap" {
+			found = path
+		}
+		return nil
+	})
+	if err != nil || found == "" {
+		t.Fatalf("no .snap entry under %s (err=%v)", dir, err)
+	}
+	return found
+}
+
+// corruptionCase damages a written entry and asserts the store discards
+// and recomputes it.
+func corruptionCase(t *testing.T, damage func(t *testing.T, path string)) {
+	t.Helper()
+	dir := t.TempDir()
+	w := diskStore(t, dir)
+	if _, err := w.GetOrCompute(testCodec, keyOf("c"), func() (any, error) { return blob(200, 5), nil }); err != nil {
+		t.Fatal(err)
+	}
+	damage(t, entryFile(t, dir))
+
+	r := diskStore(t, dir)
+	recomputed := false
+	v, err := r.GetOrCompute(testCodec, keyOf("c"), func() (any, error) {
+		recomputed = true
+		return blob(200, 5), nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("damaged entry was served instead of recomputed")
+	}
+	if len(v.([]byte)) != 200 {
+		t.Fatalf("recompute returned %d bytes", len(v.([]byte)))
+	}
+	st := r.ReadStats().PerKind["testblob"]
+	if st.DiskDiscards != 1 {
+		t.Fatalf("disk discards = %d, want 1", st.DiskDiscards)
+	}
+	// The discarded file must have been deleted, then rewritten valid by
+	// the recompute; a third store must now hit disk cleanly.
+	r2 := diskStore(t, dir)
+	if _, err := r2.GetOrCompute(testCodec, keyOf("c"), func() (any, error) {
+		t.Fatal("rewritten entry still unreadable")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskRejectsTruncation(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, path string) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskRejectsBitFlip(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, path string) {
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b[len(b)/2] ^= 0x40
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskRejectsGarbage(t *testing.T) {
+	corruptionCase(t, func(t *testing.T, path string) {
+		if err := os.WriteFile(path, []byte("not a snapshot container"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+func TestDiskRejectsVersionSkew(t *testing.T) {
+	dir := t.TempDir()
+	old := diskStore(t, dir)
+	v1 := blobCodec{kind: "testblob", version: 1}
+	if _, err := old.GetOrCompute(v1, keyOf("v"), func() (any, error) { return blob(50, 1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	// A reader with a newer codec version must discard and recompute.
+	v2 := blobCodec{kind: "testblob", version: 2}
+	r := diskStore(t, dir)
+	recomputed := false
+	if _, err := r.GetOrCompute(v2, keyOf("v"), func() (any, error) {
+		recomputed = true
+		return blob(50, 2), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("version-skewed entry was served")
+	}
+	if st := r.ReadStats().PerKind["testblob"]; st.DiskDiscards != 1 {
+		t.Fatalf("disk discards = %d, want 1", st.DiskDiscards)
+	}
+}
+
+func TestDiskRejectsWrongKey(t *testing.T) {
+	// A valid container reached under the wrong name (copied or renamed)
+	// must fail identity validation.
+	dir := t.TempDir()
+	w := diskStore(t, dir)
+	if _, err := w.GetOrCompute(testCodec, keyOf("src"), func() (any, error) { return blob(60, 3), nil }); err != nil {
+		t.Fatal(err)
+	}
+	src := entryFile(t, dir)
+	dst := entryPath(dir, testCodec.Kind(), keyOf("dst"))
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(dst, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r := diskStore(t, dir)
+	recomputed := false
+	if _, err := r.GetOrCompute(testCodec, keyOf("dst"), func() (any, error) {
+		recomputed = true
+		return blob(60, 4), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !recomputed {
+		t.Fatal("mis-keyed entry was served")
+	}
+}
+
+// TestConcurrentSharedDir models two processes sharing a cache directory:
+// concurrent readers and writers over the same key set must never observe
+// a torn entry — every Get returns either a valid decode or a fresh
+// compute. Run under -race by scripts/check.sh.
+func TestConcurrentSharedDir(t *testing.T) {
+	dir := t.TempDir()
+	const keys = 8
+	const workers = 8
+	const rounds = 20
+	stores := [2]*Store{diskStore(t, dir), diskStore(t, dir)}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			s := stores[w%2]
+			for r := 0; r < rounds; r++ {
+				k := (w + r) % keys
+				want := byte(k)
+				v, err := s.GetOrCompute(testCodec, keyOf(fmt.Sprintf("shared%d", k)), func() (any, error) {
+					return blob(512, want), nil
+				})
+				if err != nil {
+					t.Errorf("worker %d round %d: %v", w, r, err)
+					return
+				}
+				b := v.([]byte)
+				if len(b) != 512 {
+					t.Errorf("worker %d: torn read (%d bytes)", w, len(b))
+					return
+				}
+				for i := range b {
+					if b[i] != want {
+						t.Errorf("worker %d: wrong content at byte %d", w, i)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i, s := range stores {
+		st := s.ReadStats().PerKind["testblob"]
+		if st.DiskDiscards != 0 {
+			t.Errorf("store %d discarded %d entries; concurrent writers should never produce an invalid file", i, st.DiskDiscards)
+		}
+	}
+}
+
+func TestResetDropsMemoryKeepsDisk(t *testing.T) {
+	dir := t.TempDir()
+	s := NewStore(1 << 20)
+	if err := s.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetOrCompute(testCodec, keyOf("r"), func() (any, error) { return blob(10, 1), nil }); err != nil {
+		t.Fatal(err)
+	}
+	s.Reset()
+	if st := s.ReadStats(); st.Entries != 0 || st.BytesUsed != 0 {
+		t.Fatalf("reset left %+v", st)
+	}
+	// The disk entry must survive the reset.
+	if _, err := s.GetOrCompute(testCodec, keyOf("r"), func() (any, error) {
+		t.Fatal("disk entry lost by Reset")
+		return nil, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

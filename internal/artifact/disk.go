@@ -1,0 +1,147 @@
+package artifact
+
+import (
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"ltefp/internal/snapshot"
+)
+
+// On-disk layout: <dir>/<kind>/<hh>/<hex-key>.snap, where hh is the first
+// key byte in hex — a fan-out shard keeping directories small under large
+// corpora. Each file is one snapshot container with two sections:
+//
+//	artifact.meta — kind string, codec version u32, the 32-byte key
+//	artifact.data — the codec's payload
+//
+// The meta section binds the file to its address: a file reached under the
+// wrong name (copied, renamed, kind collision) fails identity validation
+// and is discarded exactly like a corrupt one.
+const (
+	sectionMeta = "artifact.meta"
+	sectionData = "artifact.data"
+)
+
+// ensureDir creates the disk-tier root.
+func ensureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("artifact: cache dir: %w", err)
+	}
+	return nil
+}
+
+// entryPath maps an address to its file.
+func entryPath(dir string, kind Kind, key Key) string {
+	hexKey := hex.EncodeToString(key[:])
+	return filepath.Join(dir, string(kind), hexKey[:2], hexKey+".snap")
+}
+
+// decodeEntry validates and decodes one disk entry's sections against the
+// expected identity. Any mismatch or decode failure returns an error; the
+// caller discards the file.
+func decodeEntry(sections map[string][]byte, c Codec, key Key) (any, error) {
+	meta, ok := sections[sectionMeta]
+	if !ok {
+		return nil, fmt.Errorf("artifact: entry missing %s", sectionMeta)
+	}
+	data, ok := sections[sectionData]
+	if !ok {
+		return nil, fmt.Errorf("artifact: entry missing %s", sectionData)
+	}
+	md := snapshot.NewDecoder(meta)
+	kind := md.Str()
+	version := md.U32()
+	var gotKey Key
+	copy(gotKey[:], md.Blob())
+	if err := md.Finish(); err != nil {
+		return nil, err
+	}
+	if Kind(kind) != c.Kind() {
+		return nil, fmt.Errorf("artifact: entry kind %q, want %q", kind, c.Kind())
+	}
+	if version != c.Version() {
+		return nil, fmt.Errorf("artifact: entry version %d, codec reads %d", version, c.Version())
+	}
+	if gotKey != key {
+		return nil, fmt.Errorf("artifact: entry key mismatch")
+	}
+	d := snapshot.NewDecoder(data)
+	val, err := c.Decode(d)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.Finish(); err != nil {
+		return nil, err
+	}
+	return val, nil
+}
+
+// diskLoad probes the disk tier. A missing file is a plain miss; an
+// unreadable, corrupt, truncated, version-skewed, or mis-keyed file is
+// counted as a discard, deleted, and treated as a miss — the entry is
+// recomputed, never trusted.
+func (s *Store) diskLoad(dir string, c Codec, key Key, kc *kindCounters, m *metricSet) (any, bool) {
+	path := entryPath(dir, c.Kind(), key)
+	sections, err := snapshot.ReadFileAll(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false
+		}
+		// Structurally damaged or unreadable: discard so the rewrite below
+		// replaces it with a valid entry.
+		kc.discards.Add(1)
+		if m != nil {
+			m.diskDiscards.Add(1)
+		}
+		os.Remove(path)
+		return nil, false
+	}
+	val, err := decodeEntry(sections, c, key)
+	if err != nil {
+		kc.discards.Add(1)
+		if m != nil {
+			m.diskDiscards.Add(1)
+		}
+		os.Remove(path)
+		return nil, false
+	}
+	return val, true
+}
+
+// diskWrite persists a computed artifact. Failures degrade silently to
+// "not cached" (counted), never to a pipeline error: the caller already
+// holds the computed value.
+func (s *Store) diskWrite(dir string, c Codec, key Key, val any, kc *kindCounters, m *metricSet) {
+	path := entryPath(dir, c.Kind(), key)
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		kc.diskErrs.Add(1)
+		return
+	}
+	me := snapshot.NewEncoder(64)
+	me.Str(string(c.Kind()))
+	me.U32(c.Version())
+	me.Blob(key[:])
+
+	de := snapshot.NewEncoder(int(c.Size(val)) + 64)
+	if err := c.Encode(de, val); err != nil {
+		kc.diskErrs.Add(1)
+		return
+	}
+	n, err := snapshot.WriteFileAtomic(path, func(w *snapshot.Writer) error {
+		if err := w.Section(sectionMeta, me.Bytes()); err != nil {
+			return err
+		}
+		return w.Section(sectionData, de.Bytes())
+	})
+	if err != nil {
+		kc.diskErrs.Add(1)
+		return
+	}
+	kc.diskWrites.Add(1)
+	if m != nil {
+		m.diskWrites.Add(1)
+		m.diskBytes.Add(n)
+	}
+}

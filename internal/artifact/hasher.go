@@ -1,0 +1,72 @@
+package artifact
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+	"io"
+	"math"
+	"time"
+)
+
+// Hasher builds a content Key from deterministic primitives. Every value
+// is written fixed-width or length-prefixed, so distinct provenance can
+// never collide by concatenation ambiguity. The namespace string seeds the
+// hash and doubles as the key-schema version: bump it whenever the set or
+// order of hashed fields changes, so stale disk entries become unreachable
+// rather than wrongly served.
+type Hasher struct {
+	h   hash.Hash
+	buf [8]byte
+}
+
+// NewHasher starts a key over the given namespace.
+func NewHasher(namespace string) *Hasher {
+	h := &Hasher{h: sha256.New()}
+	_, _ = io.WriteString(h.h, namespace)
+	_, _ = h.h.Write([]byte{'\n'})
+	return h
+}
+
+// U64 hashes a fixed-width unsigned integer.
+func (h *Hasher) U64(v uint64) {
+	binary.LittleEndian.PutUint64(h.buf[:], v)
+	_, _ = h.h.Write(h.buf[:])
+}
+
+// I64 hashes a fixed-width signed integer.
+func (h *Hasher) I64(v int64) { h.U64(uint64(v)) }
+
+// F64 hashes a float64 bit pattern.
+func (h *Hasher) F64(v float64) { h.U64(math.Float64bits(v)) }
+
+// Bool hashes a boolean as one full word.
+func (h *Hasher) Bool(v bool) {
+	if v {
+		h.U64(1)
+	} else {
+		h.U64(0)
+	}
+}
+
+// Duration hashes a time.Duration.
+func (h *Hasher) Duration(d time.Duration) { h.I64(int64(d)) }
+
+// Str hashes a length-prefixed string.
+func (h *Hasher) Str(s string) {
+	h.U64(uint64(len(s)))
+	_, _ = io.WriteString(h.h, s)
+}
+
+// Bytes hashes a length-prefixed byte slice.
+func (h *Hasher) Bytes(b []byte) {
+	h.U64(uint64(len(b)))
+	_, _ = h.h.Write(b)
+}
+
+// Key finalises the content address.
+func (h *Hasher) Key() Key {
+	var k Key
+	copy(k[:], h.h.Sum(nil))
+	return k
+}

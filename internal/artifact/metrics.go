@@ -1,0 +1,52 @@
+package artifact
+
+import "ltefp/internal/obs"
+
+// metricSet holds the store's obs instruments. Counters are nil-safe, but
+// the whole set is swapped atomically so SetMetrics is race-free against
+// concurrent GetOrCompute calls.
+type metricSet struct {
+	memHits      *obs.Counter
+	diskHits     *obs.Counter
+	misses       *obs.Counter
+	bypasses     *obs.Counter
+	evictions    *obs.Counter
+	diskWrites   *obs.Counter
+	diskDiscards *obs.Counter
+	diskBytes    *obs.Counter
+	memBytes     *obs.Gauge
+}
+
+// SetMetrics (re)wires the store's observability instruments into the
+// given scope:
+//
+//	<scope>.mem_hits, disk_hits, misses, bypasses, evictions
+//	<scope>.disk_writes, disk_discards, disk_bytes_written
+//	<scope>.mem_bytes (gauge)
+//
+// A zero scope detaches instrumentation. Counters aggregate across kinds;
+// per-kind detail lives in ReadStats.
+func (s *Store) SetMetrics(sc obs.Scope) {
+	if !sc.Enabled() {
+		s.metrics.Store(nil)
+		return
+	}
+	s.metrics.Store(&metricSet{
+		memHits:      sc.Counter("mem_hits"),
+		diskHits:     sc.Counter("disk_hits"),
+		misses:       sc.Counter("misses"),
+		bypasses:     sc.Counter("bypasses"),
+		evictions:    sc.Counter("evictions"),
+		diskWrites:   sc.Counter("disk_writes"),
+		diskDiscards: sc.Counter("disk_discards"),
+		diskBytes:    sc.Counter("disk_bytes_written"),
+		memBytes:     sc.Gauge("mem_bytes"),
+	})
+}
+
+// gaugeBytes publishes the memory tier's accounted footprint.
+func (s *Store) gaugeBytes(n int64) {
+	if m := s.metrics.Load(); m != nil {
+		m.memBytes.Set(n)
+	}
+}

@@ -1,0 +1,244 @@
+package fingerprint_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/artifact"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/ml/forest"
+	"ltefp/internal/sniffer"
+)
+
+// artifactSpec is a small campaign used by the artifact-layer tests.
+func artifactSpec(t *testing.T) fingerprint.CollectSpec {
+	t.Helper()
+	app, err := appmodel.ByName("YouTube")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fingerprint.CollectSpec{
+		Profile:          operator.Lab(),
+		App:              app,
+		Sessions:         2,
+		SessionDur:       5 * time.Second,
+		Seed:             41,
+		Sniffer:          sniffer.Config{CorruptProb: 0.002},
+		ApplyProfileLoss: true,
+	}
+}
+
+// withDiskStore points the shared artifact store at a fresh temp
+// directory for one test, restoring the memory-only default afterwards.
+func withDiskStore(t *testing.T) string {
+	t.Helper()
+	artifact.Default.Reset()
+	dir := t.TempDir()
+	if err := artifact.Default.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := artifact.Default.SetDir(""); err != nil {
+			t.Fatal(err)
+		}
+		artifact.Default.Reset()
+	})
+	return dir
+}
+
+// corruptOneEntry flips a byte in the middle of one on-disk entry of the
+// given kind and returns its path.
+func corruptOneEntry(t *testing.T, dir string, kind artifact.Kind) string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, string(kind), "*", "*.snap"))
+	if err != nil || len(matches) == 0 {
+		t.Fatalf("no %s entries on disk (err=%v)", kind, err)
+	}
+	path := matches[0]
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/2] ^= 0x08
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCollectWindowsMatchesDirectCollection proves the window-matrix
+// artifact is transparent: under every direction filter, the cached path
+// returns exactly what windowing the collected trace directly returns —
+// cold, and again when served back from disk.
+func TestCollectWindowsMatchesDirectCollection(t *testing.T) {
+	withDiskStore(t)
+	spec := artifactSpec(t)
+	for _, filter := range []fingerprint.DirectionFilter{
+		fingerprint.AllDirections, fingerprint.DownlinkOnly, fingerprint.UplinkOnly,
+	} {
+		tr, err := fingerprint.CollectTrace(spec, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := fingerprint.WindowVectors(filter.Apply(tr), fingerprint.DefaultWindow, fingerprint.DefaultWindow)
+		if len(want) == 0 {
+			t.Fatal("test spec produced no windows")
+		}
+		cold, err := fingerprint.CollectWindows(spec, 0, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(cold, want) {
+			t.Fatalf("filter %v: cold CollectWindows differs from direct collection", filter)
+		}
+		// Drop the memory tier: the warm read decodes the persisted matrix.
+		artifact.Default.Reset()
+		warm, err := fingerprint.CollectWindows(spec, 0, filter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(warm, want) {
+			t.Fatalf("filter %v: disk-served matrix differs from direct collection", filter)
+		}
+		st := artifact.Default.ReadStats().PerKind[artifact.KindFeatures]
+		if st.DiskHits == 0 {
+			t.Fatalf("filter %v: expected a features disk hit, stats %+v", filter, st)
+		}
+	}
+}
+
+// TestWindowsEntryCorruptionRecomputed flips a byte in a persisted
+// window matrix: the next cold-memory read must discard it and recompute
+// the identical matrix from the (also cached) capture.
+func TestWindowsEntryCorruptionRecomputed(t *testing.T) {
+	dir := withDiskStore(t)
+	spec := artifactSpec(t)
+	want, err := fingerprint.CollectWindows(spec, 0, fingerprint.AllDirections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptOneEntry(t, dir, artifact.KindFeatures)
+	artifact.Default.Reset()
+	got, err := fingerprint.CollectWindows(spec, 0, fingerprint.AllDirections)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("recomputed matrix differs from the original")
+	}
+	st := artifact.Default.ReadStats().PerKind[artifact.KindFeatures]
+	if st.DiskDiscards != 1 || st.DiskHits != 0 {
+		t.Fatalf("stats %+v: want the corrupted entry discarded, not served", st)
+	}
+}
+
+// TestTrainCachedDurableAndByteIdentical trains through the artifact
+// store and proves the persisted classifier is byte-for-byte the trained
+// one (via Save), that a restarted process loads it from disk without
+// retraining, and that a corrupted model entry is retrained, not trusted.
+func TestTrainCachedDurableAndByteIdentical(t *testing.T) {
+	dir := withDiskStore(t)
+	byApp := collectAll(t, 1, 5*time.Second)
+	makeTS := func() *fingerprint.TrainingSet {
+		ts := fingerprint.NewTrainingSet()
+		for app, vecs := range byApp {
+			if err := ts.Add(app, vecs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ts
+	}
+	cfg := fingerprint.Config{Forest: forest.Config{Trees: 10, Seed: 3}}
+
+	cold, err := fingerprint.TrainCached(makeTS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var coldBytes bytes.Buffer
+	if err := cold.Save(&coldBytes); err != nil {
+		t.Fatal(err)
+	}
+
+	artifact.Default.Reset()
+	warm, err := fingerprint.TrainCached(makeTS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := artifact.Default.ReadStats().PerKind[artifact.KindForest]
+	if st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("warm stats %+v: want a pure disk hit", st)
+	}
+	var warmBytes bytes.Buffer
+	if err := warm.Save(&warmBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBytes.Bytes(), warmBytes.Bytes()) {
+		t.Fatal("disk-served classifier is not byte-identical to the trained one")
+	}
+
+	corruptOneEntry(t, dir, artifact.KindForest)
+	artifact.Default.Reset()
+	re, err := fingerprint.TrainCached(makeTS(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = artifact.Default.ReadStats().PerKind[artifact.KindForest]
+	if st.DiskDiscards != 1 || st.DiskHits != 0 {
+		t.Fatalf("post-corruption stats %+v: want the entry discarded", st)
+	}
+	var reBytes bytes.Buffer
+	if err := re.Save(&reBytes); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(coldBytes.Bytes(), reBytes.Bytes()) {
+		t.Fatal("retrained classifier differs from the original")
+	}
+}
+
+// TestTrainingKeySensitivity checks the forest key tracks its inputs: the
+// same content hashes equal, and any change — a training row, the forest
+// config, the window — produces a different address.
+func TestTrainingKeySensitivity(t *testing.T) {
+	byApp := collectAll(t, 1, 5*time.Second)
+	makeTS := func(mutate bool) *fingerprint.TrainingSet {
+		ts := fingerprint.NewTrainingSet()
+		for app, vecs := range byApp {
+			if mutate && app == "YouTube" {
+				mutated := make([][]float64, len(vecs))
+				copy(mutated, vecs)
+				row := append([]float64(nil), mutated[0]...)
+				row[0]++
+				mutated[0] = row
+				vecs = mutated
+			}
+			if err := ts.Add(app, vecs); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ts
+	}
+	cfg := fingerprint.Config{Forest: forest.Config{Trees: 10, Seed: 3}}
+	base := fingerprint.TrainingKey(makeTS(false), cfg)
+	if again := fingerprint.TrainingKey(makeTS(false), cfg); again != base {
+		t.Fatal("identical training inputs produced different keys")
+	}
+	if k := fingerprint.TrainingKey(makeTS(true), cfg); k == base {
+		t.Fatal("changed training row did not change the key")
+	}
+	cfg2 := cfg
+	cfg2.Forest.Trees = 11
+	if k := fingerprint.TrainingKey(makeTS(false), cfg2); k == base {
+		t.Fatal("changed forest config did not change the key")
+	}
+	cfg3 := cfg
+	cfg3.Window = 200 * time.Millisecond
+	if k := fingerprint.TrainingKey(makeTS(false), cfg3); k == base {
+		t.Fatal("changed window did not change the key")
+	}
+}

@@ -144,27 +144,7 @@ func CollectTrace(spec CollectSpec, session int) (trace.Trace, error) {
 // campaign — a re-run benchmark, a sweep re-using a setting's captures —
 // skips the simulation and re-reads the immutable cached capture.
 func collectOne(spec CollectSpec, session int) (trace.Trace, error) {
-	seed := spec.Seed*0x9E3779B9 + uint64(session)*0x85EBCA77 + 1
-	sess := capture.Session{
-		UE:       "victim",
-		CellID:   1,
-		App:      spec.App,
-		Start:    500 * time.Millisecond,
-		Duration: spec.SessionDur,
-		Day:      spec.Day,
-	}
-	if spec.BackgroundApps > 0 {
-		sess.Arrivals = mergedArrivals(spec, seed)
-	}
-	res, err := capture.RunCached(capture.Scenario{
-		Seed:             seed,
-		Cells:            []capture.Cell{{ID: 1, Profile: spec.Profile}},
-		Sessions:         []capture.Session{sess},
-		Population:       spec.Population,
-		Sniffer:          spec.Sniffer,
-		ApplyProfileLoss: spec.ApplyProfileLoss,
-		Metrics:          spec.Metrics,
-	})
+	res, err := capture.RunCached(scenarioFor(spec, session))
 	if err != nil {
 		return nil, err
 	}

@@ -1,22 +1,19 @@
 package capture
 
 import (
-	"container/list"
-	"crypto/sha256"
-	"encoding/binary"
 	"fmt"
-	"io"
-	"math"
-	"sync"
-	"sync/atomic"
+
+	"ltefp/internal/artifact"
 )
 
 // The capture corpus behind an experiment run is heavily repetitive: every
 // table and figure replays (seed, profile, app-mix) scenarios that are
 // bit-for-bit reproducible, and a benchmark or a sweep replays whole
-// campaigns. RunCached memoizes Run on a content key derived from the
-// scenario, so identical scenarios are simulated once and every further
-// request returns the same immutable *Capture.
+// campaigns. RunCached memoizes Run through the process-wide artifact
+// store (internal/artifact), so identical scenarios are simulated once and
+// every further request returns the same immutable *Capture — from memory
+// within a process, and from the persistent disk tier across processes
+// when one is enabled.
 //
 // Memoization semantics:
 //
@@ -39,235 +36,137 @@ import (
 //   - Sessions driven by a generator app are keyed by the app's registry
 //     identity (Name, Category). A session with an unnamed generator app
 //     is not hashable and bypasses the cache.
-
-// DefaultCacheCapacity is the default bound on memoized captures; least
-// recently used entries are evicted beyond it.
-const DefaultCacheCapacity = 128
+//
+// The in-memory tier is bytes-bounded, not entry-bounded: a population
+// capture runs to ~90 MB where a standard one is ~1 MB, so an entry count
+// silently admits multi-GB residency. Sizes are accounted approximately
+// per entry (slice lengths × element footprints, see captureCodec.Size)
+// and least-recently-used captures are evicted past the budget.
 
 // CacheStats is a snapshot of the capture cache's effectiveness counters.
 type CacheStats struct {
-	// Hits counts RunCached calls served from the cache (including calls
-	// that waited for an in-flight computation of the same scenario).
+	// Hits counts RunCached calls served from the in-memory tier
+	// (including calls that waited for an in-flight simulation of the same
+	// scenario).
 	Hits int64
+	// DiskHits counts RunCached calls served by decoding a validated
+	// persistent-tier entry.
+	DiskHits int64
 	// Misses counts RunCached calls that simulated and populated an entry.
 	Misses int64
 	// Bypasses counts RunCached calls that skipped the cache (metrics
 	// enabled, unhashable scenario, or cache disabled).
 	Bypasses int64
-	// Evictions counts entries dropped by the LRU bound.
+	// Evictions counts entries dropped by the memory tier's byte budget.
 	Evictions int64
-	// Entries is the current number of cached scenarios.
-	Entries int
+	// Entries and BytesUsed describe the memory tier of the whole shared
+	// artifact store (all kinds, not just captures).
+	Entries   int
+	BytesUsed int64
 }
 
-type cacheEntry struct {
-	key  string
-	elem *list.Element
-	done chan struct{} // closed when val/err are set
-	val  *Capture
-	err  error
+// SetCacheBytes re-bounds the shared artifact store's in-memory tier to n
+// bytes and returns the previous bound. n <= 0 disables in-memory
+// memoization entirely (RunCached degrades to Run unless a disk tier is
+// enabled) and drops the current contents. The budget is shared with the
+// other cached artifact kinds (feature matrices, datasets, forests).
+func SetCacheBytes(n int64) int64 {
+	return artifact.Default.SetMemoryBudget(n)
 }
 
-type captureCache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[string]*cacheEntry
-	order    *list.List // front = most recently used
-
-	hits, misses, bypasses, evictions atomic.Int64
-}
-
-var cache = &captureCache{
-	capacity: DefaultCacheCapacity,
-	entries:  make(map[string]*cacheEntry),
-	order:    list.New(),
-}
-
-// SetCacheCapacity bounds the capture cache to n scenarios and returns the
-// previous bound. n <= 0 disables memoization entirely (RunCached degrades
-// to Run) and drops the current contents.
-func SetCacheCapacity(n int) int {
-	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	prev := cache.capacity
-	cache.capacity = n
-	if n <= 0 {
-		cache.entries = make(map[string]*cacheEntry)
-		cache.order.Init()
-	} else {
-		cache.evictLocked()
-	}
-	return prev
-}
-
-// ResetCache drops every cached capture and zeroes the cache statistics.
+// ResetCache drops every in-memory artifact-store entry and zeroes the
+// statistics. Persistent-tier entries are kept; they re-validate on read.
 func ResetCache() {
-	cache.mu.Lock()
-	defer cache.mu.Unlock()
-	cache.entries = make(map[string]*cacheEntry)
-	cache.order.Init()
-	cache.hits.Store(0)
-	cache.misses.Store(0)
-	cache.bypasses.Store(0)
-	cache.evictions.Store(0)
+	artifact.Default.Reset()
 }
 
-// ReadCacheStats reports the cache's effectiveness counters.
+// ReadCacheStats reports the capture kind's effectiveness counters.
 func ReadCacheStats() CacheStats {
-	cache.mu.Lock()
-	entries := len(cache.entries)
-	cache.mu.Unlock()
+	st := artifact.Default.ReadStats()
+	ks := st.PerKind[artifact.KindCapture]
 	return CacheStats{
-		Hits:      cache.hits.Load(),
-		Misses:    cache.misses.Load(),
-		Bypasses:  cache.bypasses.Load(),
-		Evictions: cache.evictions.Load(),
-		Entries:   entries,
+		Hits:      ks.MemHits,
+		DiskHits:  ks.DiskHits,
+		Misses:    ks.Misses,
+		Bypasses:  ks.Bypasses,
+		Evictions: ks.Evictions,
+		Entries:   st.Entries,
+		BytesUsed: st.BytesUsed,
 	}
 }
 
-// RunCached executes the scenario through the capture cache: the first
+// RunCached executes the scenario through the artifact store: the first
 // request for a scenario simulates it via Run, concurrent requests for the
 // same scenario wait for that one simulation, and later requests return
 // the memoized result. The returned Capture is shared and immutable.
 func RunCached(sc Scenario) (*Capture, error) {
-	key, hashable := scenarioKey(sc)
+	key, hashable := ScenarioKey(sc)
 	if !hashable || sc.Metrics.Enabled() {
-		cache.bypasses.Add(1)
+		artifact.Default.CountBypass(artifact.KindCapture)
 		return Run(sc)
 	}
-
-	cache.mu.Lock()
-	if cache.capacity <= 0 {
-		cache.mu.Unlock()
-		cache.bypasses.Add(1)
+	v, err := artifact.Default.GetOrCompute(captureCodec{}, key, func() (any, error) {
 		return Run(sc)
-	}
-	if e, ok := cache.entries[key]; ok {
-		cache.order.MoveToFront(e.elem)
-		cache.mu.Unlock()
-		<-e.done
-		cache.hits.Add(1)
-		return e.val, e.err
-	}
-	e := &cacheEntry{key: key, done: make(chan struct{})}
-	e.elem = cache.order.PushFront(e)
-	cache.entries[key] = e
-	cache.evictLocked()
-	cache.mu.Unlock()
-
-	val, err := Run(sc)
-	e.val, e.err = val, err
-	close(e.done)
-	cache.misses.Add(1)
+	})
 	if err != nil {
-		// Do not memoize failures: drop the entry so a later call retries.
-		cache.mu.Lock()
-		if cur, ok := cache.entries[key]; ok && cur == e {
-			delete(cache.entries, key)
-			cache.order.Remove(e.elem)
-		}
-		cache.mu.Unlock()
+		return nil, err
 	}
-	return val, err
+	return v.(*Capture), nil
 }
 
-// evictLocked drops completed least-recently-used entries beyond the
-// capacity bound. In-flight entries are skipped; they are pinned by the
-// goroutines waiting on them.
-func (c *captureCache) evictLocked() {
-	if c.capacity <= 0 {
-		return
-	}
-	for el := c.order.Back(); el != nil && len(c.entries) > c.capacity; {
-		prev := el.Prev()
-		e, ok := el.Value.(*cacheEntry)
-		if !ok {
-			panic("capture: cache list holds a non-entry")
-		}
-		select {
-		case <-e.done:
-			delete(c.entries, e.key)
-			c.order.Remove(el)
-			c.evictions.Add(1)
-		default:
-			// still simulating
-		}
-		el = prev
-	}
-}
-
-// scenarioKey derives the content key of a scenario. The boolean is false
+// ScenarioKey derives the content key of a scenario. The boolean is false
 // when the scenario cannot be keyed by content (a generator app without a
-// registry name), in which case callers must run uncached.
-func scenarioKey(sc Scenario) (string, bool) {
-	h := sha256.New()
-	_, _ = io.WriteString(h, "ltefp-capture-key-v4\n")
-	var buf [8]byte
-	wu64 := func(v uint64) {
-		binary.LittleEndian.PutUint64(buf[:], v)
-		_, _ = h.Write(buf[:])
-	}
-	wstr := func(s string) {
-		wu64(uint64(len(s)))
-		_, _ = io.WriteString(h, s)
-	}
-	wbool := func(b bool) {
-		if b {
-			wu64(1)
-		} else {
-			wu64(0)
-		}
-	}
-	wf64 := func(f float64) { wu64(math.Float64bits(f)) }
+// registry name), in which case callers must run uncached. Derived
+// artifacts (feature matrices) fold this key into their own.
+func ScenarioKey(sc Scenario) (artifact.Key, bool) {
+	h := artifact.NewHasher("ltefp-capture-key-v4")
+	h.U64(sc.Seed)
+	h.Duration(sc.Settle)
+	h.U64(uint64(sc.Population))
+	h.Bool(sc.ApplyProfileLoss)
+	h.F64(sc.Sniffer.LossProb)
+	h.F64(sc.Sniffer.CorruptProb)
+	h.Bool(sc.Sniffer.DownlinkOnly)
+	h.Bool(sc.Sniffer.UplinkOnly)
 
-	wu64(sc.Seed)
-	wu64(uint64(sc.Settle))
-	wu64(uint64(sc.Population))
-	wbool(sc.ApplyProfileLoss)
-	wf64(sc.Sniffer.LossProb)
-	wf64(sc.Sniffer.CorruptProb)
-	wbool(sc.Sniffer.DownlinkOnly)
-	wbool(sc.Sniffer.UplinkOnly)
-
-	wu64(uint64(len(sc.Cells)))
+	h.U64(uint64(len(sc.Cells)))
 	for _, c := range sc.Cells {
-		wu64(uint64(c.ID))
+		h.U64(uint64(c.ID))
 		// The operator profile is a flat struct of scalars; its Go-syntax
 		// rendering is a complete, deterministic serialisation.
-		wstr(fmt.Sprintf("%#v", c.Profile))
+		h.Str(fmt.Sprintf("%#v", c.Profile))
 	}
 
-	wu64(uint64(len(sc.Sessions)))
+	h.U64(uint64(len(sc.Sessions)))
 	for _, s := range sc.Sessions {
-		wstr(s.UE)
-		wu64(uint64(s.CellID))
-		wu64(uint64(s.Day))
-		wu64(uint64(s.Start))
-		wu64(uint64(s.Duration))
+		h.Str(s.UE)
+		h.U64(uint64(s.CellID))
+		h.U64(uint64(s.Day))
+		h.Duration(s.Start)
+		h.Duration(s.Duration)
 		if s.Arrivals != nil {
-			wu64(uint64(len(s.Arrivals)))
+			h.U64(uint64(len(s.Arrivals)))
 			for _, a := range s.Arrivals {
-				wu64(uint64(a.At))
-				wu64(uint64(a.Dir))
-				wu64(uint64(a.Bytes))
+				h.Duration(a.At)
+				h.U64(uint64(a.Dir))
+				h.U64(uint64(a.Bytes))
 			}
 		} else {
 			if s.App.Name == "" {
-				return "", false
+				return artifact.Key{}, false
 			}
-			wu64(^uint64(0)) // marks "generator app", distinct from any arrival count
-			wstr(s.App.Name)
-			wu64(uint64(s.App.Category))
+			h.U64(^uint64(0)) // marks "generator app", distinct from any arrival count
+			h.Str(s.App.Name)
+			h.U64(uint64(s.App.Category))
 		}
 	}
 
-	wu64(uint64(len(sc.Moves)))
+	h.U64(uint64(len(sc.Moves)))
 	for _, m := range sc.Moves {
-		wstr(m.UE)
-		wu64(uint64(m.ToCell))
-		wu64(uint64(m.At))
-		wbool(m.Handover)
+		h.Str(m.UE)
+		h.U64(uint64(m.ToCell))
+		h.Duration(m.At)
+		h.Bool(m.Handover)
 	}
-	return string(h.Sum(nil)), true
+	return h.Key(), true
 }

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ltefp/internal/appmodel"
+	"ltefp/internal/artifact"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/obs"
 	"ltefp/internal/sniffer"
@@ -125,18 +126,18 @@ func TestScenarioKeySensitivity(t *testing.T) {
 			sc.Sessions[0].Arrivals = []appmodel.Arrival{{At: time.Second, Bytes: 100}}
 		},
 	}
-	baseKey, ok := scenarioKey(base)
+	baseKey, ok := ScenarioKey(base)
 	if !ok {
 		t.Fatal("base scenario not hashable")
 	}
-	seen := map[string]string{"<base>": baseKey}
+	seen := map[artifact.Key]string{baseKey: "<base>"}
 	for name, mutate := range mutations {
 		sc := testScenario()
 		// Deep-copy the slices the mutations touch so they are independent.
 		sc.Cells = append([]Cell(nil), sc.Cells...)
 		sc.Sessions = append([]Session(nil), sc.Sessions...)
 		mutate(&sc)
-		key, ok := scenarioKey(sc)
+		key, ok := ScenarioKey(sc)
 		if !ok {
 			t.Errorf("%s: scenario not hashable", name)
 			continue
@@ -150,8 +151,8 @@ func TestScenarioKeySensitivity(t *testing.T) {
 }
 
 func TestScenarioKeyStable(t *testing.T) {
-	a, ok1 := scenarioKey(testScenario())
-	b, ok2 := scenarioKey(testScenario())
+	a, ok1 := ScenarioKey(testScenario())
+	b, ok2 := ScenarioKey(testScenario())
 	if !ok1 || !ok2 || a != b {
 		t.Fatal("identical scenarios produced different keys")
 	}
@@ -160,7 +161,7 @@ func TestScenarioKeyStable(t *testing.T) {
 func TestScenarioKeyUnhashable(t *testing.T) {
 	sc := testScenario()
 	sc.Sessions[0].App = appmodel.App{} // no registry identity, no arrivals
-	if _, ok := scenarioKey(sc); ok {
+	if _, ok := ScenarioKey(sc); ok {
 		t.Fatal("scenario with an anonymous generator app must not be hashable")
 	}
 }
@@ -185,8 +186,8 @@ func TestRunCachedBypassesForMetrics(t *testing.T) {
 
 func TestRunCachedDisabled(t *testing.T) {
 	resetCacheT(t)
-	prev := SetCacheCapacity(0)
-	defer SetCacheCapacity(prev)
+	prev := SetCacheBytes(0)
+	defer SetCacheBytes(prev)
 	sc := testScenario()
 	a, err := RunCached(sc)
 	if err != nil {
@@ -207,13 +208,24 @@ func TestRunCachedDisabled(t *testing.T) {
 
 func TestRunCachedEviction(t *testing.T) {
 	resetCacheT(t)
-	prev := SetCacheCapacity(2)
-	defer SetCacheCapacity(prev)
 	scs := make([]Scenario, 3)
 	for i := range scs {
 		scs[i] = testScenario()
 		scs[i].Seed = uint64(100 + i)
 	}
+	// Size one capture to derive a byte budget admitting two of the three
+	// (the scenarios differ only by seed, so their footprints are close).
+	if _, err := RunCached(scs[0]); err != nil {
+		t.Fatal(err)
+	}
+	one := ReadCacheStats().BytesUsed
+	if one <= 0 {
+		t.Fatalf("cached capture accounted %d bytes, want > 0", one)
+	}
+	ResetCache()
+	prev := SetCacheBytes(one*2 + one/2)
+	defer SetCacheBytes(prev)
+
 	first, err := RunCached(scs[0])
 	if err != nil {
 		t.Fatal(err)
@@ -226,6 +238,9 @@ func TestRunCachedEviction(t *testing.T) {
 	st := ReadCacheStats()
 	if st.Entries != 2 || st.Evictions != 1 {
 		t.Fatalf("stats = %+v, want 2 entries after 1 eviction", st)
+	}
+	if st.BytesUsed > one*2+one/2 {
+		t.Fatalf("bytes used %d exceeds the %d budget", st.BytesUsed, one*2+one/2)
 	}
 	// scs[0] was the least recently used entry; re-running it must miss.
 	again, err := RunCached(scs[0])

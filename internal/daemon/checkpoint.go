@@ -152,64 +152,33 @@ func (d *Daemon) writeCheckpoint(cr *captureRun, c *stream.Checkpoint) {
 	cr.mu.Unlock()
 }
 
-// writeCheckpointFile builds and atomically installs the container.
+// writeCheckpointFile builds and atomically installs the container via
+// snapshot.WriteFileAtomic (unique temp + fsync + rename), so a crash or
+// a concurrent writer can never leave a torn checkpoint behind.
 func (d *Daemon) writeCheckpointFile(cr *captureRun, c *stream.Checkpoint) (int64, error) {
 	model, err := d.classifierSections()
 	if err != nil {
 		return 0, err
 	}
-	var buf bytes.Buffer
-	w, err := snapshot.NewWriter(&buf)
-	if err != nil {
-		return 0, err
-	}
-	if err := w.Section(sectionDaemonMeta, d.encodeMeta(cr)); err != nil {
-		return 0, err
-	}
-	if err := w.Section(sectionDaemonFinals, cr.encodeFinals()); err != nil {
-		return 0, err
-	}
-	names := make([]string, 0, len(model))
-	for name := range model {
-		names = append(names, name)
-	}
-	sort.Strings(names)
-	for _, name := range names {
-		if err := w.Section(name, model[name]); err != nil {
-			return 0, err
+	return snapshot.WriteFileAtomic(cr.ckptPath, func(w *snapshot.Writer) error {
+		if err := w.Section(sectionDaemonMeta, d.encodeMeta(cr)); err != nil {
+			return err
 		}
-	}
-	if err := c.AppendTo(w); err != nil {
-		return 0, err
-	}
-	if err := w.Close(); err != nil {
-		return 0, err
-	}
-
-	tmp := cr.ckptPath + ".tmp"
-	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return 0, err
-	}
-	if _, err := f.Write(buf.Bytes()); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := f.Close(); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	if err := os.Rename(tmp, cr.ckptPath); err != nil {
-		os.Remove(tmp)
-		return 0, err
-	}
-	return int64(buf.Len()), nil
+		if err := w.Section(sectionDaemonFinals, cr.encodeFinals()); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(model))
+		for name := range model {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			if err := w.Section(name, model[name]); err != nil {
+				return err
+			}
+		}
+		return c.AppendTo(w)
+	})
 }
 
 // restoreState is everything a checkpoint file yields: the stream

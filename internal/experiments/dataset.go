@@ -1,0 +1,191 @@
+package experiments
+
+import (
+	"fmt"
+
+	"ltefp/internal/appmodel"
+	"ltefp/internal/artifact"
+	"ltefp/internal/attack/fingerprint"
+	"ltefp/internal/features"
+	"ltefp/internal/lte/operator"
+	"ltefp/internal/sniffer"
+	"ltefp/internal/snapshot"
+)
+
+// A dataset artifact is one assembled nine-app campaign — every app's
+// windows, split by session — for one network setting. It sits above the
+// capture and feature tiers: a fully warm run decodes the dataset in one
+// read, a partially warm run reassembles it from cached window matrices
+// (which in turn reassemble from cached captures), and a cold run
+// simulates. Keys are derived from the full collection recipe, so any
+// change to the setting — profile knob, scale sizing, sniffer coverage,
+// seed, feature schema — addresses a different artifact.
+//
+// Like every artifact in the store, datasets are only as fresh as the
+// code that computed them: a change to the simulator or feature pipeline
+// that alters outputs for identical inputs must bump the relevant codec
+// version (or features.SchemaVersion) so persisted entries are discarded
+// rather than replayed.
+
+// datasetCodec persists a []appData.
+type datasetCodec struct{}
+
+func (datasetCodec) Kind() artifact.Kind { return artifact.KindDataset }
+
+// Version couples the payload layout to the feature schema.
+func (datasetCodec) Version() uint32 { return 1<<16 | features.SchemaVersion }
+
+func (datasetCodec) Encode(e *snapshot.Encoder, v any) error {
+	data, ok := v.([]appData)
+	if !ok {
+		return fmt.Errorf("experiments: dataset codec got %T", v)
+	}
+	e.Uvarint(uint64(len(data)))
+	for _, d := range data {
+		e.Str(d.app.Name)
+		e.Uvarint(uint64(len(d.sessions)))
+		for _, m := range d.sessions {
+			features.EncodeMatrix(e, m)
+		}
+	}
+	return nil
+}
+
+func (datasetCodec) Decode(d *snapshot.Decoder) (any, error) {
+	n := d.Count(2)
+	if d.Err() != nil {
+		return nil, d.Err()
+	}
+	data := make([]appData, 0, n)
+	for i := 0; i < n; i++ {
+		name := d.Str()
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		app, err := appmodel.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", snapshot.ErrCorrupt, err)
+		}
+		k := d.Count(2)
+		if d.Err() != nil {
+			return nil, d.Err()
+		}
+		sessions := make([][][]float64, 0, k)
+		for j := 0; j < k; j++ {
+			m, err := features.DecodeMatrix(d)
+			if err != nil {
+				return nil, err
+			}
+			sessions = append(sessions, m)
+		}
+		data = append(data, appData{app: app, sessions: sessions})
+	}
+	return data, d.Err()
+}
+
+func (datasetCodec) Size(v any) int64 {
+	data, ok := v.([]appData)
+	if !ok {
+		return 0
+	}
+	sz := int64(256)
+	for _, d := range data {
+		sz += 128
+		for _, m := range d.sessions {
+			sz += 24 + features.MatrixSize(m)
+		}
+	}
+	return sz
+}
+
+// datasetKey addresses one assembled campaign by its collection recipe.
+// The capture content behind each session is a pure function of these
+// inputs (collectOne derives every scenario from the spec), so hashing
+// the recipe is equivalent to hashing the per-capture content keys.
+func datasetKey(profile operator.Profile, scale Scale, day int, seed uint64, cfg sniffer.Config, filter fingerprint.DirectionFilter) artifact.Key {
+	h := artifact.NewHasher("ltefp-dataset-v1")
+	// Profiles and sniffer configs are flat structs of scalars; %#v
+	// serialises every field, so new defense or coverage knobs change the
+	// key automatically (the same convention capture.ScenarioKey uses).
+	h.Str(fmt.Sprintf("%#v", profile))
+	h.Str(fmt.Sprintf("%#v", cfg))
+	h.I64(int64(day))
+	h.U64(seed)
+	h.U64(uint64(filter))
+	h.Duration(fingerprint.DefaultWindow)
+	h.U64(uint64(features.SchemaVersion))
+	h.I64(int64(scale.Population))
+	apps := appmodel.Apps()
+	h.U64(uint64(len(apps)))
+	for _, app := range apps {
+		sessions, dur := scale.sessionsFor(app)
+		h.Str(app.Name)
+		h.I64(int64(sessions))
+		h.Duration(dur)
+	}
+	return h.Key()
+}
+
+// collectDataset records (or replays) the full nine-app campaign for one
+// setting, windowed under the given direction filter, through the
+// artifact store. Metrics-enabled runs bypass every tier and fall back to
+// the uncached collection path so the instrumentation measures real work.
+func collectDataset(label string, profile operator.Profile, scale Scale, day int, seed uint64, cfg sniffer.Config, filter fingerprint.DirectionFilter) ([]appData, error) {
+	apps := appmodel.Apps()
+	specFor := func(i int) fingerprint.CollectSpec {
+		sessions, dur := scale.sessionsFor(apps[i])
+		return fingerprint.CollectSpec{
+			Profile:          profile,
+			App:              apps[i],
+			Sessions:         sessions,
+			SessionDur:       dur,
+			Day:              day,
+			Seed:             seed + uint64(i+1)*7919,
+			Sniffer:          cfg,
+			ApplyProfileLoss: true,
+			Population:       scale.Population,
+			Metrics:          pipelineScope(),
+		}
+	}
+	// Assemble the dataset from the per-session window artifacts, fanned
+	// out over the shared experiment worker pool as one flat (app, session)
+	// task list. Each CollectWindows resolves through its own cache tier
+	// (and the capture tier below it), so assembly cost is whatever is not
+	// already resident.
+	compute := func() ([]appData, error) {
+		out := make([]appData, len(apps))
+		type task struct{ app, session int }
+		var tasks []task
+		for i, app := range apps {
+			sessions, _ := scale.sessionsFor(app)
+			out[i] = appData{app: app, sessions: make([][][]float64, sessions)}
+			for j := 0; j < sessions; j++ {
+				tasks = append(tasks, task{app: i, session: j})
+			}
+		}
+		err := forEach(len(tasks), func(k int) error {
+			t := tasks[k]
+			m, err := fingerprint.CollectWindows(specFor(t.app), t.session, filter)
+			if err != nil {
+				return fmt.Errorf("experiments: %s: %s session %d: %w", label, apps[t.app].Name, t.session, err)
+			}
+			out[t.app].sessions[t.session] = m
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	if pipelineScope().Enabled() {
+		artifact.Default.CountBypass(artifact.KindDataset)
+		return compute()
+	}
+	v, err := artifact.Default.GetOrCompute(datasetCodec{}, datasetKey(profile, scale, day, seed, cfg, filter), func() (any, error) {
+		return compute()
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]appData), nil
+}

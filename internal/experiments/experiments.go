@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"ltefp/internal/appmodel"
+	"ltefp/internal/artifact"
 	"ltefp/internal/attack/fingerprint"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/ml/metrics"
@@ -191,40 +192,16 @@ func collectAppTraces(label string, apps []appmodel.App, specFor func(i int) fin
 }
 
 // collectSetting records the full nine-app campaign for one network
-// setting and sniffer configuration.
+// setting and sniffer configuration, as a cached dataset artifact.
 func collectSetting(profile operator.Profile, scale Scale, day int, seed uint64, cfg sniffer.Config) ([]appData, error) {
-	apps := appmodel.Apps()
-	traces, err := collectAppTraces("collecting on "+profile.Name, apps, func(i int) fingerprint.CollectSpec {
-		sessions, dur := scale.sessionsFor(apps[i])
-		return fingerprint.CollectSpec{
-			Profile:          profile,
-			App:              apps[i],
-			Sessions:         sessions,
-			SessionDur:       dur,
-			Day:              day,
-			Seed:             seed + uint64(i+1)*7919,
-			Sniffer:          cfg,
-			ApplyProfileLoss: true,
-			Population:       scale.Population,
-			Metrics:          pipelineScope(),
-		}
-	})
-	if err != nil {
-		return nil, err
-	}
-	out := make([]appData, len(apps))
-	for i, app := range apps {
-		perSession := make([][][]float64, len(traces[i]))
-		for j, t := range traces[i] {
-			perSession[j] = fingerprint.WindowVectors(t, fingerprint.DefaultWindow, fingerprint.DefaultWindow)
-		}
-		out[i] = appData{app: app, sessions: perSession}
-	}
-	return out, nil
+	return collectDataset("collecting on "+profile.Name, profile, scale, day, seed, cfg, fingerprint.AllDirections)
 }
 
 // buildClassifier trains the hierarchical classifier on the training halves
 // of a setting's data and returns it with the held-out test windows.
+// Training goes through the artifact store (keyed on the training content
+// and forest configuration) except on metrics-enabled runs, whose forest
+// counters must reflect real training work.
 func buildClassifier(data []appData, seed uint64) (*fingerprint.Classifier, map[string][][]float64, error) {
 	ts := fingerprint.NewTrainingSet()
 	test := make(map[string][][]float64, len(data))
@@ -235,9 +212,13 @@ func buildClassifier(data []appData, seed uint64) (*fingerprint.Classifier, map[
 		}
 		test[d.app.Name] = held
 	}
-	clf, err := fingerprint.Train(ts, fingerprint.Config{
-		Forest: forestConfig(seed),
-	})
+	cfg := fingerprint.Config{Forest: forestConfig(seed)}
+	train := fingerprint.TrainCached
+	if pipelineScope().Enabled() {
+		artifact.Default.CountBypass(artifact.KindForest)
+		train = fingerprint.Train
+	}
+	clf, err := train(ts, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -3,6 +3,7 @@ package experiments
 import (
 	"sync/atomic"
 
+	"ltefp/internal/artifact"
 	"ltefp/internal/attack/correlation"
 	"ltefp/internal/features"
 	"ltefp/internal/ml/forest"
@@ -26,6 +27,11 @@ func SetMetrics(r *obs.Registry) {
 	features.SetMetrics(sc.Scope("features"))
 	forest.SetMetrics(sc.Scope("forest"))
 	correlation.SetMetrics(sc.Scope("corr"))
+	// The artifact store reports under pipeline.cache.*. Note the
+	// interplay: metrics-enabled runs bypass every cache tier (the
+	// instrumentation must measure real work), so during such runs the
+	// cache line shows bypasses, not hits.
+	artifact.Default.SetMetrics(sc.Scope("cache"))
 }
 
 // pipelineScope returns the active pipeline scope (disabled when no

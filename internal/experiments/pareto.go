@@ -169,7 +169,7 @@ func Pareto(scale Scale, seed uint64) (*ParetoResult, error) {
 // program under the composition.
 func measureAirBytes(prof operator.Profile, scale Scale, seed uint64) (int64, error) {
 	streaming := appmodel.ByCategory(appmodel.Streaming)
-	res, err := capture.Run(capture.Scenario{
+	res, err := capture.RunCached(capture.Scenario{
 		Seed:  seed + 32452843,
 		Cells: []capture.Cell{{ID: 1, Profile: prof}},
 		Sessions: []capture.Session{{

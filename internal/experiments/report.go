@@ -55,6 +55,10 @@ func MetricsReport(snap obs.Snapshot) string {
 		snap.Counter("pipeline.forest.rows_predicted"), histLine("pipeline.forest.batch_ms"))
 	fmt.Fprintf(&b, "workers:  %d tasks, task %s\n",
 		snap.Counter("pipeline.workers.tasks"), histLine("pipeline.workers.task_ms"))
+	fmt.Fprintf(&b, "cache:    %d mem hits, %d disk hits, %d misses, %d bypasses, %d evictions, %d disk discards\n",
+		snap.Counter("pipeline.cache.mem_hits"), snap.Counter("pipeline.cache.disk_hits"),
+		snap.Counter("pipeline.cache.misses"), snap.Counter("pipeline.cache.bypasses"),
+		snap.Counter("pipeline.cache.evictions"), snap.Counter("pipeline.cache.disk_discards"))
 	pairs := snap.Counter("pipeline.corr.pairs_total")
 	pruned := snap.Counter("pipeline.corr.pruned_lb_kim") +
 		snap.Counter("pipeline.corr.pruned_lb_keogh") +

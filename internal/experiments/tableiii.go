@@ -6,7 +6,6 @@ import (
 
 	"ltefp/internal/appmodel"
 	"ltefp/internal/attack/fingerprint"
-	"ltefp/internal/lte/dci"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/ml/forest"
 	"ltefp/internal/ml/metrics"
@@ -49,40 +48,59 @@ type TableIIIResult struct {
 
 // TableIII runs the lab fingerprinting evaluation. One both-direction
 // capture per app session feeds all three variants (a sole-downlink
-// sniffer sees exactly the downlink subset of the combined capture).
+// sniffer sees exactly the downlink subset of the combined capture):
+// each variant is its own dataset artifact, and the capture tier below
+// deduplicates the shared simulations across them. Metrics-enabled runs
+// bypass the store, so they collect each capture once up front and
+// re-window it per variant — the instrumented work stays what it was.
 func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 	lab := operator.Lab()
 	apps := appmodel.Apps()
-	traces, err := collectAppTraces("table III", apps, func(i int) fingerprint.CollectSpec {
-		sessions, dur := scale.sessionsFor(apps[i])
-		return fingerprint.CollectSpec{
-			Profile:          lab,
-			App:              apps[i],
-			Sessions:         sessions,
-			SessionDur:       dur,
-			Seed:             seed + uint64(i+1)*7919,
-			Sniffer:          sniffer.Config{CorruptProb: snifferCorruption},
-			ApplyProfileLoss: true,
-			Population:       scale.Population,
-			Metrics:          pipelineScope(),
+	cfg := sniffer.Config{CorruptProb: snifferCorruption}
+
+	var traces [][]trace.Trace
+	if pipelineScope().Enabled() {
+		var err error
+		traces, err = collectAppTraces("table III", apps, func(i int) fingerprint.CollectSpec {
+			sessions, dur := scale.sessionsFor(apps[i])
+			return fingerprint.CollectSpec{
+				Profile:          lab,
+				App:              apps[i],
+				Sessions:         sessions,
+				SessionDur:       dur,
+				Seed:             seed + uint64(i+1)*7919,
+				Sniffer:          cfg,
+				ApplyProfileLoss: true,
+				Population:       scale.Population,
+				Metrics:          pipelineScope(),
+			}
+		})
+		if err != nil {
+			return nil, err
 		}
-	})
-	if err != nil {
-		return nil, err
 	}
 
 	variants := Variants()
 	confs := make([]*metrics.Confusion, len(variants))
-	err = forEach(len(variants), func(vi int) error {
+	err := forEach(len(variants), func(vi int) error {
 		v := variants[vi]
-		data := make([]appData, len(apps))
-		for i, app := range apps {
-			d := appData{app: app}
-			for _, t := range traces[i] {
-				ft := filterVariant(t, v)
-				d.sessions = append(d.sessions, fingerprint.WindowVectors(ft, fingerprint.DefaultWindow, fingerprint.DefaultWindow))
+		var data []appData
+		if traces != nil {
+			data = make([]appData, len(apps))
+			for i, app := range apps {
+				d := appData{app: app}
+				for _, t := range traces[i] {
+					ft := filterVariant(t, v)
+					d.sessions = append(d.sessions, fingerprint.WindowVectors(ft, fingerprint.DefaultWindow, fingerprint.DefaultWindow))
+				}
+				data[i] = d
 			}
-			data[i] = d
+		} else {
+			var err error
+			data, err = collectDataset("table III "+string(v), lab, scale, 0, seed, cfg, variantFilter(v))
+			if err != nil {
+				return fmt.Errorf("experiments: table III %s: %w", v, err)
+			}
 		}
 		clf, test, err := buildClassifier(data, seed)
 		if err != nil {
@@ -114,13 +132,18 @@ func TableIII(scale Scale, seed uint64) (*TableIIIResult, error) {
 
 // filterVariant restricts a trace to a variant's direction coverage.
 func filterVariant(t trace.Trace, v Variant) trace.Trace {
+	return variantFilter(v).Apply(t)
+}
+
+// variantFilter maps a Table III variant to its direction filter.
+func variantFilter(v Variant) fingerprint.DirectionFilter {
 	switch v {
 	case Down:
-		return t.FilterDirection(dci.Downlink)
+		return fingerprint.DownlinkOnly
 	case Up:
-		return t.FilterDirection(dci.Uplink)
+		return fingerprint.UplinkOnly
 	default:
-		return t
+		return fingerprint.AllDirections
 	}
 }
 

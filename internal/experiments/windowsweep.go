@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ltefp/internal/appmodel"
+	"ltefp/internal/artifact"
 	"ltefp/internal/attack/fingerprint"
 	"ltefp/internal/lte/operator"
 	"ltefp/internal/sniffer"
@@ -122,11 +123,17 @@ func buildClassifierWindowed(data []appData, seed uint64, w time.Duration) (*fin
 		}
 		test[d.app.Name] = held
 	}
-	clf, err := fingerprint.Train(ts, fingerprint.Config{
+	cfg := fingerprint.Config{
 		Window: w,
 		Stride: w,
 		Forest: forestConfig(seed),
-	})
+	}
+	train := fingerprint.TrainCached
+	if pipelineScope().Enabled() {
+		artifact.Default.CountBypass(artifact.KindForest)
+		train = fingerprint.Train
+	}
+	clf, err := train(ts, cfg)
 	if err != nil {
 		return nil, nil, err
 	}

@@ -108,6 +108,22 @@ func Build(events []sniffer.IdentityEvent, records trace.Trace, idleGap time.Dur
 	return m
 }
 
+// FromIntervals reconstructs a Mapper from a previously extracted interval
+// timeline (Intervals), rebuilding the per-TMSI index. Round-trip
+// contract: FromIntervals(m.Intervals()) answers every query exactly as m
+// does — the intervals slice is the Mapper's complete state.
+func FromIntervals(ivs []Interval) *Mapper {
+	m := &Mapper{
+		intervals: make([]Interval, len(ivs)),
+		byTMSI:    make(map[uint32][]int),
+	}
+	copy(m.intervals, ivs)
+	for i := range m.intervals {
+		m.byTMSI[m.intervals[i].TMSI] = append(m.byTMSI[m.intervals[i].TMSI], i)
+	}
+	return m
+}
+
 // Intervals returns every reconstructed binding, in observation order.
 func (m *Mapper) Intervals() []Interval {
 	out := make([]Interval, len(m.intervals))

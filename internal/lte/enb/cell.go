@@ -142,7 +142,11 @@ type Cell struct {
 	// cell calling the target directly (see HandoverSink).
 	hoSink HandoverSink
 
-	ctl       sim.Queue // timed control-procedure steps
+	ctl sim.Queue // timed control-procedure steps
+	// retryFree recycles fired ctlRetry payloads so PDCCH-congestion
+	// retries — the hot event class on a loaded cell — do not allocate
+	// per blocked subframe (see ctlRetry in sched.go).
+	retryFree []*ctlRetry
 	observers []Observer
 
 	cur *builder // subframe under assembly; valid only inside Tick

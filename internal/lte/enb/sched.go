@@ -115,10 +115,49 @@ func (b *builder) control(c *Cell, r rnti.RNTI, f dci.Format, nprb int, plaintex
 	}
 	if _, ok := b.tryEmit(c, r, f, agg, nprb, 0, plaintext); !ok {
 		c.m.pdcchBlocked.Inc()
-		c.ctl.Push(b.now+sim.TTI, func() {
-			c.cur.control(c, r, f, nprb, plaintext)
-		})
+		e := c.newRetry()
+		e.r, e.f, e.nprb, e.plaintext = r, f, nprb, plaintext
+		c.ctl.PushFirer(b.now+sim.TTI, e)
 	}
+}
+
+// ctlRetry is the deferred re-emission of a PDCCH-blocked control
+// message. On a congested population-scale cell these retries are the
+// dominant event class — every blocked subframe re-queues them — so they
+// are preallocated Firer payloads recycled through a per-cell free list
+// instead of per-retry closures. PushFirer shares the queue's push-order
+// tie-break with Push, so a pooled retry fires at exactly the position
+// the closure did.
+type ctlRetry struct {
+	c         *Cell
+	r         rnti.RNTI
+	f         dci.Format
+	nprb      int
+	plaintext any
+}
+
+// Fire re-attempts the blocked emission in the subframe now under
+// assembly. The payload recycles itself first: if the PDCCH is still
+// congested, control pops it straight back off the free list for the
+// next retry, so a message blocked for N subframes costs one allocation
+// total, not N.
+func (e *ctlRetry) Fire() {
+	c, r, f, nprb, plaintext := e.c, e.r, e.f, e.nprb, e.plaintext
+	e.plaintext = nil
+	c.retryFree = append(c.retryFree, e)
+	c.cur.control(c, r, f, nprb, plaintext)
+}
+
+// newRetry returns a blank retry payload, recycling a fired one when
+// possible.
+func (c *Cell) newRetry() *ctlRetry {
+	if n := len(c.retryFree); n > 0 {
+		e := c.retryFree[n-1]
+		c.retryFree[n-1] = nil
+		c.retryFree = c.retryFree[:n-1]
+		return e
+	}
+	return &ctlRetry{c: c}
 }
 
 // tryEmit places one DCI on the PDCCH and charges the shared-channel

@@ -1,0 +1,79 @@
+package snapshot
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// countingWriter counts bytes on their way to the underlying writer so
+// WriteFileAtomic can report the container size without a second stat.
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+// WriteFileAtomic writes one snapshot container to path with
+// crash-and-concurrency safety: the container is built in a uniquely named
+// temporary file in the destination directory, fsynced, and renamed over
+// path. Readers opening path therefore observe either the previous file or
+// the complete new one — never a torn write — and concurrent writers of
+// the same path race only at the (atomic) rename. build receives the
+// container Writer and appends sections; Close is called here. On any
+// error the temporary file is removed and path is left untouched. Returns
+// the container size in bytes.
+func WriteFileAtomic(path string, build func(*Writer) error) (int64, error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".snap-*.tmp")
+	if err != nil {
+		return 0, fmt.Errorf("snapshot: create temp in %s: %w", dir, err)
+	}
+	tmp := f.Name()
+	cleanup := func(err error) (int64, error) {
+		f.Close()
+		os.Remove(tmp)
+		return 0, err
+	}
+	cw := &countingWriter{w: f}
+	w, err := NewWriter(cw)
+	if err != nil {
+		return cleanup(err)
+	}
+	if err := build(w); err != nil {
+		return cleanup(err)
+	}
+	if err := w.Close(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: sync %s: %w", tmp, err))
+	}
+	if err := f.Close(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: close %s: %w", tmp, err))
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return 0, fmt.Errorf("snapshot: rename into place: %w", err)
+	}
+	return cw.n, nil
+}
+
+// ReadFileAll reads and fully validates the snapshot container at path,
+// returning its sections. Any structural damage — foreign file, version
+// skew, truncation, CRC mismatch — surfaces as the corresponding typed
+// error; a nil error proves the file intact end to end.
+func ReadFileAll(path string) (map[string][]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadAll(f)
+}

@@ -28,8 +28,17 @@ raw=$(go test -run '^$' -bench "$micro" -benchmem -benchtime 2s .
 	go test -run '^$' -bench 'BenchmarkCapture60sPop10k$' -benchmem -benchtime 1x .
 	go test -run '^$' -bench 'BenchmarkFabric128CellsPop1k$' -benchmem -benchtime 5x .
 	go test -run '^$' -bench 'BenchmarkSweep256Users$|BenchmarkSweepBrute256Users$' -benchmem -benchtime 3x .
-	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 3x .
-	go test -run '^$' -bench 'BenchmarkParetoSweep$' -benchmem -benchtime 1x .)
+	# 1x, not 3x: go's N=1 probe run before an Nx measurement would warm
+	# the artifact store's memory tier, so only a single-iteration run
+	# measures the cold cost (BenchmarkParetoSweep below has the same
+	# constraint).
+	go test -run '^$' -bench 'BenchmarkTableIII$' -benchmem -benchtime 1x .
+	go test -run '^$' -bench 'BenchmarkParetoSweep$' -benchmem -benchtime 1x .
+	# Cold-then-warm pass: the *Warm variants populate a disk artifact
+	# store once (untimed), then measure the same experiment served
+	# entirely from the persistent tier. Their speedup against the cold
+	# rows above is the artifact store's contribution.
+	go test -run '^$' -bench 'BenchmarkTableIIIWarm$|BenchmarkParetoSweepWarm$' -benchmem -benchtime 1x .)
 echo "$raw"
 
 # One JSON object per benchmark line; go's -bench output is stable enough
@@ -95,3 +104,33 @@ if [ -n "$prev" ]; then
 	}
 	' "BENCH_$prev.json" "$out"
 fi
+
+# Cold vs warm: how much of each cached experiment the artifact store
+# serves back. Both numbers come from this snapshot, so the ratio is
+# machine-independent.
+echo ""
+echo "artifact store, cold vs warm (this snapshot):"
+awk '
+function field(line, key,   v) {
+	if (line !~ "\"" key "\"") return ""
+	v = line
+	sub(".*\"" key "\": ", "", v)
+	sub(/[,}].*/, "", v)
+	gsub(/"/, "", v)
+	return v
+}
+{
+	name = field($0, "name")
+	if (name != "") ns[name] = field($0, "ns_per_op")
+}
+END {
+	printf "%-24s %15s %15s %9s\n", "experiment", "cold ns/op", "warm ns/op", "speedup"
+	pair["BenchmarkTableIII"] = "BenchmarkTableIIIWarm"
+	pair["BenchmarkParetoSweep"] = "BenchmarkParetoSweepWarm"
+	for (cold in pair) {
+		warm = pair[cold]
+		if (cold in ns && warm in ns && ns[warm] + 0 > 0)
+			printf "%-24s %15.0f %15.0f %8.1fx\n", substr(cold, 10), ns[cold], ns[warm], ns[cold] / ns[warm]
+	}
+}
+' "$out"

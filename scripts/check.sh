@@ -48,6 +48,16 @@ go test -race -run 'TestDaemonCheckpointRestartConvergence' ./internal/daemon
 # zero-Defense byte-identity can never be filtered out of a run.
 echo "== go test -race -run 'TestDefensesOffByteIdentical' ."
 go test -race -run 'TestDefensesOffByteIdentical' .
+# The artifact store's two contracts: concurrent processes sharing a
+# cache directory never observe torn entries, and a warm run served from
+# disk renders byte-identically to the cold run that populated it (with
+# corrupted entries recomputed, never trusted). Both race-gated
+# explicitly — the differential test skips under -short, so the full
+# suite below would miss it on a -short run.
+echo "== go test -race -run 'TestConcurrentSharedDir' ./internal/artifact"
+go test -race -run 'TestConcurrentSharedDir' ./internal/artifact
+echo "== go test -race -run 'TestWarmRunByteIdenticalToCold' ./internal/experiments"
+go test -race -run 'TestWarmRunByteIdenticalToCold' ./internal/experiments
 echo "== go test -race $short ./..."
 go test -race $short ./...
 # The e2e harness drives the real binaries as subprocesses (goldens,
